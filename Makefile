@@ -1,0 +1,17 @@
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	for e in quickstart figure1_repro attack_demo montecarlo_validation bound_explorer settlement markov_tour; do dune exec examples/$$e.exe; done
+
+artifacts:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+.PHONY: all test bench examples artifacts

@@ -1,0 +1,441 @@
+(* nakamoto-consistency: command-line front end for the analysis library.
+
+   Subcommands map one-to-one onto the paper's artifacts: figure1, figure2,
+   table1, remark1 regenerate the evaluation; bound/numax query the bounds;
+   simulate/montecarlo run the Delta-delay simulator; verify audits the
+   Lemma 2-8 implication chain. *)
+
+open Cmdliner
+module Core = Nakamoto_core
+module Sim = Nakamoto_sim
+
+(* Shared argument definitions. *)
+
+let nu_arg =
+  let doc = "Adversarial fraction of computing power, in (0, 1/2)." in
+  Arg.(value & opt float 0.25 & info [ "nu" ] ~docv:"NU" ~doc)
+
+let c_arg ~default =
+  let doc = "The ratio c = 1/(p n Delta): expected network delays per block." in
+  Arg.(value & opt float default & info [ "c" ] ~docv:"C" ~doc)
+
+let n_arg =
+  let doc = "Number of miners (analysis-side, real-valued)." in
+  Arg.(value & opt float 1e5 & info [ "n" ] ~docv:"N" ~doc)
+
+let delta_arg =
+  let doc = "Maximum adversarial message delay Delta, in rounds." in
+  Arg.(value & opt float 1e13 & info [ "delta" ] ~docv:"DELTA" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (simulations are reproducible given the seed)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Also write the table as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
+
+let verbose_arg =
+  let doc = "Enable debug logging of reorgs and adversarial releases." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let emit_table ?csv table =
+  print_string (Nakamoto_numerics.Table.render table);
+  match csv with
+  | None -> ()
+  | Some path ->
+    Nakamoto_numerics.Table.save_csv table ~path;
+    Printf.printf "(csv written to %s)\n" path
+
+(* bound: all thresholds at one nu. *)
+
+let bound_cmd =
+  let run nu delta =
+    if not (nu > 0. && nu < 0.5) then `Error (false, "--nu must lie in (0, 1/2)")
+    else begin
+      let neat = Core.Bounds.neat_c_min ~nu in
+      Printf.printf "nu = %g (mu = %g), Delta = %g\n" nu (1. -. nu) delta;
+      Printf.printf "  neat bound (Thm 2):      c > %.6f\n" neat;
+      Printf.printf "  Thm 2 exact (eps2->0):   c >= %.6f\n"
+        (Core.Bounds.theorem2_c_min_optimal ~nu ~delta ~eps2:1e-9);
+      let c_pss =
+        (* closed-form PSS: c >= 2 (1-nu)^2 / (1 - 2 nu) *)
+        2. *. (1. -. nu) *. (1. -. nu) /. (1. -. (2. *. nu))
+      in
+      Printf.printf "  PSS consistency (closed): c > %.6f\n" c_pss;
+      let c_attack = 1. /. ((1. /. nu) -. (1. /. (1. -. nu))) in
+      Printf.printf "  PSS attack succeeds for: c < %.6f\n" c_attack;
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const run $ nu_arg $ delta_arg)) in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Print all consistency thresholds at a given nu.")
+    term
+
+(* numax: all curves at one c. *)
+
+let numax_cmd =
+  let run c n delta =
+    if c <= 0. then `Error (false, "--c must be positive")
+    else begin
+      let r = Core.Figure1.compute_row ~n ~delta ~c () in
+      Printf.printf "c = %g (n = %g, Delta = %g)\n" c n delta;
+      Printf.printf "  ours (neat):      nu_max = %.6f\n" r.Core.Figure1.ours_neat;
+      Printf.printf "  Theorem 1 exact:  nu_max = %.6f\n" r.Core.Figure1.theorem1_exact;
+      Printf.printf "  Theorem 2 exact:  nu_max = %.6f\n" r.Core.Figure1.theorem2_exact;
+      Printf.printf "  PSS consistency:  nu_max = %.6f\n" r.Core.Figure1.pss_consistency;
+      Printf.printf "  PSS attack above: nu     = %.6f\n" r.Core.Figure1.pss_attack;
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const run $ c_arg ~default:3. $ n_arg $ delta_arg)) in
+  Cmd.v (Cmd.info "numax" ~doc:"Print all tolerable-nu curves at a given c.") term
+
+(* figure1 *)
+
+let figure1_cmd =
+  let run n delta csv plot =
+    let rows = Core.Figure1.series ~n ~delta ~c_grid:(Core.Figure1.default_c_grid ()) () in
+    emit_table ?csv (Core.Figure1.to_table rows);
+    if plot then print_string (Core.Figure1.to_plot rows);
+    Printf.printf "shape invariants hold: %b\n"
+      (Core.Figure1.shape_invariants_hold rows)
+  in
+  let plot_arg =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII plot too.")
+  in
+  let term = Term.(const run $ n_arg $ delta_arg $ csv_arg $ plot_arg) in
+  Cmd.v (Cmd.info "figure1" ~doc:"Regenerate the paper's Figure 1 series.") term
+
+(* figure2 *)
+
+let figure2_cmd =
+  let run delta alpha dot =
+    if dot then print_string (Core.Figure2.dot ~delta ~alpha)
+    else begin
+      let censuses =
+        List.map (fun d -> Core.Figure2.census ~delta:d ~alpha) [ 2; 3; 4; 8; delta ]
+      in
+      emit_table (Core.Figure2.to_table censuses)
+    end
+  in
+  let delta_small =
+    Arg.(value & opt int 5
+         & info [ "delta" ] ~docv:"DELTA" ~doc:"Delay bound for the explicit chain.")
+  in
+  let alpha_arg =
+    Arg.(value & opt float 0.2
+         & info [ "alpha" ] ~docv:"ALPHA" ~doc:"Per-round honest success probability.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz DOT instead of the census.")
+  in
+  let term = Term.(const run $ delta_small $ alpha_arg $ dot_arg) in
+  Cmd.v
+    (Cmd.info "figure2" ~doc:"Audit / render the suffix Markov chain (Figure 2).")
+    term
+
+(* table1 *)
+
+let table1_cmd =
+  let run nu c n delta csv =
+    let p = Core.Params.of_c ~n ~delta ~nu ~c in
+    emit_table ?csv (Core.Table1.for_params p);
+    Printf.printf "identities hold: %b\n" (Core.Table1.identities_hold p)
+  in
+  let term =
+    Term.(const run $ nu_arg $ c_arg ~default:3. $ n_arg $ delta_arg $ csv_arg)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print Table I with computed values.") term
+
+(* remark1 *)
+
+let remark1_cmd =
+  let run () =
+    let t =
+      Nakamoto_numerics.Table.create
+        ~title:"Remark 1: (delta1, delta2) regimes at Delta = 1e13"
+        ~columns:[ "delta1"; "delta2"; "nu lower"; "1/2 - nu upper"; "inflation - 1" ]
+    in
+    List.iter
+      (fun (r : Core.Theorem2.regime) ->
+        Nakamoto_numerics.Table.add_row t
+          [
+            Nakamoto_numerics.Table.Float r.delta1;
+            Nakamoto_numerics.Table.Float r.delta2;
+            Nakamoto_numerics.Table.Log10 r.log_nu_lo;
+            Nakamoto_numerics.Table.Sci r.half_minus_nu_hi;
+            Nakamoto_numerics.Table.Sci (r.inflation -. 1.);
+          ])
+      (Core.Theorem2.remark1_rows ());
+    emit_table t
+  in
+  Cmd.v
+    (Cmd.info "remark1" ~doc:"Print the Remark 1 nu-range / inflation table.")
+    Term.(const run $ const ())
+
+(* simulate *)
+
+let simulate_cmd =
+  let run scenario nu seed verbose =
+    setup_logging verbose;
+    let cfg =
+      match scenario with
+      | "honest" -> Sim.Scenarios.honest_baseline ~seed
+      | "safe" -> Sim.Scenarios.safe_zone ~seed ~nu
+      | "attack" -> Sim.Scenarios.attack_zone ~seed ~nu
+      | "split" -> Sim.Scenarios.split_world ~seed
+      | "selfish" -> Sim.Scenarios.selfish ~seed ~nu
+      | other -> failwith (Printf.sprintf "unknown scenario %S" other)
+    in
+    let r = Sim.Execution.run cfg in
+    let cons = Sim.Metrics.check_consistency r in
+    let growth = Sim.Metrics.chain_growth r in
+    Printf.printf "scenario %s: n=%d nu=%.3f c=%.4f Delta=%d rounds=%d seed=%Ld\n"
+      scenario cfg.Sim.Config.n cfg.nu (Sim.Config.c cfg) cfg.delta cfg.rounds
+      cfg.seed;
+    Printf.printf "  honest blocks         %d\n" r.honest_blocks;
+    Printf.printf "  adversary blocks      %d\n" r.adversary_blocks;
+    Printf.printf "  convergence opps      %d\n" r.convergence_opportunities;
+    Printf.printf "  max reorg depth       %d\n" r.max_reorg_depth;
+    Printf.printf "  consistency(T=%d)     %d violations / %d pairs (worst depth %d)\n"
+      cons.truncate cons.violations cons.pairs_checked cons.worst_violation_depth;
+    Printf.printf "  max disagreement      %d\n" (Sim.Metrics.max_disagreement r);
+    Printf.printf "  chain growth          %.4f blocks/round\n" growth.growth_rate;
+    Printf.printf "  chain quality         %.4f honest fraction\n"
+      (Sim.Metrics.chain_quality r);
+    Printf.printf "  messages              %d (orphans left: %d)\n" r.messages_sent
+      r.orphans_remaining
+  in
+  let scenario_arg =
+    Arg.(value & pos 0 string "honest"
+         & info [] ~docv:"SCENARIO" ~doc:"honest | safe | attack | split | selfish")
+  in
+  let term = Term.(const run $ scenario_arg $ nu_arg $ seed_arg $ verbose_arg) in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a full Delta-delay protocol simulation.")
+    term
+
+(* montecarlo *)
+
+let montecarlo_cmd =
+  let run nu c delta_i rounds seed =
+    let n = 50 in
+    let honest = n - int_of_float (nu *. float_of_int n) in
+    let p = 1. /. (c *. float_of_int n *. float_of_int delta_i) in
+    let cfg =
+      { Sim.State_process.honest; adversarial = n - honest; p; delta = delta_i }
+    in
+    let rng = Nakamoto_prob.Rng.create ~seed in
+    let r = Sim.State_process.run ~rng cfg ~rounds in
+    let params =
+      Core.Params.create ~n:(float_of_int n) ~delta:(float_of_int delta_i) ~p
+        ~nu:(float_of_int (n - honest) /. float_of_int n)
+    in
+    let t = float_of_int rounds in
+    Printf.printf "state process: %d rounds at c=%.4f nu=%.3f Delta=%d\n" rounds c
+      nu delta_i;
+    Printf.printf "  C/T  empirical %.6g   theory (Eq. 44) %.6g\n"
+      (float_of_int r.convergence_opportunities /. t)
+      (Core.Conv_chain.convergence_rate params);
+    Printf.printf "  A/T  empirical %.6g   theory (Eq. 27) %.6g\n"
+      (float_of_int r.adversary_blocks /. t)
+      (Core.Params.adversary_rate params);
+    Printf.printf "  H-round rate   %.6g   alpha %.6g\n"
+      (float_of_int r.h_rounds /. t)
+      (Core.Params.alpha params);
+    Printf.printf "  H1-round rate  %.6g   alpha1 %.6g\n"
+      (float_of_int r.h1_rounds /. t)
+      (Core.Params.alpha1 params)
+  in
+  let delta_i_arg =
+    Arg.(value & opt int 4 & info [ "delta" ] ~docv:"DELTA" ~doc:"Delay bound.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 1_000_000
+         & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Rounds to simulate.")
+  in
+  let term =
+    Term.(const run $ nu_arg $ c_arg ~default:2.5 $ delta_i_arg $ rounds_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "montecarlo"
+       ~doc:"Validate the stationary theory against the raw state process.")
+    term
+
+(* assess *)
+
+let assess_cmd =
+  let run nu c n delta =
+    let p = Core.Params.of_c ~n ~delta ~nu ~c in
+    Format.printf "%a@." Core.Assessment.pp (Core.Assessment.assess p)
+  in
+  let term = Term.(const run $ nu_arg $ c_arg ~default:3. $ n_arg $ delta_arg) in
+  Cmd.v
+    (Cmd.info "assess"
+       ~doc:"Full security assessment of one parameter point (the flagship query).")
+    term
+
+(* sweep *)
+
+let sweep_cmd =
+  let run lo hi points n delta csv =
+    if not (lo > 0. && hi > lo) then
+      `Error (false, "--lo and --hi must satisfy 0 < lo < hi")
+    else if points < 2 then `Error (false, "--points must be >= 2")
+    else begin
+      let grid =
+        List.init points (fun i ->
+            let t = float_of_int i /. float_of_int (points - 1) in
+            lo *. ((hi /. lo) ** t))
+      in
+      let rows = Core.Figure1.series ~n ~delta ~c_grid:grid () in
+      emit_table ?csv (Core.Figure1.to_table rows);
+      `Ok ()
+    end
+  in
+  let lo_arg =
+    Arg.(value & opt float 0.5 & info [ "lo" ] ~docv:"LO" ~doc:"Smallest c.")
+  in
+  let hi_arg =
+    Arg.(value & opt float 50. & info [ "hi" ] ~docv:"HI" ~doc:"Largest c.")
+  in
+  let points_arg =
+    Arg.(value & opt int 21 & info [ "points" ] ~docv:"N" ~doc:"Grid size (log-spaced).")
+  in
+  let term =
+    Term.(ret (const run $ lo_arg $ hi_arg $ points_arg $ n_arg $ delta_arg $ csv_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Tabulate every tolerable-nu curve over a custom log-spaced c grid.")
+    term
+
+(* trace *)
+
+let trace_cmd =
+  let run scenario nu seed out =
+    let cfg =
+      match scenario with
+      | "honest" -> Sim.Scenarios.honest_baseline ~seed
+      | "safe" -> Sim.Scenarios.safe_zone ~seed ~nu
+      | "attack" -> Sim.Scenarios.attack_zone ~seed ~nu
+      | "split" -> Sim.Scenarios.split_world ~seed
+      | "selfish" -> Sim.Scenarios.selfish ~seed ~nu
+      | other -> failwith (Printf.sprintf "unknown scenario %S" other)
+    in
+    let trace = Sim.Trace.capture cfg in
+    (match out with
+    | None -> print_string (Sim.Trace.to_string trace)
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Sim.Trace.to_string trace));
+      Printf.printf "trace written to %s\n" path);
+    print_endline (Sim.Trace.summarize trace)
+  in
+  let scenario_arg =
+    Arg.(value & pos 0 string "honest"
+         & info [] ~docv:"SCENARIO" ~doc:"honest | safe | attack | split | selfish")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH" ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let term = Term.(const run $ scenario_arg $ nu_arg $ seed_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Capture a round-by-round execution trace.")
+    term
+
+(* confirm *)
+
+let confirm_cmd =
+  let run nu c delta epsilon =
+    let p = Core.Params.of_c ~n:1e5 ~delta ~nu ~c in
+    match Core.Confirmation.assess ~epsilon p with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | a ->
+      Printf.printf "settlement at nu=%g, c=%g, Delta=%g, target risk %g:\n" nu c
+        delta epsilon;
+      Printf.printf "  honest effective rate (Eq. 44)  %.6g per round\n"
+        a.Core.Confirmation.honest_rate;
+      Printf.printf "  adversary rate (Eq. 27)         %.6g per round\n"
+        a.Core.Confirmation.adversary_rate;
+      Printf.printf "  rate ratio                      %.4f\n"
+        a.Core.Confirmation.rate_ratio;
+      Printf.printf "  confirmations needed            %d\n"
+        a.Core.Confirmation.confirmations;
+      Printf.printf "  residual double-spend risk      %.3e\n"
+        a.Core.Confirmation.residual_risk;
+      `Ok ()
+  in
+  let epsilon_arg =
+    Arg.(value & opt float 1e-3
+         & info [ "epsilon" ] ~docv:"EPS" ~doc:"Acceptable double-spend probability.")
+  in
+  let delta_small =
+    Arg.(value & opt float 10.
+         & info [ "delta" ] ~docv:"DELTA" ~doc:"Delay bound (rounds).")
+  in
+  let term =
+    Term.(ret (const run $ nu_arg $ c_arg ~default:6. $ delta_small $ epsilon_arg))
+  in
+  Cmd.v
+    (Cmd.info "confirm"
+       ~doc:"Compute a safe confirmation depth from the paper's rates.")
+    term
+
+(* verify *)
+
+let verify_cmd =
+  let run nu c n delta eps1 eps2 =
+    let p = Core.Params.of_c ~n ~delta ~nu ~c in
+    let r = Core.Lemmas.verify_chain ~eps1 ~eps2 p in
+    Printf.printf "implication chain at %s, eps1=%g eps2=%g:\n"
+      (Format.asprintf "%a" Core.Params.pp p)
+      eps1 eps2;
+    Printf.printf "  delta4 = %.6g, delta1 = %.6g\n" r.delta4 r.delta1;
+    List.iter
+      (fun (s : Core.Lemmas.chain_step) ->
+        Printf.printf "  [%s] %-42s %s\n"
+          (if s.holds then "ok" else "FAIL")
+          s.name s.detail)
+      r.steps;
+    Printf.printf "all steps hold: %b\n" r.all_hold
+  in
+  let eps1_arg =
+    Arg.(value & opt float 0.5 & info [ "eps1" ] ~docv:"EPS1" ~doc:"Constant eps1 in (0,1).")
+  in
+  let eps2_arg =
+    Arg.(value & opt float 0.1 & info [ "eps2" ] ~docv:"EPS2" ~doc:"Constant eps2 > 0.")
+  in
+  let term =
+    Term.(const run $ nu_arg $ c_arg ~default:4. $ n_arg $ delta_arg $ eps1_arg $ eps2_arg)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Audit the Lemma 2-8 implication chain numerically.")
+    term
+
+let () =
+  let doc =
+    "Consistency analysis of Nakamoto's blockchain protocol in asynchronous \
+     networks (reproduction of Zhao, ICDCS 2020)"
+  in
+  let info = Cmd.info "nakamoto-consistency" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        bound_cmd; numax_cmd; figure1_cmd; figure2_cmd; table1_cmd; remark1_cmd;
+        simulate_cmd; montecarlo_cmd; verify_cmd; confirm_cmd; trace_cmd;
+        sweep_cmd; assess_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,48 @@
+(* How fast does the exact Theorem 1 region converge to the neat bound?
+
+   The neat expression 2mu/ln(mu/nu) is the Delta, n -> infinity shape of
+   Theorem 1's exact condition abar^(2 Delta) alpha1 >= p nu n.  This sweep
+   shows nu_max under the exact condition approaching the neat inversion as
+   the system grows — and how far off small systems are, which is what the
+   scaled-down simulator actually lives with. *)
+
+open Nakamoto_core
+module Table = Nakamoto_numerics.Table
+
+let () =
+  let c = 2.0 in
+  let neat = Bounds.neat_numax ~c in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "Theorem 1 exact nu_max at c = %g (neat limit %.6f)" c neat)
+      ~columns:[ "n"; "Delta"; "nu_max (Thm 1)"; "neat - exact" ]
+  in
+  List.iter
+    (fun (n, delta) ->
+      let exact = Bounds.theorem1_numax ~n ~delta ~c () in
+      Table.add_row t
+        [
+          Table.Float n; Table.Float delta; Table.Float exact;
+          Table.Sci (neat -. exact);
+        ])
+    [
+      (10., 4.); (40., 4.); (100., 10.); (1000., 10.); (1e3, 1e3);
+      (1e4, 1e4); (1e5, 1e8); (1e5, 1e13);
+    ];
+  print_string (Table.render t);
+  print_newline ();
+  (* The same story along c at the paper's scale. *)
+  let t2 =
+    Table.create ~title:"Exact vs neat along c (n = 1e5, Delta = 1e13)"
+      ~columns:[ "c"; "neat"; "Thm1 exact"; "Thm2 exact" ]
+  in
+  List.iter
+    (fun c ->
+      let r = Figure1.compute_row ~c () in
+      Table.add_row t2
+        [
+          Table.Float c; Table.Float r.ours_neat; Table.Float r.theorem1_exact;
+          Table.Float r.theorem2_exact;
+        ])
+    [ 0.5; 1.; 2.; 5.; 20.; 100. ];
+  print_string (Table.render t2)

@@ -1,0 +1,66 @@
+(* Monte-Carlo validation of the Markov-chain theory of Section V.
+
+   Three independent confirmations of the convergence-opportunity rate
+   abar^(2 Delta) alpha1 (Eq. 44):
+     1. the closed form;
+     2. the stationary distribution of the explicitly built C_{F||P} chain;
+     3. the empirical rate over a long simulated state process,
+   plus the adversary block rate p nu n (Eq. 27) and the per-round state
+   frequencies alpha / alpha1 (Eqs. 7, 9). *)
+
+module Sim = Nakamoto_sim
+module Markov = Nakamoto_markov
+open Nakamoto_core
+
+let () =
+  let n = 50. and delta = 3 and p = 0.01 and nu = 0.2 in
+  let params = Params.create ~n ~delta:(float_of_int delta) ~p ~nu in
+  Format.printf "parameters: %a@." Params.pp params;
+
+  (* 1. Closed form. *)
+  let closed = Conv_chain.convergence_rate params in
+  Printf.printf "closed form      abar^2D alpha1  = %.8f\n" closed;
+
+  (* 2. Explicit chain stationary probability. *)
+  let explicit = Conv_chain.build_explicit ~delta params in
+  let pi = Markov.Chain.stationary_linear_solve explicit.chain in
+  Printf.printf "explicit C_F||P  pi(HN>=D||H1N^D) = %.8f  (%d states)\n"
+    pi.(explicit.convergence_state)
+    (Markov.Chain.size explicit.chain);
+
+  (* 3. Simulation. *)
+  let rng = Nakamoto_prob.Rng.create ~seed:2024L in
+  let cfg =
+    { Sim.State_process.honest = 40; adversarial = 10; p; delta }
+  in
+  let rounds = 4_000_000 in
+  let r = Sim.State_process.run ~rng cfg ~rounds in
+  let t = float_of_int rounds in
+  let rate = float_of_int r.convergence_opportunities /. t in
+  Printf.printf "simulated        C/T             = %.8f  (%d rounds)\n" rate
+    rounds;
+  let lo, hi =
+    Nakamoto_prob.Stats.wilson_interval ~hits:r.convergence_opportunities
+      ~trials:rounds
+  in
+  Printf.printf "                 95%% interval    = [%.8f, %.8f] -> theory %s\n"
+    lo hi
+    (if closed >= lo && closed <= hi then "INSIDE" else "outside");
+
+  Printf.printf "\nadversary rate:  empirical %.6f vs p nu n = %.6f\n"
+    (float_of_int r.adversary_blocks /. t)
+    (Params.adversary_rate params);
+  Printf.printf "H rounds:        empirical %.6f vs alpha   = %.6f\n"
+    (float_of_int r.h_rounds /. t)
+    (Params.alpha params);
+  Printf.printf "H1 rounds:       empirical %.6f vs alpha1  = %.6f\n"
+    (float_of_int r.h1_rounds /. t)
+    (Params.alpha1 params);
+
+  (* Expectation identities Eqs. (26)-(27) over the window. *)
+  Printf.printf "\nE[C] over T:     %.1f (measured %d)\n"
+    (Conv_chain.expected_convergence_count params ~horizon:rounds)
+    r.convergence_opportunities;
+  Printf.printf "E[A] over T:     %.1f (measured %d)\n"
+    (Conv_chain.expected_adversary_blocks params ~horizon:rounds)
+    r.adversary_blocks

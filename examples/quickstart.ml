@@ -1,0 +1,35 @@
+(* Quickstart: the public API in thirty lines.
+
+   Question answered: "Bitcoin-like parameters, a 25% adversary — is
+   consistency guaranteed, and how much slack is there?" *)
+
+open Nakamoto_core
+
+let () =
+  (* 1. Describe the protocol (Table I).  c = 1/(p n Delta) is the expected
+     number of network delays per mined block; Bitcoin's ~600 s blocks over
+     a ~10 s propagation bound give c = 60. *)
+  let params = Params.bitcoin_like in
+  Format.printf "parameters: %a@." Params.pp params;
+
+  (* 2. The headline result (Theorem 2): consistency needs c to be just
+     slightly greater than 2 mu / ln (mu/nu). *)
+  let threshold = Bounds.neat_c_min ~nu:params.nu in
+  Format.printf "neat bound: c > %.4f (we have c = %.1f -> %.0fx slack)@."
+    threshold (Params.c params)
+    (Params.c params /. threshold);
+
+  (* 3. The sharper finite-Delta condition (Theorem 1, Ineq. 10). *)
+  Format.printf "Theorem 1 condition holds: %b (log-margin %.4f)@."
+    (Theorem1.holds params)
+    (Theorem1.margin params);
+
+  (* 4. How much adversary could these parameters actually tolerate? *)
+  Format.printf "at c = %.0f the tolerable adversary fraction is %.4f@."
+    (Params.c params)
+    (Bounds.neat_numax ~c:(Params.c params));
+
+  (* 5. And what do the prior bounds say?  (Pass-Seeman-Shelat 2017.) *)
+  Format.printf "PSS consistency tolerates %.4f; PSS attack needs > %.4f@."
+    (Bounds.pss_numax_closed ~c:(Params.c params))
+    (Bounds.pss_attack_nu ~c:(Params.c params))

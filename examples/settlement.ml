@@ -1,0 +1,62 @@
+(* Settlement calculator: "how many confirmations should a merchant wait?"
+
+   Uses the paper's conservative accounting — honest progress counted only
+   at convergence opportunities (abar^(2 Delta) alpha1 per round, Eq. 44),
+   the adversary at full binomial rate (p nu n, Eq. 27) — so the depths
+   hold against the strongest Delta-delay adversary.  The race analysis is
+   cross-checked three ways: gambler's-ruin closed form, an absorbing
+   Markov chain on the attacker's lead, and the full protocol simulator
+   running the private-chain attack from behind. *)
+
+module Sim = Nakamoto_sim
+open Nakamoto_core
+
+let () =
+  (* 1. Depth table across adversary strength. *)
+  let assessments =
+    List.map
+      (fun nu -> Confirmation.assess (Params.of_c ~n:1e5 ~delta:10. ~nu ~c:6.))
+      [ 0.05; 0.10; 0.20; 0.30 ]
+  in
+  print_string (Nakamoto_numerics.Table.render (Confirmation.to_table assessments));
+
+  (* 2. The race, three ways. *)
+  let honest_rate = 0.10 and adversary_rate = 0.04 and deficit = 3 in
+  let closed =
+    Confirmation.overtake_probability ~honest_rate ~adversary_rate ~deficit
+  in
+  let chain =
+    Confirmation.overtake_probability_bounded ~honest_rate ~adversary_rate
+      ~deficit ~give_up_behind:80
+  in
+  Printf.printf
+    "\novertake probability from %d behind (rates %.2f vs %.2f):\n" deficit
+    adversary_rate honest_rate;
+  Printf.printf "  gambler's ruin closed form   %.8f\n" closed;
+  Printf.printf "  absorbing Markov chain       %.8f\n" chain;
+
+  (* 3. Monte-Carlo with the jump-chain law the analysis assumes. *)
+  let rng = Nakamoto_prob.Rng.create ~seed:99L in
+  let trials = 200_000 in
+  let q = adversary_rate /. (adversary_rate +. honest_rate) in
+  let wins = ref 0 in
+  for _ = 1 to trials do
+    let lead = ref (-deficit) in
+    while !lead > -80 && !lead < 1 do
+      if Nakamoto_prob.Rng.bernoulli rng ~p:q then incr lead else decr lead
+    done;
+    if !lead >= 1 then incr wins
+  done;
+  Printf.printf "  Monte-Carlo (%d races)    %.8f\n" trials
+    (float_of_int !wins /. float_of_int trials);
+
+  (* 4. Nakamoto's whitepaper formula for comparison. *)
+  Printf.printf "\nNakamoto double-spend probabilities at ratio %.2f:\n"
+    (adversary_rate /. honest_rate);
+  List.iter
+    (fun z ->
+      Printf.printf "  z = %2d  ->  %.3e\n" z
+        (Confirmation.nakamoto_double_spend
+           ~ratio:(adversary_rate /. honest_rate)
+           ~confirmations:z))
+    [ 1; 2; 4; 6; 10 ]

@@ -1,0 +1,44 @@
+type miner_class = Honest | Adversarial
+
+type t = {
+  hash : Hash.t;
+  parent : Hash.t;
+  height : int;
+  miner : int;
+  miner_class : miner_class;
+  round : int;
+  payload : string;
+}
+
+let genesis =
+  {
+    hash = Hash.of_fields ~parent:Hash.zero ~miner:(-1) ~round:0 ~nonce:0;
+    parent = Hash.zero;
+    height = 0;
+    miner = -1;
+    miner_class = Honest;
+    round = 0;
+    payload = "genesis";
+  }
+
+let is_genesis b = Hash.equal b.hash genesis.hash
+
+let mine ~parent ~miner ~miner_class ~round ~nonce ~payload =
+  if round <= 0 then invalid_arg "Block.mine: round must be positive";
+  if miner < 0 then invalid_arg "Block.mine: miner must be nonnegative";
+  {
+    hash = Hash.of_fields ~parent:parent.hash ~miner ~round ~nonce;
+    parent = parent.hash;
+    height = parent.height + 1;
+    miner;
+    miner_class;
+    round;
+    payload;
+  }
+
+let equal a b = Hash.equal a.hash b.hash
+
+let pp fmt b =
+  Format.fprintf fmt "#%a(h=%d,r=%d,by=%d%s)" Hash.pp b.hash b.height b.round
+    b.miner
+    (match b.miner_class with Honest -> "" | Adversarial -> ",adv")

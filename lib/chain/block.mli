@@ -1,0 +1,36 @@
+(** Blocks: the abstract records of the protocol model.
+
+    A block records who mined it, when, and on top of what.  The model's
+    "message from the environment Z" reduces to an opaque payload string we
+    never interpret; consistency is purely a statement about block
+    ancestry. *)
+
+type miner_class = Honest | Adversarial
+
+type t = private {
+  hash : Hash.t;
+  parent : Hash.t;
+  height : int;  (** genesis has height 0 *)
+  miner : int;  (** miner index in [0, n); [-1] for genesis *)
+  miner_class : miner_class;
+  round : int;  (** round in which the block was mined; [0] for genesis *)
+  payload : string;
+}
+
+val genesis : t
+(** [genesis] is the unique common ancestor every execution starts from. *)
+
+val is_genesis : t -> bool
+
+val mine :
+  parent:t -> miner:int -> miner_class:miner_class -> round:int ->
+  nonce:int -> payload:string -> t
+(** [mine ~parent ~miner ~miner_class ~round ~nonce ~payload] assembles the
+    successor block of [parent]; its height is [parent.height + 1] and its
+    hash commits to the header fields.
+    @raise Invalid_argument if [round <= 0] or [miner < 0]. *)
+
+val equal : t -> t -> bool
+(** Hash equality — sufficient because hashes commit to all fields. *)
+
+val pp : Format.formatter -> t -> unit

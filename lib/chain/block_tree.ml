@@ -1,0 +1,156 @@
+module Table = Hashtbl.Make (struct
+  type t = Hash.t
+
+  let equal = Hash.equal
+  let hash = Hash.hash
+end)
+
+type tie_break = Prefer_honest | First_seen
+
+type t = {
+  blocks : Block.t Table.t;
+  children : Hash.t list Table.t;  (** parent hash -> child hashes *)
+  tie_break : tie_break;
+  mutable best : Block.t;  (** cached longest-chain head *)
+}
+
+(* Deterministic preference among equal-height candidates: honest blocks
+   first, then earlier round, then smaller hash.  Every honest player
+   holding the same block set therefore selects the same best chain. *)
+let tip_preference (a : Block.t) (b : Block.t) =
+  let class_rank = function Block.Honest -> 0 | Block.Adversarial -> 1 in
+  let c = compare (class_rank a.miner_class) (class_rank b.miner_class) in
+  if c <> 0 then c
+  else
+    let c = compare a.round b.round in
+    if c <> 0 then c else Hash.compare a.hash b.hash
+
+(* Since blocks are never removed, the best tip can only be displaced by a
+   newly inserted block it prefers; and because a child always has greater
+   height than its parent, the argmax over all blocks is a leaf. *)
+let better t (candidate : Block.t) (incumbent : Block.t) =
+  candidate.height > incumbent.height
+  ||
+  match t.tie_break with
+  | First_seen -> false
+  | Prefer_honest ->
+    candidate.height = incumbent.height && tip_preference candidate incumbent < 0
+
+let create ?(tie_break = Prefer_honest) () =
+  let t =
+    {
+      blocks = Table.create 1024;
+      children = Table.create 1024;
+      tie_break;
+      best = Block.genesis;
+    }
+  in
+  Table.replace t.blocks Block.genesis.hash Block.genesis;
+  t
+
+let copy t =
+  {
+    blocks = Table.copy t.blocks;
+    children = Table.copy t.children;
+    tie_break = t.tie_break;
+    best = t.best;
+  }
+
+let block_count t = Table.length t.blocks
+let mem t h = Table.mem t.blocks h
+let find t h = Table.find_opt t.blocks h
+let find_exn t h = Table.find t.blocks h
+
+let insert t (b : Block.t) =
+  if Table.mem t.blocks b.hash then `Duplicate
+  else if not (Table.mem t.blocks b.parent) then `Orphan
+  else begin
+    Table.replace t.blocks b.hash b;
+    let siblings = Option.value ~default:[] (Table.find_opt t.children b.parent) in
+    Table.replace t.children b.parent (b.hash :: siblings);
+    if better t b t.best then t.best <- b;
+    `Inserted
+  end
+
+let insert_chain t blocks =
+  let sorted =
+    List.sort (fun (a : Block.t) (b : Block.t) -> compare a.height b.height) blocks
+  in
+  List.fold_left
+    (fun acc b -> match insert t b with `Inserted -> acc + 1 | `Duplicate | `Orphan -> acc)
+    0 sorted
+
+let children t h =
+  Option.value ~default:[] (Table.find_opt t.children h)
+  |> List.filter_map (find t)
+
+let tips t =
+  let leaves = ref [] in
+  Table.iter
+    (fun h b -> if not (Table.mem t.children h) then leaves := b :: !leaves)
+    t.blocks;
+  !leaves
+
+let best_tip t = t.best
+
+let chain_to_genesis t (b : Block.t) =
+  if not (mem t b.hash) then invalid_arg "Block_tree.chain_to_genesis: unknown block";
+  let rec walk acc (b : Block.t) =
+    if Block.is_genesis b then b :: acc
+    else walk (b :: acc) (find_exn t b.parent)
+  in
+  walk [] b
+
+let ancestor_at_height t (b : Block.t) ~height =
+  if height < 0 || height > b.height then
+    invalid_arg "Block_tree.ancestor_at_height: height outside [0, b.height]";
+  if not (mem t b.hash) then
+    invalid_arg "Block_tree.ancestor_at_height: unknown block";
+  let rec walk (b : Block.t) =
+    if b.height = height then b else walk (find_exn t b.parent)
+  in
+  walk b
+
+let is_prefix t ~prefix ~of_ =
+  let open Block in
+  if prefix.height > of_.height then false
+  else equal prefix (ancestor_at_height t of_ ~height:prefix.height)
+
+let prefix_within t ~truncate ~chain_r ~chain_s =
+  if truncate < 0 then invalid_arg "Block_tree.prefix_within: negative truncate";
+  let open Block in
+  let keep = chain_r.height - truncate in
+  if keep <= 0 then true
+  else if keep > chain_s.height then false
+  else
+    let truncated = ancestor_at_height t chain_r ~height:keep in
+    is_prefix t ~prefix:truncated ~of_:chain_s
+
+let common_prefix_height t a b =
+  let open Block in
+  let rec descend (a : Block.t) (b : Block.t) =
+    if equal a b then a.height
+    else if a.height > b.height then descend (find_exn t a.parent) b
+    else if b.height > a.height then descend a (find_exn t b.parent)
+    else descend (find_exn t a.parent) (find_exn t b.parent)
+  in
+  descend a b
+
+let divergence t a b =
+  let open Block in
+  max a.height b.height - common_prefix_height t a b
+
+let honest_fraction_on_chain t b =
+  match chain_to_genesis t b with
+  | [ _genesis ] -> 1.
+  | chain ->
+    let non_genesis = List.filter (fun b -> not (Block.is_genesis b)) chain in
+    let honest =
+      List.length
+        (List.filter
+           (fun (b : Block.t) -> b.miner_class = Block.Honest)
+           non_genesis)
+    in
+    float_of_int honest /. float_of_int (List.length non_genesis)
+
+let iter_blocks t f = Table.iter (fun _ b -> f b) t.blocks

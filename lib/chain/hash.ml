@@ -1,0 +1,19 @@
+type t = int64
+
+let equal = Int64.equal
+let compare = Int64.compare
+let hash t = Int64.to_int t land max_int
+let zero = 0L
+let of_int64 x = x
+let to_int64 x = x
+
+let combine t x =
+  Nakamoto_prob.Rng.splitmix64 (Int64.add (Int64.mul t 0x100000001B3L) x)
+
+let of_fields ~parent ~miner ~round ~nonce =
+  let t = combine parent (Int64.of_int miner) in
+  let t = combine t (Int64.of_int round) in
+  combine t (Int64.of_int nonce)
+
+let to_hex t = Printf.sprintf "%016Lx" t
+let pp fmt t = Format.pp_print_string fmt (String.sub (to_hex t) 0 8)

@@ -1,0 +1,62 @@
+type t = { seed : int64; p : float; threshold : int64 }
+
+type proof = {
+  parent : Hash.t;
+  miner : int;
+  round : int;
+  query_index : int;
+  digest : Hash.t;
+}
+
+let create ~seed ~p =
+  if not (p > 0. && p < 1.) then invalid_arg "Pow.create: p must lie in (0, 1)";
+  (* Unsigned threshold floor (p * 2^64), stored as the signed bit
+     pattern: for p >= 1/2 the unsigned value exceeds Int64.max, so it is
+     materialized as (p - 1) * 2^64, the same bits read signed.
+     (Int64.of_float saturates rather than wraps, so the shift must happen
+     in float space.) *)
+  let two64 = 18446744073709551616. in
+  let threshold =
+    if p < 0.5 then Int64.of_float (p *. two64)
+    else Int64.of_float ((p -. 1.) *. two64)
+  in
+  { seed; p; threshold }
+
+let hardness t = t.p
+let threshold t = t.threshold
+
+let unsigned_less a b =
+  Int64.compare (Int64.add a Int64.min_int) (Int64.add b Int64.min_int) < 0
+
+let digest_of t ~parent ~miner ~round ~query_index =
+  let h = Hash.combine (Hash.of_int64 t.seed) (Hash.to_int64 parent) in
+  let h = Hash.combine h (Int64.of_int miner) in
+  let h = Hash.combine h (Int64.of_int round) in
+  Hash.combine h (Int64.of_int query_index)
+
+let query t ~parent ~miner ~round ~query_index =
+  if round < 0 then invalid_arg "Pow.query: negative round";
+  if query_index < 0 then invalid_arg "Pow.query: negative query index";
+  if miner < -1 then invalid_arg "Pow.query: bad miner id";
+  let digest = digest_of t ~parent ~miner ~round ~query_index in
+  if unsigned_less (Hash.to_int64 digest) t.threshold then
+    Some { parent; miner; round; query_index; digest }
+  else None
+
+let verify t proof =
+  let recomputed =
+    digest_of t ~parent:proof.parent ~miner:proof.miner ~round:proof.round
+      ~query_index:proof.query_index
+  in
+  Hash.equal recomputed proof.digest
+  && unsigned_less (Hash.to_int64 recomputed) t.threshold
+
+let success_count t ~parent ~miner ~round ~queries =
+  let rec go i acc =
+    if i >= queries then List.rev acc
+    else
+      match query t ~parent ~miner ~round ~query_index:i with
+      | Some proof -> go (i + 1) (proof :: acc)
+      | None -> go (i + 1) acc
+  in
+  go 0 []

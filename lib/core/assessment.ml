@@ -1,0 +1,113 @@
+module Table = Nakamoto_numerics.Table
+
+type zone = Safe | Gap | Broken
+
+type t = {
+  params : Params.t;
+  zone : zone;
+  neat_threshold : float;
+  neat_margin : float;
+  theorem1_log_margin : float;
+  theorem2_exact_threshold : float;
+  pss_threshold : float;
+  attack_threshold : float;
+  confirmations : Confirmation.assessment option;
+  growth_bounds : float * float;
+  quality_bound : float;
+}
+
+let zone_to_string = function
+  | Safe -> "SAFE"
+  | Gap -> "GAP"
+  | Broken -> "BROKEN"
+
+let assess (params : Params.t) =
+  let c = Params.c params in
+  let nu = params.nu in
+  let neat_threshold =
+    if nu = 0. then 0. else Bounds.neat_c_min ~nu
+  in
+  let attack_threshold =
+    (* The attack needs nu > pss_attack_nu c, i.e. c < 1/(1/nu - 1/mu). *)
+    if nu = 0. then 0. else 1. /. ((1. /. nu) -. (1. /. Params.mu params))
+  in
+  let zone =
+    if nu = 0. || c > neat_threshold then Safe
+    else if c < attack_threshold then Broken
+    else Gap
+  in
+  let confirmations =
+    (* Degrades to None outside the consistency region (Invalid_argument)
+       and when the ratio is so close to 1 that no reasonable depth
+       suffices (Failure from the 10000-confirmation cap). *)
+    if nu = 0. then None
+    else match Confirmation.assess params with
+      | a -> Some a
+      | exception (Invalid_argument _ | Failure _) -> None
+  in
+  {
+    params;
+    zone;
+    neat_threshold;
+    neat_margin = c -. neat_threshold;
+    theorem1_log_margin = Bounds.theorem1_margin params;
+    theorem2_exact_threshold =
+      (if nu = 0. then 0.
+       else Bounds.theorem2_c_min_optimal ~nu ~delta:params.delta ~eps2:1e-9);
+    pss_threshold =
+      (if nu = 0. then 0.
+       else if nu >= 0.5 then infinity
+       else 2. *. Params.mu params *. Params.mu params /. (1. -. (2. *. nu)));
+    attack_threshold;
+    confirmations;
+    growth_bounds =
+      ( Growth_quality.growth_rate_lower_bound params,
+        Growth_quality.growth_rate_upper_bound params );
+    quality_bound = Growth_quality.quality_delta_adjusted params;
+  }
+
+let pp fmt t =
+  let c = Params.c t.params in
+  Format.fprintf fmt "@[<v>assessment of %a@," Params.pp t.params;
+  Format.fprintf fmt "  zone                   %s@," (zone_to_string t.zone);
+  Format.fprintf fmt "  c                      %.4f@," c;
+  Format.fprintf fmt "  our bound (Thm 2)      c > %.4f  (margin %+.4f)@,"
+    t.neat_threshold t.neat_margin;
+  Format.fprintf fmt "  Thm 2 exact threshold  c >= %.4f@," t.theorem2_exact_threshold;
+  Format.fprintf fmt "  Thm 1 log-margin       %+.4f@," t.theorem1_log_margin;
+  Format.fprintf fmt "  PSS consistency needs  c > %.4f@," t.pss_threshold;
+  Format.fprintf fmt "  PSS attack wins for    c < %.4f@," t.attack_threshold;
+  (match t.confirmations with
+  | Some a ->
+    Format.fprintf fmt "  confirmations (1e-3)   %d (residual %.2e)@,"
+      a.Confirmation.confirmations a.Confirmation.residual_risk
+  | None -> Format.fprintf fmt "  confirmations          n/a@,");
+  let lo, hi = t.growth_bounds in
+  Format.fprintf fmt "  growth per round       [%.4g, %.4g]@," lo hi;
+  Format.fprintf fmt "  quality floor          %.4f@]" t.quality_bound
+
+let to_table assessments =
+  let t =
+    Table.create ~title:"Security assessments"
+      ~columns:
+        [ "nu"; "c"; "zone"; "our bound"; "Thm1 margin"; "PSS bound";
+          "attack below"; "confirmations"; "quality floor" ]
+  in
+  List.iter
+    (fun a ->
+      Table.add_row t
+        [
+          Table.Float a.params.Params.nu;
+          Table.Float (Params.c a.params);
+          Table.Text (zone_to_string a.zone);
+          Table.Float a.neat_threshold;
+          Table.Float a.theorem1_log_margin;
+          Table.Float a.pss_threshold;
+          Table.Float a.attack_threshold;
+          (match a.confirmations with
+          | Some c -> Table.Int c.Confirmation.confirmations
+          | None -> Table.Text "-");
+          Table.Float a.quality_bound;
+        ])
+    assessments;
+  t

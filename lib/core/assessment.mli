@@ -1,0 +1,47 @@
+(** One-call security assessment of a parameter point.
+
+    Everything a protocol designer asks of this library in a single
+    structured verdict: where the point sits relative to every bound,
+    with how much margin, and what it implies operationally (confirmation
+    depth, growth/quality envelopes).  This is the API the README's
+    "thirty-second tour" builds toward; the CLI's [assess] subcommand
+    renders it. *)
+
+type zone =
+  | Safe  (** above our bound: consistency guaranteed (Theorem 2) *)
+  | Gap
+      (** between our bound and the PSS attack line: no guarantee, no
+          known attack — the open region of the paper's conclusion *)
+  | Broken  (** at or below the PSS attack line: provably attackable *)
+
+type t = {
+  params : Params.t;
+  zone : zone;
+  neat_threshold : float;  (** [2 mu / ln (mu/nu)] *)
+  neat_margin : float;  (** [c - neat_threshold] (positive = safe side) *)
+  theorem1_log_margin : float;  (** log-domain slack of Ineq. 10 *)
+  theorem2_exact_threshold : float;
+      (** the eps1-optimized finite-Delta threshold of Ineq. 11 *)
+  pss_threshold : float;
+      (** minimum c under the closed-form PSS consistency bound
+          ([2 (1-nu)^2 / (1-2nu)]), or [infinity] for [nu >= 1/2] *)
+  attack_threshold : float;  (** the PSS attack succeeds for c below this *)
+  confirmations : Confirmation.assessment option;
+      (** settlement depth at the default risk target; [None] when
+          [nu = 0] or the point is outside the consistency region *)
+  growth_bounds : float * float;  (** (pessimistic, optimistic) per round *)
+  quality_bound : float;  (** delta-adjusted chain-quality floor *)
+}
+
+val assess : Params.t -> t
+(** [assess params] computes the verdict.  Never raises for valid
+    {!Params.t} values (the confirmation sub-assessment degrades to
+    [None] instead). *)
+
+val zone_to_string : zone -> string
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human rendering. *)
+
+val to_table : t list -> Nakamoto_numerics.Table.t
+(** One row per assessed point. *)

@@ -1,0 +1,85 @@
+(** The consistency bounds compared in the paper's Figure 1.
+
+    Three families, each both as "minimum safe [c] given [nu]" and as
+    "maximum tolerable [nu] given [c]" (the figure's y axis):
+
+    - {b ours} — the neat bound [c > 2 mu / ln (mu/nu)] (Theorem 2) plus
+      its exact finite-[Delta] refinements (Theorem 1's Ineq. 10 and
+      Theorem 3's Ineq. 50–51);
+    - {b PSS consistency} — Pass–Seeman–Shelat's
+      [alpha (1 - (2 Delta + 2) alpha) > beta], with the paper's closed
+      approximation [nu < (2 - c + sqrt (c^2 - 2 c)) / 2] for [c > 2];
+    - {b PSS attack} — the Remark 8.5 attack succeeding when
+      [1/c > 1/nu - 1/(1-nu)], i.e. [nu > (2c + 1 - sqrt (4c^2 + 1)) / 2].
+
+    Inversions are bisections on monotone functions of [nu] over
+    (0, 1/2). *)
+
+val neat_c_min : nu:float -> float
+(** [neat_c_min ~nu] is [2 (1-nu) / ln ((1-nu)/nu)].
+    @raise Invalid_argument unless [0. < nu && nu < 0.5]. *)
+
+val neat_numax : c:float -> float
+(** [neat_numax ~c] inverts {!neat_c_min}: the supremum of tolerable [nu].
+    Approaches [0.5] as [c] grows and [0.] as [c -> 0].
+    @raise Invalid_argument unless [c > 0.]. *)
+
+val pss_consistency_holds : Params.t -> bool
+(** The exact PSS condition [alpha (1 - (2 Delta + 2) alpha) > beta]
+    at the given parameters ([beta = nu n p]). *)
+
+val pss_numax_closed : c:float -> float
+(** The paper's closed form of the PSS bound: [0.] for [c <= 2], else
+    [(2. -. c +. sqrt (c*c -. 2.*.c)) /. 2.].
+    @raise Invalid_argument unless [c > 0.]. *)
+
+val pss_numax_exact : n:float -> delta:float -> c:float -> float
+(** Inverts the exact PSS condition in [nu] at fixed [n, delta, c] by
+    bisection.  Returns [0.] when even [nu -> 0] fails the condition.
+    @raise Invalid_argument on non-positive arguments. *)
+
+val pss_attack_nu : c:float -> float
+(** [pss_attack_nu ~c] is the attack threshold
+    [(2c + 1 - sqrt (4 c^2 + 1)) / 2]: consistency is provably broken for
+    [nu] above it.  @raise Invalid_argument unless [c > 0.]. *)
+
+val theorem1_margin : ?delta1:float -> Params.t -> float
+(** [theorem1_margin p] is the log-domain slack of Ineq. (10):
+    [2 Delta log abar + log alpha1 - log ((1+delta1) p nu n)].
+    Positive iff Theorem 1's condition holds ([delta1] defaults to [0.],
+    the boundary).  [infinity] when [nu = 0.].
+    @raise Invalid_argument if [delta1 < 0.]. *)
+
+val theorem1_holds : ?delta1:float -> Params.t -> bool
+(** [theorem1_holds p] is [theorem1_margin p > 0.]. *)
+
+val theorem1_numax :
+  ?delta1:float -> n:float -> delta:float -> c:float -> unit -> float
+(** Largest [nu] satisfying Ineq. (10) at fixed [n, delta, c] (bisection on
+    the margin).  Returns [0.] when no positive [nu] qualifies. *)
+
+val theorem2_c_min : nu:float -> delta:float -> eps1:float -> eps2:float -> float
+(** Ineq. (11) verbatim:
+    [max ((2mu/L + 1/Delta) (1+eps2)/(1-eps1)) ((L+1) mu / (eps1 Delta L))].
+    @raise Invalid_argument unless [0 < eps1 < 1], [eps2 > 0],
+    [0 < nu < 1/2], [delta >= 1]. *)
+
+val theorem2_c_min_optimal : nu:float -> delta:float -> eps2:float -> float
+(** [theorem2_c_min ~eps1*] minimized over [eps1]: the two branches of the
+    max cross where they are equal, giving the closed form
+    [(2mu/L + 1/Delta)(1+eps2) + (L+1) mu / (Delta L)].
+    @raise Invalid_argument per {!theorem2_c_min}. *)
+
+val theorem2_numax : delta:float -> eps2:float -> c:float -> float
+(** Inverts {!theorem2_c_min_optimal} in [nu] by bisection; [0.] when no
+    positive [nu] qualifies. *)
+
+val flawed_alpha1 : Params.t -> float
+(** The per-honest-block (rather than per-[H]-round) accounting that the
+    paper identifies as the error in Kiffer et al. [6] — using expected
+    blocks [p mu n] where the exact single-success probability [alpha1]
+    belongs (their [1/(mu p)] vs the correct [1/alpha]).  Returned so the
+    ablation bench can show the resulting bound shift; see DESIGN.md #3. *)
+
+val flawed_theorem1_margin : Params.t -> float
+(** {!theorem1_margin} with {!flawed_alpha1} substituted for [alpha1]. *)

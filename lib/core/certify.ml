@@ -1,0 +1,39 @@
+module I = Nakamoto_numerics.Interval
+
+type certificate = {
+  nu : float;
+  radius : float;
+  below_margin : I.t;
+  above_margin : I.t;
+}
+
+let neat_criterion_interval ~c ~nu =
+  if not (nu > 0. && nu < 0.5) then
+    invalid_arg "Certify.neat_criterion_interval: nu outside (0, 1/2)";
+  if c <= 0. then invalid_arg "Certify.neat_criterion_interval: c <= 0";
+  let nu_i = I.point nu in
+  let mu = I.one_minus nu_i in
+  let ratio = I.div mu nu_i in
+  let log_ratio = I.log ratio in
+  (* nu < 1/2 makes mu/nu > 1 and the log positive, so the division below
+     is well defined whenever the enclosure stays above zero. *)
+  let threshold = I.div (I.mul (I.point 2.) mu) log_ratio in
+  I.sub (I.point c) threshold
+
+let certify_neat_numax ?(radius = 1e-9) ~c () =
+  if c <= 0. then invalid_arg "Certify.certify_neat_numax: c <= 0";
+  if radius <= 0. then invalid_arg "Certify.certify_neat_numax: radius <= 0";
+  let nu = Bounds.neat_numax ~c in
+  let below = nu -. radius and above = nu +. radius in
+  if not (below > 0. && above < 0.5) then None
+  else begin
+    match
+      ( neat_criterion_interval ~c ~nu:below,
+        neat_criterion_interval ~c ~nu:above )
+    with
+    | below_margin, above_margin ->
+      if I.strictly_positive below_margin && I.strictly_negative above_margin
+      then Some { nu; radius; below_margin; above_margin }
+      else None
+    | exception Invalid_argument _ -> None
+  end

@@ -1,0 +1,32 @@
+(** Certified bound inversions.
+
+    {!Bounds.neat_numax} answers with a float from a bisection; this
+    module upgrades the answer to a machine-checked bracket: using
+    outward-rounded interval arithmetic ({!Nakamoto_numerics.Interval}),
+    it proves that the safety criterion [c - 2 mu / ln (mu/nu)] is
+    strictly positive just below the answer and strictly negative just
+    above it — so the true [nu_max] provably lies within [radius] of the
+    returned float, rounding errors included. *)
+
+type certificate = {
+  nu : float;  (** the certified answer *)
+  radius : float;  (** half-width of the proven bracket *)
+  below_margin : Nakamoto_numerics.Interval.t;
+      (** interval value of the criterion at [nu - radius]; strictly
+          positive *)
+  above_margin : Nakamoto_numerics.Interval.t;
+      (** interval value at [nu + radius]; strictly negative *)
+}
+
+val neat_criterion_interval : c:float -> nu:float -> Nakamoto_numerics.Interval.t
+(** Interval enclosure of [c - 2 (1-nu) / ln ((1-nu)/nu)] at the exact
+    float [nu].
+    @raise Invalid_argument unless [0 < nu < 1/2] and [c > 0]. *)
+
+val certify_neat_numax : ?radius:float -> c:float -> unit -> certificate option
+(** [certify_neat_numax ~c ()] runs the bisection and attempts the
+    interval proof at distance [radius] (default [1e-9]) on each side.
+    [None] when the proof fails — e.g. a [radius] so small that the
+    interval enclosures straddle zero, or a [c] whose answer sits at the
+    domain edge.  A returned certificate is a proof.
+    @raise Invalid_argument if [c <= 0] or [radius <= 0]. *)

@@ -1,0 +1,127 @@
+module Chain = Nakamoto_markov.Chain
+module Absorbing = Nakamoto_markov.Absorbing
+module Table = Nakamoto_numerics.Table
+
+let check_rates ~honest_rate ~adversary_rate =
+  if not (honest_rate > 0. && adversary_rate > 0.) then
+    invalid_arg "Confirmation: rates must be positive"
+
+let overtake_probability ~honest_rate ~adversary_rate ~deficit =
+  check_rates ~honest_rate ~adversary_rate;
+  if deficit < 0 then invalid_arg "Confirmation: deficit must be nonnegative";
+  let ratio = adversary_rate /. honest_rate in
+  if ratio >= 1. then 1.
+  else ratio ** float_of_int (deficit + 1)
+
+let overtake_probability_bounded ~honest_rate ~adversary_rate ~deficit
+    ~give_up_behind =
+  check_rates ~honest_rate ~adversary_rate;
+  if deficit < 0 then invalid_arg "Confirmation: deficit must be nonnegative";
+  if give_up_behind <= deficit then
+    invalid_arg "Confirmation: give_up_behind must exceed deficit";
+  (* Embedded jump chain of the race: ignore rounds where neither side
+     produces (their probability mass only rescales time).  The lead walk
+     moves +1 with probability q and -1 with probability 1-q where
+     q = adversary_rate / (adversary_rate + honest_rate).  States encode
+     lead = -give_up_behind .. +1; both ends absorb. *)
+  let q = adversary_rate /. (adversary_rate +. honest_rate) in
+  let lo = -give_up_behind and hi = 1 in
+  let size = hi - lo + 1 in
+  let index lead = lead - lo in
+  let rows =
+    Array.init size (fun i ->
+        let lead = i + lo in
+        if lead = lo || lead = hi then [ (i, 1.) ]
+        else [ (index (lead + 1), q); (index (lead - 1), 1. -. q) ])
+  in
+  let chain = Chain.create ~size ~rows () in
+  let absorbing = Absorbing.create ~chain ~absorbing:[ index lo; index hi ] in
+  Absorbing.absorption_probability absorbing ~from:(index (-deficit))
+    ~into:(index hi)
+
+let nakamoto_double_spend ~ratio ~confirmations =
+  if ratio <= 0. then invalid_arg "Confirmation: ratio must be positive";
+  if confirmations < 1 then
+    invalid_arg "Confirmation: confirmations must be >= 1";
+  if ratio >= 1. then 1.
+  else begin
+    let z = confirmations in
+    let lambda = float_of_int z *. ratio in
+    (* sum_{k=0}^{z} poisson(k; lambda) * (1 - ratio^(z-k)), accumulated
+       in linear domain (z is small; lambda <= z). *)
+    let acc = ref 0. in
+    let log_fact = ref 0. in
+    for k = 0 to z do
+      if k > 0 then log_fact := !log_fact +. log (float_of_int k);
+      let log_pois =
+        (float_of_int k *. log lambda) -. lambda -. !log_fact
+      in
+      let caught = ratio ** float_of_int (z - k) in
+      acc := !acc +. (exp log_pois *. (1. -. caught))
+    done;
+    Nakamoto_numerics.Special.clamp ~lo:0. ~hi:1. (1. -. !acc)
+  end
+
+let confirmations_for ~ratio ~epsilon =
+  if not (ratio > 0. && ratio < 1.) then
+    invalid_arg "Confirmation.confirmations_for: ratio must lie in (0, 1)";
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Confirmation.confirmations_for: epsilon must lie in (0, 1)";
+  let rec search z =
+    if z > 10_000 then
+      failwith "Confirmation.confirmations_for: more than 10000 confirmations"
+    else if nakamoto_double_spend ~ratio ~confirmations:z <= epsilon then z
+    else search (z + 1)
+  in
+  search 1
+
+type assessment = {
+  params : Params.t;
+  honest_rate : float;
+  adversary_rate : float;
+  rate_ratio : float;
+  confirmations : int;
+  residual_risk : float;
+}
+
+let assess ?(epsilon = 1e-3) (params : Params.t) =
+  if params.nu = 0. then
+    invalid_arg "Confirmation.assess: nu = 0 has nothing to defend against";
+  let honest_rate = Conv_chain.convergence_rate params in
+  let adversary_rate = Params.adversary_rate params in
+  let rate_ratio = adversary_rate /. honest_rate in
+  if not (rate_ratio < 1.) then
+    invalid_arg
+      "Confirmation.assess: parameters outside the consistency region (ratio >= 1)";
+  let confirmations = confirmations_for ~ratio:rate_ratio ~epsilon in
+  {
+    params;
+    honest_rate;
+    adversary_rate;
+    rate_ratio;
+    confirmations;
+    residual_risk = nakamoto_double_spend ~ratio:rate_ratio ~confirmations;
+  }
+
+let to_table assessments =
+  let t =
+    Table.create
+      ~title:"Confirmation depths (conservative Delta-delay accounting)"
+      ~columns:
+        [ "nu"; "c"; "honest rate (Eq.44)"; "adv rate (Eq.27)"; "ratio";
+          "confirmations"; "residual risk" ]
+  in
+  List.iter
+    (fun a ->
+      Table.add_row t
+        [
+          Table.Float a.params.Params.nu;
+          Table.Float (Params.c a.params);
+          Table.Sci a.honest_rate;
+          Table.Sci a.adversary_rate;
+          Table.Float a.rate_ratio;
+          Table.Int a.confirmations;
+          Table.Sci a.residual_risk;
+        ])
+    assessments;
+  t

@@ -1,0 +1,71 @@
+(** Settlement analysis: how many confirmations until a payment is safe?
+
+    A practitioner-facing extension of the paper's machinery.  The race
+    between the public chain and a private attacker is a biased random
+    walk on the attacker's deficit; with per-round effective rates
+    [honest_rate] (chain-extending honest progress) and [adversary_rate]
+    (Eq. 27's [p nu n]), the classic gambler's-ruin analysis gives the
+    overtake probability, and Nakamoto's Poisson-mixture formula gives
+    the double-spend probability after [z] confirmations.
+
+    For the [Delta]-delay model we use the paper's own conservative
+    accounting: only convergence opportunities ([abar^(2Delta) alpha1]
+    per round, Eq. 44) are counted as guaranteed honest progress, so the
+    resulting confirmation counts are safe even against the strongest
+    delay adversary.  All three computations (closed form, absorbing
+    Markov chain, simulation) are cross-checked in the test suite. *)
+
+val overtake_probability : honest_rate:float -> adversary_rate:float ->
+  deficit:int -> float
+(** [overtake_probability ~honest_rate ~adversary_rate ~deficit] is the
+    probability that a walk gaining +1 with intensity [adversary_rate]
+    and -1 with intensity [honest_rate] ever reaches +1 from [-deficit]:
+    [min 1 ((adversary_rate / honest_rate) ^ (deficit + 1))].
+    A [deficit] of 0 means the attacker is even and needs one net block.
+    @raise Invalid_argument unless both rates are positive and
+    [deficit >= 0]. *)
+
+val overtake_probability_bounded :
+  honest_rate:float -> adversary_rate:float -> deficit:int ->
+  give_up_behind:int -> float
+(** Same race, but the attacker abandons once it falls [give_up_behind]
+    blocks behind — the finite version, computed exactly with
+    {!Nakamoto_markov.Absorbing} on the lead walk.  Converges to
+    {!overtake_probability} as [give_up_behind] grows.
+    @raise Invalid_argument if [give_up_behind <= deficit]. *)
+
+val nakamoto_double_spend : ratio:float -> confirmations:int -> float
+(** [nakamoto_double_spend ~ratio ~confirmations] is the attack-success
+    probability of Nakamoto's whitepaper (section 11) for an attacker
+    with rate ratio [ratio = q/p < 1] once the merchant has seen
+    [confirmations] blocks: the Poisson mixture
+    [1 - sum_{k=0}^{z} e^(-lambda) lambda^k / k! (1 - ratio^(z-k))]
+    with [lambda = z * ratio].
+    @raise Invalid_argument unless [0 < ratio] and [confirmations >= 1];
+    returns [1.] for [ratio >= 1]. *)
+
+val confirmations_for : ratio:float -> epsilon:float -> int
+(** [confirmations_for ~ratio ~epsilon] is the smallest [z >= 1] with
+    [nakamoto_double_spend ~ratio ~confirmations:z <= epsilon].
+    @raise Invalid_argument unless [0 < ratio < 1] and [0 < epsilon < 1].
+    @raise Failure if 10_000 confirmations do not suffice. *)
+
+type assessment = {
+  params : Params.t;
+  honest_rate : float;  (** convergence opportunities per round (Eq. 44) *)
+  adversary_rate : float;  (** [p nu n] (Eq. 27) *)
+  rate_ratio : float;
+  confirmations : int;
+  residual_risk : float;  (** double-spend probability at that depth *)
+}
+
+val assess : ?epsilon:float -> Params.t -> assessment
+(** [assess params] computes the conservative confirmation depth in the
+    Delta-delay model ([epsilon] defaults to [1e-3]).  Requires the
+    parameters to sit strictly inside the consistency region
+    ([rate_ratio < 1], i.e. Theorem 1's condition with slack).
+    @raise Invalid_argument when [nu = 0.] (nothing to defend against) or
+    the rate ratio is not < 1 (no finite depth is safe). *)
+
+val to_table : assessment list -> Nakamoto_numerics.Table.t
+(** Render a sweep of assessments. *)

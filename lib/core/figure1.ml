@@ -1,0 +1,98 @@
+module Table = Nakamoto_numerics.Table
+module Ascii_plot = Nakamoto_numerics.Ascii_plot
+
+type row = {
+  c : float;
+  ours_neat : float;
+  pss_consistency : float;
+  pss_attack : float;
+  theorem1_exact : float;
+  theorem2_exact : float;
+}
+
+let default_c_grid () =
+  let points = 61 in
+  let lo = log10 0.1 and hi = log10 100. in
+  List.init points (fun i ->
+      10. ** (lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1))))
+
+let compute_row ?(n = 1e5) ?(delta = 1e13) ?(eps2 = 1e-9) ~c () =
+  if c <= 0. then invalid_arg "Figure1.compute_row: c must be positive";
+  {
+    c;
+    ours_neat = Bounds.neat_numax ~c;
+    pss_consistency = Bounds.pss_numax_closed ~c;
+    pss_attack = Bounds.pss_attack_nu ~c;
+    theorem1_exact = Bounds.theorem1_numax ~n ~delta ~c ();
+    theorem2_exact = Bounds.theorem2_numax ~delta ~eps2 ~c;
+  }
+
+let series ?n ?delta ?eps2 ~c_grid () =
+  List.map (fun c -> compute_row ?n ?delta ?eps2 ~c ()) c_grid
+
+let to_table rows =
+  let t =
+    Table.create ~title:"Figure 1: max tolerable nu vs c (n=1e5, Delta=1e13)"
+      ~columns:
+        [
+          "c";
+          "ours (2mu/ln(mu/nu))";
+          "PSS consistency";
+          "PSS attack";
+          "Thm1 exact";
+          "Thm2 exact";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Table.Float r.c;
+          Table.Float r.ours_neat;
+          Table.Float r.pss_consistency;
+          Table.Float r.pss_attack;
+          Table.Float r.theorem1_exact;
+          Table.Float r.theorem2_exact;
+        ])
+    rows;
+  t
+
+let to_plot rows =
+  let pick f = List.map (fun r -> (r.c, f r)) rows in
+  Ascii_plot.plot ~x_scale:Ascii_plot.Log10
+    ~title:"Figure 1 reproduction: tolerable adversary fraction vs c"
+    ~x_label:"c = 1/(p n Delta)" ~y_label:"nu"
+    [
+      { Ascii_plot.label = "ours: c > 2mu/ln(mu/nu)"; glyph = 'o';
+        points = pick (fun r -> r.ours_neat) };
+      { Ascii_plot.label = "PSS consistency"; glyph = '+';
+        points = pick (fun r -> r.pss_consistency) };
+      { Ascii_plot.label = "PSS attack"; glyph = 'x';
+        points = pick (fun r -> r.pss_attack) };
+    ]
+
+let shape_invariants_hold rows =
+  let ordered =
+    List.for_all
+      (fun r ->
+        r.ours_neat >= r.pss_consistency -. 1e-12
+        && r.pss_attack >= r.ours_neat -. 1e-12
+        && r.ours_neat >= 0.
+        && r.pss_attack <= 0.5)
+      rows
+  in
+  let monotone get =
+    let rec check = function
+      | a :: (b :: _ as rest) -> get a <= get b +. 1e-9 && check rest
+      | [ _ ] | [] -> true
+    in
+    check rows
+  in
+  let pss_zero_below_2 =
+    List.for_all (fun r -> r.c > 2. || r.pss_consistency = 0.) rows
+  in
+  ordered
+  && monotone (fun r -> r.ours_neat)
+  && monotone (fun r -> r.pss_consistency)
+  && monotone (fun r -> r.pss_attack)
+  && pss_zero_below_2

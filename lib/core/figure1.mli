@@ -1,0 +1,39 @@
+(** Reproduction of the paper's Figure 1.
+
+    The maximum tolerable adversarial fraction [nu] as a function of
+    [c = 1/(p n Delta)] under: our consistency result (magenta), the PSS
+    consistency result (blue), and the PSS attack (red) — at the paper's
+    [n = 1e5], [Delta = 1e13] — plus, as extensions, the exact Theorem 1
+    inversion and the exact-[epsilon1]-optimized Theorem 2 inversion. *)
+
+type row = {
+  c : float;
+  ours_neat : float;  (** the magenta curve: inversion of [2mu/ln(mu/nu)] *)
+  pss_consistency : float;  (** the blue curve *)
+  pss_attack : float;  (** the red curve *)
+  theorem1_exact : float;  (** extension: exact Ineq. 10 inversion *)
+  theorem2_exact : float;  (** extension: Ineq. 11 optimized over eps1 *)
+}
+
+val default_c_grid : unit -> float list
+(** 61 log-spaced points spanning [[0.1, 100]], the figure's x range. *)
+
+val compute_row : ?n:float -> ?delta:float -> ?eps2:float -> c:float -> unit -> row
+(** [compute_row ~c ()] evaluates all five curves at one abscissa.
+    Defaults: [n = 1e5], [delta = 1e13], [eps2 = 1e-9].
+    @raise Invalid_argument if [c <= 0.]. *)
+
+val series : ?n:float -> ?delta:float -> ?eps2:float -> c_grid:float list ->
+  unit -> row list
+(** All rows of the figure. *)
+
+val to_table : row list -> Nakamoto_numerics.Table.t
+(** Tabular form for the bench harness and CSV export. *)
+
+val to_plot : row list -> string
+(** ASCII rendering with a log-scaled x axis — the terminal Figure 1. *)
+
+val shape_invariants_hold : row list -> bool
+(** The qualitative claims of the paper's figure discussion:
+    ours >= PSS everywhere, attack >= ours everywhere, every curve
+    non-decreasing in [c], PSS zero for [c <= 2]. *)

@@ -1,0 +1,80 @@
+module Chain = Nakamoto_markov.Chain
+module Table = Nakamoto_numerics.Table
+
+type census = {
+  delta : int;
+  states : int;
+  recent_states : int;
+  deep_states : int;
+  deep_recent_states : int;
+  edges : int;
+  irreducible : bool;
+  aperiodic : bool;
+  stationary_max_abs_error : float;
+}
+
+let census ~delta ~alpha =
+  let chain = Suffix_chain.build ~delta ~alpha in
+  let states = Chain.size chain in
+  let count pred =
+    let n = ref 0 in
+    for i = 0 to states - 1 do
+      if pred (Suffix_chain.state_of_index ~delta i) then incr n
+    done;
+    !n
+  in
+  let edges =
+    let n = ref 0 in
+    for i = 0 to states - 1 do
+      n := !n + List.length (Chain.row chain i)
+    done;
+    !n
+  in
+  let closed = Suffix_chain.stationary_closed_form ~delta ~alpha in
+  let solved = Chain.stationary_linear_solve chain in
+  let err = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let e = Float.abs (x -. solved.(i)) in
+      if e > !err then err := e)
+    closed;
+  {
+    delta;
+    states;
+    recent_states = count (function Suffix_chain.Recent _ -> true | _ -> false);
+    deep_states = count (function Suffix_chain.Deep -> true | _ -> false);
+    deep_recent_states =
+      count (function Suffix_chain.Deep_recent _ -> true | _ -> false);
+    edges;
+    irreducible = Chain.is_irreducible chain;
+    aperiodic = Chain.period chain = 1;
+    stationary_max_abs_error = !err;
+  }
+
+let to_table censuses =
+  let t =
+    Table.create ~title:"Figure 2: suffix chain C_F structural census"
+      ~columns:
+        [
+          "Delta"; "states"; "recent"; "deep"; "deep+recent"; "edges";
+          "irreducible"; "aperiodic"; "max |Eq.37 - solve|";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          Table.Int c.delta;
+          Table.Int c.states;
+          Table.Int c.recent_states;
+          Table.Int c.deep_states;
+          Table.Int c.deep_recent_states;
+          Table.Int c.edges;
+          Table.Text (string_of_bool c.irreducible);
+          Table.Text (string_of_bool c.aperiodic);
+          Table.Sci c.stationary_max_abs_error;
+        ])
+    censuses;
+  t
+
+let dot = Suffix_chain.to_dot

@@ -1,0 +1,30 @@
+(** Reproduction of the paper's Figure 2 — the suffix chain's structure.
+
+    Figure 2 is a diagram, so its reproduction is (a) a GraphViz/DOT
+    rendering, (b) a structural census that checks the chain has exactly
+    the advertised shape (2Δ+1 states, the four transition rules, the
+    ergodicity properties claimed in the text), and (c) the stationary
+    distribution both ways. *)
+
+type census = {
+  delta : int;
+  states : int;  (** must be [2 delta + 1] *)
+  recent_states : int;  (** [delta] *)
+  deep_states : int;  (** [1] *)
+  deep_recent_states : int;  (** [delta] *)
+  edges : int;  (** 2 per state *)
+  irreducible : bool;
+  aperiodic : bool;
+  stationary_max_abs_error : float;
+      (** max |closed form (Eq. 37) - linear solve| over states *)
+}
+
+val census : delta:int -> alpha:float -> census
+(** [census ~delta ~alpha] builds the chain and audits it.
+    @raise Invalid_argument per {!Suffix_chain.build}. *)
+
+val to_table : census list -> Nakamoto_numerics.Table.t
+(** One row per (delta, alpha) audit. *)
+
+val dot : delta:int -> alpha:float -> string
+(** Alias of {!Suffix_chain.to_dot}. *)

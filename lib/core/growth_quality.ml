@@ -1,0 +1,23 @@
+let growth_rate_lower_bound (p : Params.t) =
+  let alpha = Params.alpha p in
+  alpha /. (1. +. (p.delta *. alpha))
+
+let growth_rate_upper_bound p = Params.alpha p
+
+let growth_in_window p ~rounds =
+  if rounds < 0 then invalid_arg "Growth_quality.growth_in_window: negative window";
+  let t = float_of_int rounds in
+  (t *. growth_rate_lower_bound p, t *. growth_rate_upper_bound p)
+
+let quality_lower_bound (p : Params.t) =
+  Float.max 0. (1. -. (p.nu /. Params.mu p))
+
+let quality_delta_adjusted (p : Params.t) =
+  let effective = growth_rate_lower_bound p in
+  Float.max 0. (1. -. (Params.adversary_rate p /. effective))
+
+let consistent_with_simulation ~growth ~quality p =
+  let tolerance = 0.03 in
+  growth >= growth_rate_lower_bound p -. tolerance
+  && growth <= growth_rate_upper_bound p +. tolerance
+  && quality >= quality_delta_adjusted p -. tolerance

@@ -1,0 +1,44 @@
+(** Chain growth and chain quality — the paper's stated future work
+    (Section II), implemented with the standard PSS-style bounds so the
+    simulator's measurements have analytic counterparts.
+
+    Chain growth: in any window, honest chains grow by at least one block
+    per "effective" honest success — an honest block mined when the
+    network has had [Delta] quiet rounds to synchronize — giving the
+    pessimistic per-round rate [alpha / (1 + Delta * alpha)] (every
+    success potentially followed by [Delta] wasted rounds), and the
+    optimistic ceiling [alpha] (instant propagation).
+
+    Chain quality: out of the blocks on any honest chain, the adversary
+    can claim at most its production share against the honest effective
+    production, giving the folklore lower bound
+    [1 - (adversary_rate / effective_honest_rate)]. *)
+
+val growth_rate_lower_bound : Params.t -> float
+(** [alpha / (1 + Delta * alpha)]: blocks per round under worst-case
+    delays. *)
+
+val growth_rate_upper_bound : Params.t -> float
+(** [alpha]: blocks per round with instant propagation (the chain cannot
+    grow by more than one per H-round). *)
+
+val growth_in_window : Params.t -> rounds:int -> float * float
+(** [(lower, upper)] expected growth over a window. *)
+
+val quality_lower_bound : Params.t -> float
+(** [1 - nu/mu], the classic bound: the adversary contributes at most
+    [nu/mu] of the blocks on a chain honest players keep extending
+    (clamped at [0.]). *)
+
+val quality_delta_adjusted : Params.t -> float
+(** Quality with the [Delta]-delay haircut on honest effectiveness:
+    [1 - adversary_rate / (alpha / (1 + Delta alpha))], clamped at [0.] —
+    the pessimistic analogue of {!quality_lower_bound}. *)
+
+val consistent_with_simulation :
+  growth:float -> quality:float -> Params.t -> bool
+(** [consistent_with_simulation ~growth ~quality p] checks a simulated
+    (growth rate, chain quality) pair against the analytic envelope:
+    growth within [lower - tolerance, upper + tolerance] (in blocks per
+    round) and quality at least the delta-adjusted lower bound minus
+    tolerance.  Tolerance is 3 percentage points. *)

@@ -1,0 +1,82 @@
+(* See kiffer_comparison.mli for the reconstruction caveats. *)
+
+module Chain = Nakamoto_markov.Chain
+
+type lumped = { chain : Chain.t; quiet : int; active : int }
+
+let lumped_chain ~alpha ~delta =
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Kiffer_comparison.lumped_chain: alpha outside (0, 1)";
+  if delta < 1 then invalid_arg "Kiffer_comparison.lumped_chain: delta < 1";
+  let abar = 1. -. alpha in
+  (* Two states: Quiet (>= Delta silent rounds since the last honest
+     success) and Active (anything else).  The lumping forces a
+     geometric approximation of the "Delta consecutive N" event. *)
+  let to_quiet = abar ** float_of_int delta in
+  let rows =
+    [|
+      (* Quiet: an H wakes it, otherwise stays quiet. *)
+      [ (1, alpha); (0, 1. -. alpha) ];
+      (* Active: reaches Quiet with the lumped probability, else stays. *)
+      [ (0, to_quiet); (1, 1. -. to_quiet) ];
+    |]
+  in
+  { chain = Chain.create ~size:2 ~rows (); quiet = 0; active = 1 }
+
+let lumped_quiet_probability ~alpha ~delta =
+  let l = lumped_chain ~alpha ~delta in
+  (Chain.stationary_linear_solve l.chain).(l.quiet)
+
+let exact_quiet_probability ~alpha ~delta =
+  (* pi(HN^{>=Delta}) from Eq. 37c. *)
+  (1. -. alpha) ** float_of_int delta
+
+let lumping_error ~alpha ~delta =
+  Float.abs
+    (lumped_quiet_probability ~alpha ~delta -. exact_quiet_probability ~alpha ~delta)
+
+let ell_correct (p : Params.t) = 1. /. Params.alpha p
+let ell_flawed (p : Params.t) = 1. /. Params.honest_rate p
+
+let waiting_time_ratio p = ell_correct p /. ell_flawed p
+
+let rate_with_ell (p : Params.t) ~ell =
+  if ell <= 0. then invalid_arg "Kiffer_comparison.rate_with_ell: ell <= 0";
+  (* Renewal-style opportunity rate: one candidate per H-cycle of expected
+     length ell, succeeding when the Delta rounds on each side are silent
+     and the success is unique (alpha1 / alpha of H-rounds). *)
+  let per_cycle =
+    exp (2. *. p.delta *. Params.log_abar p)
+    *. (Params.alpha1 p /. Params.alpha p)
+  in
+  per_cycle /. ell
+
+let correct_rate p = rate_with_ell p ~ell:(ell_correct p)
+let flawed_rate p = rate_with_ell p ~ell:(ell_flawed p)
+
+let to_table points =
+  let t =
+    Nakamoto_numerics.Table.create
+      ~title:
+        "Kiffer [6] reconstruction: two-state lumping error and the \
+         1/(mu p n) vs 1/alpha waiting-time error"
+      ~columns:
+        [ "alpha"; "Delta"; "pi(quiet) lumped"; "pi(quiet) exact";
+          "lumping err"; "ell ratio (flawed/correct)"; "rate overstatement" ]
+  in
+  List.iter
+    (fun (p : Params.t) ->
+      let alpha = Params.alpha p in
+      let delta = int_of_float p.delta in
+      Nakamoto_numerics.Table.add_row t
+        [
+          Nakamoto_numerics.Table.Float alpha;
+          Nakamoto_numerics.Table.Int delta;
+          Nakamoto_numerics.Table.Float (lumped_quiet_probability ~alpha ~delta);
+          Nakamoto_numerics.Table.Float (exact_quiet_probability ~alpha ~delta);
+          Nakamoto_numerics.Table.Sci (lumping_error ~alpha ~delta);
+          Nakamoto_numerics.Table.Float (ell_correct p /. ell_flawed p);
+          Nakamoto_numerics.Table.Float (flawed_rate p /. correct_rate p);
+        ])
+    points;
+  t

@@ -1,0 +1,64 @@
+(** A quantitative reconstruction of the paper's critique of Kiffer,
+    Rajaraman et al. (CCS 2018) — reference [6].
+
+    The paper (Section IV, "Novelty of our Theorem 1") makes two specific
+    objections to [6]:
+
+    + their Markov chain "has only two states and cannot cover all
+      possible states" — unlike the 2Δ+1-state suffix chain [C_F];
+    + their waiting-time computations [l11]/[l10] use [1/(mu p)] where
+      the correct quantity is [1/alpha = 1/(1 - (1-p)^(mu n))].
+
+    We do not have [6]'s exact formulas, so this module is an explicit
+    {e reconstruction} that isolates each error in a checkable form:
+
+    - {!lumped_chain} is the best two-state (Quiet/Active) collapse of
+      the suffix chain, with the "Δ consecutive silent rounds" event
+      approximated geometrically — the structural information a two-state
+      chain must discard.  {!lumping_error} is the resulting error in the
+      stationary probability of the Quiet class against the exact
+      Eq. 37c value.
+    - {!ell_correct} vs {!ell_flawed} are the two waiting times the paper
+      contrasts (expected rounds to the next H-{e round} vs to the next
+      honest {e block}); {!correct_rate}/{!flawed_rate} propagate them
+      through a renewal-style estimate of the convergence-opportunity
+      rate, quantifying the overstatement the paper attributes to [6]. *)
+
+type lumped = {
+  chain : Nakamoto_markov.Chain.t;
+  quiet : int;  (** state index: >= Δ silent rounds since the last H *)
+  active : int;
+}
+
+val lumped_chain : alpha:float -> delta:int -> lumped
+(** The two-state collapse.  @raise Invalid_argument on out-of-range
+    [alpha] or [delta < 1]. *)
+
+val lumped_quiet_probability : alpha:float -> delta:int -> float
+(** Stationary mass of [quiet] in the lumped chain. *)
+
+val exact_quiet_probability : alpha:float -> delta:int -> float
+(** The exact suffix-chain value [pi(HN^{>=Δ}) = abar^Δ] (Eq. 37c). *)
+
+val lumping_error : alpha:float -> delta:int -> float
+(** Absolute gap between the two — the price of two states. *)
+
+val ell_correct : Params.t -> float
+(** [1 / alpha]: expected rounds until some honest miner succeeds. *)
+
+val ell_flawed : Params.t -> float
+(** [1 / (p mu n)]: expected rounds per honest block — the quantity the
+    paper says [6] used in its place. *)
+
+val waiting_time_ratio : Params.t -> float
+(** [ell_correct /. ell_flawed <= 1]; equality only as [p mu n -> 0]. *)
+
+val correct_rate : Params.t -> float
+(** Renewal estimate of the convergence-opportunity rate using
+    {!ell_correct}. *)
+
+val flawed_rate : Params.t -> float
+(** Same estimate with {!ell_flawed}; always >= {!correct_rate}. *)
+
+val to_table : Params.t list -> Nakamoto_numerics.Table.t
+(** Comparison table across parameter points (ablation #3's companion). *)

@@ -1,0 +1,189 @@
+module Special = Nakamoto_numerics.Special
+
+let check_eps ~eps1 ~eps2 =
+  if not (eps1 > 0. && eps1 < 1.) then
+    invalid_arg "Lemmas: eps1 must lie in (0, 1)";
+  if not (eps2 > 0.) then invalid_arg "Lemmas: eps2 must be positive"
+
+let delta4_default ~eps1 ~eps2 ~l =
+  check_eps ~eps1 ~eps2;
+  if l <= 0. then invalid_arg "Lemmas.delta4_default: l must be positive";
+  (eps1 +. eps2) *. l /. (eps1 +. eps2 +. ((1. -. eps1) *. (l +. 1.)))
+
+let delta1_of ~delta4 ~eps1 ~l =
+  ((1. +. delta4) *. (1. -. (eps1 *. l /. (l +. 1.)))) -. 1.
+
+let pn_condition_holds ~eps1 (p : Params.t) =
+  if not (eps1 > 0. && eps1 < 1.) then
+    invalid_arg "Lemmas.pn_condition_holds: eps1 must lie in (0, 1)";
+  let l = Params.log_ratio p in
+  p.p *. p.n <= eps1 *. l /. ((l +. 1.) *. Params.mu p)
+
+(* Ineq. (66), log domain:
+   log abar >= (log (1+delta1) - log (1-p mu n) + log (nu/mu)) / (2 delta). *)
+let lemma2_premise ~delta1 (p : Params.t) =
+  let pmun = p.p *. Params.mu p *. p.n in
+  if not (pmun > 0. && pmun < 1.) then false
+  else
+    let rhs =
+      (log1p delta1 -. Special.log1p (-.pmun) -. Params.log_ratio p)
+      /. (2. *. p.delta)
+    in
+    Params.log_abar p >= rhs
+
+let lemma2_conclusion ~delta1 p = Bounds.theorem1_margin ~delta1 p >= 0.
+
+let lemma3_conclusion ~delta1 ~delta4 (p : Params.t) =
+  let pmun = p.p *. Params.mu p *. p.n in
+  if not (pmun > 0. && pmun < 1.) then false
+  else
+    (log1p delta1 -. Special.log1p (-.pmun)) /. (2. *. p.delta)
+    <= log1p (delta4 /. (2. *. p.delta))
+
+let check_delta4_range ~delta4 (p : Params.t) =
+  let l = Params.log_ratio p in
+  if not (delta4 > 0. && delta4 < l) then
+    invalid_arg "Lemmas: requires 0 < delta4 < ln (mu/nu) (Ineq. 73)"
+
+(* log of the recurring quantity (1 + delta4/(2 delta)) (nu/mu)^(1/(2 delta));
+   negative exactly when Proposition 2 holds. *)
+let log_inner ~delta4 (p : Params.t) =
+  log1p (delta4 /. (2. *. p.delta))
+  -. (Params.log_ratio p /. (2. *. p.delta))
+
+let lemma4_c_bound ~delta4 (p : Params.t) =
+  check_delta4_range ~delta4 p;
+  let mun = Params.mu p *. p.n in
+  let one_minus_root = -.Special.expm1 (log_inner ~delta4 p /. mun) in
+  1. /. (p.n *. p.delta *. one_minus_root)
+
+let lemma4_conclusion ~delta4 (p : Params.t) =
+  Params.log_abar p >= log_inner ~delta4 p
+
+let proposition2_holds ~delta4 (p : Params.t) = log_inner ~delta4 p < 0.
+
+let lemma5_c_bound ~delta4 (p : Params.t) =
+  check_delta4_range ~delta4 p;
+  Params.mu p /. (p.delta *. -.Special.expm1 (log_inner ~delta4 p))
+
+(* 1 - (nu/mu)^(1/(2 delta)) = -expm1 (-l / (2 delta)). *)
+let one_minus_ratio_root (p : Params.t) =
+  -.Special.expm1 (-.Params.log_ratio p /. (2. *. p.delta))
+
+let lemma6_c_bound ~delta4 (p : Params.t) =
+  check_delta4_range ~delta4 p;
+  let l = Params.log_ratio p in
+  Params.mu p
+  /. (p.delta *. one_minus_ratio_root p)
+  *. (1. +. (delta4 /. (l -. delta4)))
+
+let lemma7_middle (p : Params.t) = 1. /. (p.delta *. one_minus_ratio_root p)
+
+let lemma7_holds (p : Params.t) =
+  let l = Params.log_ratio p in
+  let mid = lemma7_middle p in
+  (* Allow one ulp of slack: at huge delta the middle term sits within
+     rounding of its lower bound 2/l. *)
+  let tol = 1e-12 *. Float.max (Float.abs mid) (2. /. l) in
+  2. /. l <= mid +. tol && mid <= (2. /. l) +. (1. /. p.delta) +. tol
+
+let lemma8_c_bound ~delta4 (p : Params.t) =
+  check_delta4_range ~delta4 p;
+  let l = Params.log_ratio p in
+  let mu = Params.mu p in
+  ((2. *. mu /. l) +. (mu /. p.delta)) *. (1. +. (delta4 /. (l -. delta4)))
+
+let lemma8_holds ~eps1 ~eps2 (p : Params.t) =
+  let l = Params.log_ratio p in
+  let delta4 = delta4_default ~eps1 ~eps2 ~l in
+  1. +. (delta4 /. (l -. delta4)) < (1. +. eps2) /. (1. -. eps1)
+
+let log_min_stationary_fp (p : Params.t) =
+  let pmun = p.p *. Params.mu p *. p.n in
+  if pmun <= 0. then invalid_arg "Lemmas.log_min_stationary_fp: p mu n = 0";
+  let log_abar = Params.log_abar p in
+  let log_alpha = log (Params.alpha p) in
+  let log_abar_delta = p.delta *. log_abar in
+  let log_one_minus = Special.log_one_minus_exp log_abar_delta in
+  let log_min_detail = Float.min (log pmun) log_abar in
+  log_alpha
+  +. ((p.delta -. 1.) *. log_abar)
+  +. Float.min log_one_minus log_abar_delta
+  +. ((p.delta +. 1.) *. log_min_detail)
+
+let pi_norm_bound p = exp (-0.5 *. log_min_stationary_fp p)
+
+type chain_step = { name : string; holds : bool; detail : string }
+
+type chain_report = {
+  params : Params.t;
+  eps1 : float;
+  eps2 : float;
+  delta4 : float;
+  delta1 : float;
+  steps : chain_step list;
+  all_hold : bool;
+}
+
+let verify_chain ~eps1 ~eps2 (p : Params.t) =
+  check_eps ~eps1 ~eps2;
+  let l = Params.log_ratio p in
+  let c = Params.c p in
+  let delta4 = delta4_default ~eps1 ~eps2 ~l in
+  let delta1 = delta1_of ~delta4 ~eps1 ~l in
+  let cmp name lhs rhs =
+    {
+      name;
+      holds = lhs <= rhs;
+      detail = Printf.sprintf "%.12g <= %.12g" lhs rhs;
+    }
+  in
+  let flag name holds detail = { name; holds; detail } in
+  let bound_51 =
+    ((2. *. Params.mu p /. l) +. (1. /. p.delta)) *. (1. +. eps2) /. (1. -. eps1)
+  in
+  let bound_83 = lemma8_c_bound ~delta4 p in
+  let bound_80 = lemma6_c_bound ~delta4 p in
+  let bound_77 = lemma5_c_bound ~delta4 p in
+  let bound_74 = lemma4_c_bound ~delta4 p in
+  let steps =
+    [
+      flag "(50) pn precondition"
+        (pn_condition_holds ~eps1 p)
+        (Printf.sprintf "pn = %.6g vs eps1 l/((l+1) mu) = %.6g" (p.p *. p.n)
+           (eps1 *. l /. ((l +. 1.) *. Params.mu p)));
+      cmp "(51) c >= first branch of Ineq. 11" bound_51 c;
+      flag "(60)-(61) delta4, delta1 positive"
+        (delta4 > 0. && delta1 > 0.)
+        (Printf.sprintf "delta4 = %.6g, delta1 = %.6g" delta4 delta1);
+      flag "(73) delta4 < l" (delta4 < l)
+        (Printf.sprintf "delta4 = %.6g < l = %.6g" delta4 l);
+      cmp "(58<=59) Lemma 8: bound(83) <= bound(51)" bound_83 bound_51;
+      cmp "(57<=58) Lemma 7: bound(80) <= bound(83)" bound_80 bound_83;
+      cmp "(56<=57) Lemma 6: bound(77) <= bound(80)" bound_77 bound_80;
+      cmp "(55<=56) Lemma 5: bound(74) <= bound(77)" bound_74 bound_77;
+      flag "(54) Lemma 4: c >= bound(74) gives Ineq. 71"
+        (not (c >= bound_74) || lemma4_conclusion ~delta4 p)
+        (Printf.sprintf "c = %.6g, bound(74) = %.6g, log abar = %.6g, log inner = %.6g"
+           c bound_74 (Params.log_abar p) (log_inner ~delta4 p));
+      flag "(53) Lemma 3: Ineq. 70"
+        (lemma3_conclusion ~delta1 ~delta4 p)
+        "((1+delta1)/(1-p mu n))^(1/2delta) <= 1 + delta4/(2delta)";
+      flag "(52) Lemma 2: Ineq. 66 gives Ineq. 10"
+        (not (lemma2_premise ~delta1 p) || lemma2_conclusion ~delta1 p)
+        (Printf.sprintf "theorem1 margin at delta1: %.6g"
+           (Bounds.theorem1_margin ~delta1 p));
+      flag "(10) Theorem 1 condition (final)"
+        (lemma2_conclusion ~delta1 p)
+        (Printf.sprintf "margin = %.6g" (Bounds.theorem1_margin ~delta1 p));
+    ]
+  in
+  {
+    params = p;
+    eps1;
+    eps2;
+    delta4;
+    delta1;
+    steps;
+    all_hold = List.for_all (fun s -> s.holds) steps;
+  }

@@ -1,0 +1,103 @@
+(** Lemmas 2–8 and Propositions 1–2 as executable inequality checks.
+
+    The proof of Theorem 3 is the implication chain (52)–(59): Ineq. (51)
+    implies, step by step through seven lemmas, Theorem 1's Ineq. (10).
+    Each lemma here exposes the numeric quantities on both sides of its
+    inequality so the chain can be audited at any parameter point; the
+    property-test suite samples parameters satisfying the preconditions
+    and asserts every link.  Throughout, [l] abbreviates [ln (mu/nu)] and
+    all fragile powers are evaluated in the log domain. *)
+
+val delta4_default : eps1:float -> eps2:float -> l:float -> float
+(** Eq. (60): [(eps1+eps2) l / (eps1 + eps2 + (1-eps1)(l+1))].
+    @raise Invalid_argument unless [0 < eps1 < 1], [eps2 > 0], [l > 0]. *)
+
+val delta1_of : delta4:float -> eps1:float -> l:float -> float
+(** Eq. (61): [(1+delta4)(1 - eps1 l / (l+1)) - 1]. *)
+
+val pn_condition_holds : eps1:float -> Params.t -> bool
+(** Ineq. (50): [p n <= eps1 l / ((l+1) mu)].
+    @raise Invalid_argument unless [0 < eps1 < 1] and [nu > 0]. *)
+
+val lemma2_premise : delta1:float -> Params.t -> bool
+(** Ineq. (66): [abar >= ((1+delta1)/(1-p mu n) * nu/mu)^(1/(2 delta))]
+    (log domain).  Requires Eq. (65): [0 < p mu n < 1]; returns [false]
+    if that precondition fails. *)
+
+val lemma2_conclusion : delta1:float -> Params.t -> bool
+(** Ineq. (10): [abar^(2 delta) alpha1 >= (1+delta1) p nu n]. *)
+
+val lemma3_conclusion : delta1:float -> delta4:float -> Params.t -> bool
+(** Ineq. (70): [((1+delta1)/(1-p mu n))^(1/(2 delta)) <= 1 + delta4/(2 delta)]. *)
+
+val lemma4_c_bound : delta4:float -> Params.t -> float
+(** RHS of Ineq. (74):
+    [1 / (n delta (1 - ((1+delta4/(2delta)) (nu/mu)^(1/(2delta)))^(1/(mu n))))].
+    @raise Invalid_argument unless [0 < delta4 < l] (Ineq. 73). *)
+
+val lemma4_conclusion : delta4:float -> Params.t -> bool
+(** Ineq. (71): [abar >= (1 + delta4/(2 delta)) * (nu/mu)^(1/(2 delta))]. *)
+
+val proposition2_holds : delta4:float -> Params.t -> bool
+(** [1 - (1 + delta4/(2delta)) (nu/mu)^(1/(2delta)) > 0], valid whenever
+    [0 < delta4 < l]. *)
+
+val lemma5_c_bound : delta4:float -> Params.t -> float
+(** RHS of Ineq. (77): [mu / (delta (1 - (1+delta4/(2delta)) (nu/mu)^(1/(2delta))))].
+    @raise Invalid_argument unless [0 < delta4 < l]. *)
+
+val lemma6_c_bound : delta4:float -> Params.t -> float
+(** RHS of Ineq. (80):
+    [mu / (delta (1 - (nu/mu)^(1/(2delta)))) * (1 + delta4/(l - delta4))].
+    @raise Invalid_argument unless [0 < delta4 < l]. *)
+
+val lemma7_middle : Params.t -> float
+(** The middle term of Ineq. (82): [1 / (delta (1 - (nu/mu)^(1/(2delta))))].
+    Lemma 7 sandwiches it in [[2/l, 2/l + 1/delta]]. *)
+
+val lemma7_holds : Params.t -> bool
+(** Both inequalities of (82). *)
+
+val lemma8_holds : eps1:float -> eps2:float -> Params.t -> bool
+(** Ineq. (85): with [delta4] from Eq. (60),
+    [1 + delta4/(l - delta4) < (1+eps2)/(1-eps1)]. *)
+
+val lemma8_c_bound : delta4:float -> Params.t -> float
+(** RHS of Ineq. (83): [(2mu/l + mu/delta) (1 + delta4/(l - delta4))]. *)
+
+val log_min_stationary_fp : Params.t -> float
+(** Proposition 1's expression for [log (min pi_{F||P})]:
+    [log alpha + (delta-1) log abar + log (min (1-abar^delta) (abar^delta))
+     + (delta+1) log (min (p mu n) abar)].
+    @raise Invalid_argument when [p mu n = 0]. *)
+
+val pi_norm_bound : Params.t -> float
+(** Proposition 1's conclusion [||phi||_pi <= 1/sqrt(min pi)], i.e.
+    [exp (-0.5 * log_min_stationary_fp p)].  May be [infinity] when the
+    minimum underflows the log domain's exp. *)
+
+type chain_step = {
+  name : string;  (** e.g. "(58) Lemma 8" *)
+  holds : bool;
+  detail : string;  (** the two compared quantities, for diagnostics *)
+}
+
+type chain_report = {
+  params : Params.t;
+  eps1 : float;
+  eps2 : float;
+  delta4 : float;
+  delta1 : float;
+  steps : chain_step list;
+  all_hold : bool;
+}
+
+val verify_chain : eps1:float -> eps2:float -> Params.t -> chain_report
+(** [verify_chain ~eps1 ~eps2 p] audits the whole (52)–(59) derivation at
+    parameter point [p]: it checks preconditions (50) and (51), derives
+    [delta4]/[delta1] per Eqs. (60)–(61), and then checks every implication
+    link — each "[c >= bound_k] is implied by [c >= bound_{k+1}]" as
+    [bound_k <= bound_{k+1}], and each lemma's premise-to-conclusion hop
+    directly.  [all_hold] must be [true] whenever (50) and (51) hold,
+    which is exactly Theorem 3.
+    @raise Invalid_argument unless [0 < eps1 < 1], [eps2 > 0], [nu > 0]. *)

@@ -1,0 +1,34 @@
+module Table = Nakamoto_numerics.Table
+
+let threshold_derivative ~nu =
+  if not (nu > 0. && nu < 0.5) then
+    invalid_arg "Sensitivity.threshold_derivative: nu outside (0, 1/2)";
+  let l = log ((1. -. nu) /. nu) in
+  2. /. (l *. l) *. ((1. /. nu) -. l)
+
+let numax_slope ~c =
+  if c <= 0. then invalid_arg "Sensitivity.numax_slope: c <= 0";
+  let nu = Bounds.neat_numax ~c in
+  1. /. threshold_derivative ~nu
+
+let numax_elasticity ~c =
+  let nu = Bounds.neat_numax ~c in
+  c /. nu *. numax_slope ~c
+
+let marginal_value_table ~c_grid =
+  let t =
+    Table.create
+      ~title:"Marginal value of c: extra tolerable adversary per unit of c"
+      ~columns:[ "c"; "nu_max"; "d nu_max / d c"; "elasticity" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          Table.Float c;
+          Table.Float (Bounds.neat_numax ~c);
+          Table.Float (numax_slope ~c);
+          Table.Float (numax_elasticity ~c);
+        ])
+    c_grid;
+  t

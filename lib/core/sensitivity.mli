@@ -1,0 +1,26 @@
+(** Sensitivity of the neat bound — "how much does a unit of c buy?"
+
+    Along the boundary [c = T(nu)] with [T(nu) = 2 (1-nu) / L] and
+    [L = ln ((1-nu)/nu)], implicit differentiation gives the
+    designer-facing quantities: the slope [d nu_max / d c] (extra
+    tolerable adversary per extra delay-per-block) and its elasticity.
+    Both are validated against finite differences in the test suite. *)
+
+val threshold_derivative : nu:float -> float
+(** [T'(nu) = (2 / L^2) (1/nu - L)], using [dL/dnu = -1/(nu (1-nu))].
+    Strictly positive on (0, 1/2) — the threshold rises with the
+    adversary share (and [1/nu > L] there).
+    @raise Invalid_argument unless [0 < nu < 1/2]. *)
+
+val numax_slope : c:float -> float
+(** [d nu_max / d c] at the boundary point for this [c], by the inverse
+    function theorem: [1 / T'(numax c)].
+    @raise Invalid_argument unless [c > 0]. *)
+
+val numax_elasticity : c:float -> float
+(** [(c / nu_max) * d nu_max / d c] — the percentage gain in tolerable
+    adversary per percent increase in [c].  Large at small [c] (cheap
+    safety), vanishing as [nu_max] saturates at 1/2. *)
+
+val marginal_value_table : c_grid:float list -> Nakamoto_numerics.Table.t
+(** Designer table: c, nu_max, slope, elasticity per grid point. *)

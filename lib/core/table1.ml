@@ -1,0 +1,44 @@
+module Table = Nakamoto_numerics.Table
+module Special = Nakamoto_numerics.Special
+
+let for_params (p : Params.t) =
+  let t =
+    Table.create ~title:"Table I: notation and values at the given parameters"
+      ~columns:[ "symbol"; "meaning"; "value"; "log-domain" ]
+  in
+  let row symbol meaning value log_value =
+    Table.add_row t
+      [ Table.Text symbol; Table.Text meaning; value; log_value ]
+  in
+  row "p" "hardness of the proof of work" (Table.Sci p.p) (Table.Text "-");
+  row "n" "number of miners" (Table.Float p.n) (Table.Text "-");
+  row "Delta" "maximum adversarial message delay" (Table.Float p.delta)
+    (Table.Text "-");
+  row "c" "1/(p n Delta): delays per block" (Table.Float (Params.c p))
+    (Table.Text "-");
+  row "mu" "honest fraction" (Table.Float (Params.mu p)) (Table.Text "-");
+  row "nu" "adversarial fraction" (Table.Float p.nu) (Table.Text "-");
+  row "alpha" "P(some honest block in a round), Eq. 7"
+    (Table.Sci (Params.alpha p))
+    (Table.Text "-");
+  row "abar" "P(no honest block in a round), Eq. 8" (Table.Sci (Params.abar p))
+    (Table.Float (Params.log_abar p));
+  row "alpha1" "P(exactly one honest block), Eq. 9"
+    (Table.Sci (Params.alpha1 p))
+    (Table.Float (Params.log_alpha1 p));
+  row "abar^2D*a1" "convergence-opportunity rate, Eq. 44"
+    (Table.Log10 (Conv_chain.log_convergence_rate p))
+    (Table.Float (Conv_chain.log_convergence_rate p));
+  row "p nu n" "adversary block rate, Eq. 27"
+    (Table.Sci (Params.adversary_rate p))
+    (Table.Float (Params.log_adversary_rate p));
+  t
+
+let identities_hold (p : Params.t) =
+  let alpha = Params.alpha p and abar = Params.abar p in
+  let close = Special.approx_equal ~rtol:1e-9 ~atol:1e-15 in
+  close (alpha +. abar) 1.
+  && close (Params.c p) (1. /. (p.p *. p.n *. p.delta))
+  && close (Params.mu p +. p.nu) 1.
+  && Params.alpha1 p <= alpha +. 1e-15
+  && close (Params.alpha1 p) (p.p *. Params.mu p *. p.n *. abar /. (1. -. p.p))

@@ -1,0 +1,16 @@
+(** Reproduction of the paper's Table I: notation with computed values.
+
+    Table I is the notation glossary; its faithful executable form is the
+    table of every symbol's *value* at a concrete parameter point, which
+    is also the quickest smoke test that the derived quantities satisfy
+    their defining identities. *)
+
+val for_params : Params.t -> Nakamoto_numerics.Table.t
+(** One row per symbol of Table I ([p, n, Delta, c, mu, nu, alpha, abar,
+    alpha1]) with value, log-domain value where relevant, and the paper's
+    defining expression. *)
+
+val identities_hold : Params.t -> bool
+(** The internal consistency of the derived values:
+    [alpha + abar = 1], [c = 1/(p n Delta)], [mu + nu = 1],
+    [alpha1 <= alpha], and [alpha1 = p mu n abar / (1 - p)]. *)

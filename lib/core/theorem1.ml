@@ -1,0 +1,65 @@
+type constants = {
+  delta1 : float;
+  delta2 : float;
+  delta3 : float;
+  gap_factor : float;
+}
+
+let constants ~delta1 =
+  if not (delta1 > 0.) then
+    invalid_arg "Theorem1.constants: delta1 must be positive";
+  let third = (1. +. delta1) ** (1. /. 3.) in
+  {
+    delta1;
+    delta2 = 1. -. (1. /. third);
+    delta3 = third -. 1.;
+    gap_factor = (third *. third) -. third;
+  }
+
+let holds = Bounds.theorem1_holds
+let margin = Bounds.theorem1_margin
+
+type guarantee = {
+  horizon : int;
+  expected_convergence : float;
+  expected_adversary : float;
+  convergence_shortfall_bound : float;
+  adversary_overshoot_bound : float;
+  failure_bound : float;
+  expected_gap : float;
+}
+
+let guarantee ~delta1 ~horizon ~mixing_time (p : Params.t) =
+  if horizon <= 0 then invalid_arg "Theorem1.guarantee: horizon must be positive";
+  if mixing_time <= 0. then
+    invalid_arg "Theorem1.guarantee: mixing_time must be positive";
+  if p.nu = 0. then invalid_arg "Theorem1.guarantee: requires nu > 0";
+  let k = constants ~delta1 in
+  let rate = Conv_chain.convergence_rate p in
+  let expected_convergence = float_of_int horizon *. rate in
+  let expected_adversary = Conv_chain.expected_adversary_blocks p ~horizon in
+  let norm_phi_pi = Lemmas.pi_norm_bound p in
+  let convergence_shortfall_bound =
+    (* Ineq. (47): a rate strictly between 0 and 1 is required by the
+       bound's hypotheses; rate > 0 holds whenever p, mu > 0. *)
+    Nakamoto_prob.Tail_bounds.markov_chain_lower_tail ~norm_phi_pi
+      ~stationary_rate:rate ~horizon ~mixing_time ~delta:k.delta2
+  in
+  let adversary_overshoot_bound =
+    let trials =
+      Nakamoto_prob.Binomial.create
+        ~trials:(horizon * int_of_float (Float.round (p.nu *. p.n)))
+        ~p:p.p
+    in
+    Nakamoto_prob.Tail_bounds.binomial_upper_tail trials ~delta:k.delta3
+  in
+  {
+    horizon;
+    expected_convergence;
+    expected_adversary;
+    convergence_shortfall_bound;
+    adversary_overshoot_bound;
+    failure_bound =
+      Float.min 1. (convergence_shortfall_bound +. adversary_overshoot_bound);
+    expected_gap = k.gap_factor *. expected_adversary;
+  }

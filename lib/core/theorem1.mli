@@ -1,0 +1,53 @@
+(** Theorem 1 packaged: condition, constants, and the concentration bound.
+
+    Theorem 1 states that consistency holds when
+    [abar^(2Δ) alpha1 >= (1+delta1) p nu n] (Ineq. 10).  Its proof needs
+    (a) the expectation identities Eqs. (26)–(27), (b) the matched
+    constants [delta2, delta3] of Eq. (23), and (c) the two tail bounds
+    Ineqs. (19)–(20) whose union gives the
+    [1 - O(1) exp(-Omega(T))] guarantee.  This module computes all the
+    ingredients so they can be compared against simulation. *)
+
+type constants = {
+  delta1 : float;
+  delta2 : float;  (** [1 - (1+delta1)^(-1/3)] (Eq. 23) *)
+  delta3 : float;  (** [(1+delta1)^(1/3) - 1] (Eq. 23) *)
+  gap_factor : float;
+      (** [(1+delta1)^(2/3) - (1+delta1)^(1/3)] — the coefficient of
+          [E A] in the surviving gap (Ineq. 24) *)
+}
+
+val constants : delta1:float -> constants
+(** @raise Invalid_argument unless [delta1 > 0.]. *)
+
+val holds : ?delta1:float -> Params.t -> bool
+(** Ineq. (10) at the given slack ([delta1] defaults to [0.]). *)
+
+val margin : ?delta1:float -> Params.t -> float
+(** Log-domain slack of Ineq. (10) (see {!Bounds.theorem1_margin}). *)
+
+type guarantee = {
+  horizon : int;  (** the window length [T] *)
+  expected_convergence : float;  (** Eq. (26) *)
+  expected_adversary : float;  (** Eq. (27) *)
+  convergence_shortfall_bound : float;
+      (** Ineq. (47)'s bound on
+          [P(C <= (1-delta2) E C)] given the mixing time *)
+  adversary_overshoot_bound : float;
+      (** Ineq. (49)'s bound on [P(A >= (1+delta3) E A)] *)
+  failure_bound : float;  (** union bound: their sum, capped at 1 *)
+  expected_gap : float;
+      (** the guaranteed [C - A] surplus
+          [gap_factor * E A] of Ineq. (24) when neither tail event
+          happens *)
+}
+
+val guarantee :
+  delta1:float -> horizon:int -> mixing_time:float -> Params.t -> guarantee
+(** [guarantee ~delta1 ~horizon ~mixing_time p] instantiates the proof's
+    quantitative content.  [mixing_time] is the 1/8-mixing time of
+    [C_{F||P}] (measure it with {!Nakamoto_markov.Chain.mixing_time} on
+    {!Conv_chain.build_explicit} for small [delta], or supply an upper
+    estimate).  Uses Proposition 1's [||phi||_pi] bound.
+    @raise Invalid_argument unless [delta1 > 0], [horizon > 0],
+    [mixing_time > 0], and [nu > 0]. *)

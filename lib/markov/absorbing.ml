@@ -1,0 +1,121 @@
+module Linalg = Nakamoto_numerics.Linalg
+
+type t = {
+  chain : Chain.t;
+  is_absorbing : bool array;
+  transient : int array;  (** ascending transient state ids *)
+  transient_index : int array;  (** state id -> row in the transient system, or -1 *)
+}
+
+let create ~chain ~absorbing =
+  let n = Chain.size chain in
+  if absorbing = [] then invalid_arg "Absorbing.create: no absorbing states";
+  let is_absorbing = Array.make n false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Absorbing.create: state out of range";
+      if is_absorbing.(s) then invalid_arg "Absorbing.create: duplicate state";
+      is_absorbing.(s) <- true)
+    absorbing;
+  let transient =
+    Array.of_list
+      (List.filter (fun s -> not is_absorbing.(s)) (List.init n Fun.id))
+  in
+  let transient_index = Array.make n (-1) in
+  Array.iteri (fun row s -> transient_index.(s) <- row) transient;
+  (* Certain absorption: every transient state must reach some absorbing
+     state in the support graph. *)
+  let reaches_absorbing = Array.make n false in
+  (* Reverse reachability from absorbing states. *)
+  let pred = Array.make n [] in
+  for s = 0 to n - 1 do
+    if not is_absorbing.(s) then
+      List.iter
+        (fun (j, p) -> if p > 0. then pred.(j) <- s :: pred.(j))
+        (Chain.row chain s)
+  done;
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      reaches_absorbing.(s) <- true;
+      Queue.add s queue)
+    absorbing;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not reaches_absorbing.(p) then begin
+          reaches_absorbing.(p) <- true;
+          Queue.add p queue
+        end)
+      pred.(s)
+  done;
+  Array.iter
+    (fun s ->
+      if not reaches_absorbing.(s) then
+        invalid_arg
+          (Printf.sprintf
+             "Absorbing.create: transient state %d cannot reach absorption" s))
+    transient;
+  { chain; is_absorbing; transient; transient_index }
+
+let transient_states t = Array.to_list t.transient
+
+(* Solve (I - Q) x = b over the transient states. *)
+let solve_transient t b =
+  let m = Array.length t.transient in
+  let a = Linalg.make ~rows:m ~cols:m 0. in
+  Array.iteri
+    (fun row s ->
+      a.(row).(row) <- 1.;
+      List.iter
+        (fun (j, p) ->
+          if (not t.is_absorbing.(j)) && p > 0. then begin
+            let col = t.transient_index.(j) in
+            a.(row).(col) <- a.(row).(col) -. p
+          end)
+        (Chain.row t.chain s))
+    t.transient;
+  Linalg.solve a b
+
+let check_state t s =
+  if s < 0 || s >= Chain.size t.chain then
+    invalid_arg "Absorbing: state out of range"
+
+let absorption_probability t ~from ~into =
+  check_state t from;
+  check_state t into;
+  if not t.is_absorbing.(into) then
+    invalid_arg "Absorbing.absorption_probability: target is not absorbing";
+  if t.is_absorbing.(from) then if from = into then 1. else 0.
+  else begin
+    (* b_i = one-step probability of hitting [into] from transient i. *)
+    let b =
+      Array.map
+        (fun s ->
+          List.fold_left
+            (fun acc (j, p) -> if j = into then acc +. p else acc)
+            0. (Chain.row t.chain s))
+        t.transient
+    in
+    let x = solve_transient t b in
+    x.(t.transient_index.(from))
+  end
+
+let expected_steps_to_absorption t ~from =
+  check_state t from;
+  if t.is_absorbing.(from) then 0.
+  else begin
+    let b = Array.make (Array.length t.transient) 1. in
+    let x = solve_transient t b in
+    x.(t.transient_index.(from))
+  end
+
+let absorption_distribution t ~from =
+  check_state t from;
+  let absorbing =
+    List.filter
+      (fun s -> t.is_absorbing.(s))
+      (List.init (Chain.size t.chain) Fun.id)
+  in
+  List.map (fun into -> (into, absorption_probability t ~from ~into)) absorbing

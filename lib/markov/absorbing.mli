@@ -1,0 +1,35 @@
+(** Absorbing Markov chains: absorption probabilities and expected times.
+
+    The block-race analyses (how likely is a [k]-blocks-behind private
+    chain to ever catch up?) are absorption problems: states are the
+    adversary's lead, play stops at "overtaken" or "gave up".  Solved
+    exactly with one LU factorization of [I - Q] where [Q] is the chain
+    restricted to transient states (the fundamental-matrix method). *)
+
+type t
+
+val create : chain:Chain.t -> absorbing:int list -> t
+(** [create ~chain ~absorbing] marks the given states absorbing (their
+    outgoing transitions are ignored; they are treated as self-loops).
+    @raise Invalid_argument if [absorbing] is empty, contains duplicates
+    or out-of-range states, or if some transient state cannot reach any
+    absorbing state (absorption would not be certain). *)
+
+val transient_states : t -> int list
+(** Transient (non-absorbing) states, ascending. *)
+
+val absorption_probability : t -> from:int -> into:int -> float
+(** [absorption_probability t ~from ~into] is the probability that the
+    walk started at [from] is (eventually) absorbed at the absorbing
+    state [into].  If [from] is itself absorbing this is 1 or 0.
+    @raise Invalid_argument if [into] is not absorbing or either state is
+    out of range. *)
+
+val expected_steps_to_absorption : t -> from:int -> float
+(** [expected_steps_to_absorption t ~from] is the expected number of
+    steps before absorption starting from [from] ([0.] if [from] is
+    absorbing). *)
+
+val absorption_distribution : t -> from:int -> (int * float) list
+(** [absorption_distribution t ~from] lists [(absorbing_state, probability)]
+    pairs summing to 1. *)

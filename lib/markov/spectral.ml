@@ -1,0 +1,80 @@
+(* Power iteration with deflation of the principal pair (pi, 1):
+   row vectors evolve as x -> x P; the all-ones vector is the principal
+   right eigenvector, so the zero-sum subspace { x : sum x = 0 } is
+   invariant under the iteration and contains every non-principal left
+   eigenvector.  Because non-principal eigenvalues may be complex (the
+   suffix chain is cycle-like), single-step growth ratios oscillate; the
+   robust estimator is the geometric mean decay rate
+   (||x P^m|| / ||x||)^(1/m), accumulated in blocks. *)
+
+let project_zero_sum x =
+  let n = Array.length x in
+  let mean = Array.fold_left ( +. ) 0. x /. float_of_int n in
+  Array.map (fun v -> v -. mean) x
+
+let norm x = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. x)
+
+let normalize x =
+  let nn = norm x in
+  if nn = 0. then x else Array.map (fun v -> v /. nn) x
+
+let slem ?(tol = 1e-8) ?(max_iter = 2_000_000) chain =
+  if not (Chain.is_ergodic chain) then
+    invalid_arg "Spectral.slem: chain must be ergodic";
+  let n = Chain.size chain in
+  if n = 1 then 0.
+  else begin
+    let x =
+      ref
+        (normalize
+           (project_zero_sum (Array.init n (fun i -> sin (float_of_int (i + 1))))))
+    in
+    let block = 64 in
+    let log_growth = ref 0. in
+    let steps = ref 0 in
+    let estimate = ref nan in
+    let converged = ref false in
+    while (not !converged) && !steps < max_iter do
+      (* One block of iterations, accumulating the log of the growth. *)
+      let block_log = ref 0. in
+      let dead = ref false in
+      for _ = 1 to block do
+        if not !dead then begin
+          let next = project_zero_sum (Chain.step_distribution chain !x) in
+          let nn = norm next in
+          if nn < 1e-300 then dead := true
+          else begin
+            block_log := !block_log +. log nn;
+            x := Array.map (fun v -> v /. nn) next
+          end
+        end
+      done;
+      if !dead then begin
+        (* The orthogonal component vanished: SLEM indistinguishable from 0. *)
+        estimate := 0.;
+        converged := true
+      end
+      else begin
+        log_growth := !log_growth +. !block_log;
+        steps := !steps + block;
+        let current = exp (!log_growth /. float_of_int !steps) in
+        if
+          Float.is_finite !estimate
+          && Float.abs (current -. !estimate) <= tol *. Float.max 1. current
+        then converged := true;
+        estimate := current
+      end
+    done;
+    if not !converged then failwith "Spectral.slem: power iteration did not stabilize";
+    Float.min 1. (Float.max 0. !estimate)
+  end
+
+let relaxation_time chain = 1. /. (1. -. slem chain)
+
+let mixing_time_estimate ?(epsilon = 0.125) chain =
+  let lambda = slem chain in
+  if 1. -. lambda < 1e-12 then
+    failwith "Spectral.mixing_time_estimate: no spectral gap detected";
+  let pi = Chain.stationary_linear_solve chain in
+  let min_pi = Array.fold_left Float.min 1. pi in
+  log (1. /. (epsilon *. sqrt min_pi)) /. (1. -. lambda)

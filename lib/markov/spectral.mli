@@ -1,0 +1,38 @@
+(** Spectral estimates for ergodic chains.
+
+    The exact [epsilon]-mixing time of {!Chain.mixing_time} marches every
+    point-mass start forward — O(size^2) per step.  For larger chains the
+    standard route is the spectral gap: if [lambda] is the second-largest
+    eigenvalue modulus (SLEM) of the transition matrix, then
+    [tau(eps) <= log (1 / (eps * sqrt min_pi)) / (1 - lambda)], so a power
+    iteration that estimates [lambda] yields a usable mixing-time upper
+    bound in O(size * edges) time. *)
+
+val slem : ?tol:float -> ?max_iter:int -> Chain.t -> float
+(** [slem chain] estimates the second-largest eigenvalue modulus by power
+    iteration on the space orthogonal to the stationary distribution
+    (deflation): iterate [x -> x P] while projecting out the known
+    principal pair, tracking the growth ratio.  Returns a value in
+    [[0, 1]].
+    @raise Invalid_argument if the chain is not ergodic (the principal
+    eigenvalue would not be simple).
+    @raise Failure if the iteration does not stabilize within [max_iter]
+    (default 2_000_000) steps to tolerance [tol] (default 1e-8).  The
+    estimator is a cumulative geometric mean, so the returned value
+    carries error of order [tol]; treat low-order digits accordingly. *)
+
+val mixing_time_estimate : ?epsilon:float -> Chain.t -> float
+(** [mixing_time_estimate chain] is the reversible-case spectral formula
+    [log (1 / (epsilon * sqrt min_pi)) / (1 - slem)] with [epsilon]
+    defaulting to [1/8] (the paper's choice).  For reversible chains this
+    is a genuine upper bound on the mixing time; the paper's suffix
+    chains are {e not} reversible, where it serves as an order-of-
+    magnitude estimate only — {!Chain.mixing_time} is the ground truth
+    when the chain is small enough to afford it (the test suite checks
+    the two stay within a small factor on the chains we use).
+    @raise Invalid_argument / Failure as {!slem}; also
+    @raise Failure when [slem = 1.] within tolerance (no spectral gap
+    detected). *)
+
+val relaxation_time : Chain.t -> float
+(** [1 / (1 - slem chain)]. *)

@@ -1,0 +1,108 @@
+(* Iterative Tarjan SCC: an explicit work stack avoids stack overflow on the
+   long path-shaped chains (Delta up to a few thousand states). *)
+let strongly_connected_components ~succ ~n =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  (* Work items: (vertex, remaining successors). *)
+  let visit root =
+    let work = ref [ (root, succ root) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, remaining) :: rest -> (
+        match remaining with
+        | [] ->
+          work := rest;
+          (match rest with
+          | (parent, _) :: _ ->
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | [] -> ());
+          if lowlink.(v) = index.(v) then begin
+            let rec pop acc =
+              match !stack with
+              | [] -> acc
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                if w = v then w :: acc else pop (w :: acc)
+            in
+            components := pop [] :: !components
+          end
+        | w :: others ->
+          work := (v, others) :: rest;
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            work := (w, succ w) :: !work
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  !components
+
+let is_strongly_connected ~succ ~n =
+  n <= 1 || List.length (strongly_connected_components ~succ ~n) = 1
+
+let reachable ~succ ~n ~start =
+  if start < 0 || start >= n then invalid_arg "Structure.reachable: bad start";
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+      (succ v)
+  done;
+  seen
+
+(* Period via BFS levels: for every edge u->w inside the reachable set, the
+   quantity level(u) + 1 - level(w) is a multiple of the period; the gcd of
+   all such quantities (over a spanning BFS) is exactly the period of the
+   communicating class when the graph restricted to reachable vertices is
+   strongly connected, and a divisor-sound estimate otherwise. *)
+let period ~succ ~n ~start =
+  if start < 0 || start >= n then invalid_arg "Structure.period: bad start";
+  let level = Array.make n (-1) in
+  let queue = Queue.create () in
+  level.(start) <- 0;
+  Queue.add start queue;
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let g = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if level.(w) = -1 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w queue
+        end
+        else begin
+          (* Non-tree edge: level(v) + 1 - level(w) is a multiple of the
+             period; tree edges contribute 0, which gcd ignores. *)
+          let diff = abs (level.(v) + 1 - level.(w)) in
+          if diff <> 0 then g := gcd !g diff
+        end)
+      (succ v)
+  done;
+  !g

@@ -1,0 +1,27 @@
+(** Directed-graph structure queries on a chain's support graph.
+
+    The paper calls its chains time-homogeneous, irreducible and ergodic;
+    this module makes those claims checkable: irreducibility is "one
+    strongly connected component", ergodicity additionally needs period 1.
+    Graphs are given by out-adjacency lists. *)
+
+val strongly_connected_components : succ:(int -> int list) -> n:int -> int list list
+(** [strongly_connected_components ~succ ~n] lists the SCCs of the graph on
+    vertices [0 .. n-1] (Tarjan's algorithm, iterative), in reverse
+    topological order of the condensation.  Every vertex appears in exactly
+    one component. *)
+
+val is_strongly_connected : succ:(int -> int list) -> n:int -> bool
+(** [is_strongly_connected ~succ ~n] holds iff the graph has one SCC
+    (vacuously true for [n <= 1]). *)
+
+val period : succ:(int -> int list) -> n:int -> start:int -> int
+(** [period ~succ ~n ~start] is the gcd of all closed-walk lengths through
+    vertices reachable from [start] — the period of [start]'s communicating
+    class, computed from BFS level differences.  Returns [0] when no cycle
+    is reachable from [start].
+    @raise Invalid_argument if [start] is outside [0 .. n-1]. *)
+
+val reachable : succ:(int -> int list) -> n:int -> start:int -> bool array
+(** [reachable ~succ ~n ~start] flags vertices reachable from [start]
+    (including [start] itself). *)

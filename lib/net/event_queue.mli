@@ -1,0 +1,25 @@
+(** A stable binary-heap priority queue keyed by integer time.
+
+    Drives message delivery: events inserted with the same due time pop in
+    insertion order (stability matters — the adversary is allowed to
+    reorder, the honest network must not reorder spontaneously). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [push q ~time x] schedules [x] at [time].
+    @raise Invalid_argument on negative [time]. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time q] is the due time of the earliest event, if any. *)
+
+val pop_due : 'a t -> now:int -> 'a list
+(** [pop_due q ~now] removes and returns every event with
+    [time <= now], earliest first and insertion-stable within a time. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop q] removes the earliest event. *)

@@ -1,0 +1,71 @@
+type message = {
+  sender : int;
+  sent_round : int;
+  blocks : Nakamoto_chain.Block.t list;
+}
+
+type delay_policy =
+  | Immediate
+  | Fixed of int
+  | Uniform_random
+  | Maximal
+  | Per_recipient of (recipient:int -> message -> int)
+
+type t = {
+  delta : int;
+  players : int;
+  policy : delay_policy;
+  rng : Nakamoto_prob.Rng.t;
+  inboxes : message Event_queue.t array;
+  mutable sent : int;
+}
+
+let create ~delta ~players ~policy ~rng =
+  if delta < 1 then invalid_arg "Network.create: delta must be >= 1";
+  if players <= 0 then invalid_arg "Network.create: players must be positive";
+  {
+    delta;
+    players;
+    policy;
+    rng;
+    inboxes = Array.init players (fun _ -> Event_queue.create ());
+    sent = 0;
+  }
+
+let delta t = t.delta
+
+let clamp_delay t d = max 1 (min t.delta d)
+
+let chosen_delay t ~recipient msg =
+  let raw =
+    match t.policy with
+    | Immediate -> 1
+    | Fixed d -> d
+    | Uniform_random -> 1 + Nakamoto_prob.Rng.int t.rng ~bound:t.delta
+    | Maximal -> t.delta
+    | Per_recipient f -> f ~recipient msg
+  in
+  clamp_delay t raw
+
+let enqueue t ~recipient ~delay msg =
+  Event_queue.push t.inboxes.(recipient) ~time:(msg.sent_round + delay) msg;
+  t.sent <- t.sent + 1
+
+let broadcast t msg =
+  for recipient = 0 to t.players - 1 do
+    if recipient <> msg.sender then
+      enqueue t ~recipient ~delay:(chosen_delay t ~recipient msg) msg
+  done
+
+let send_direct t ~recipient ~delay msg =
+  if recipient < 0 || recipient >= t.players then
+    invalid_arg "Network.send_direct: recipient out of range";
+  enqueue t ~recipient ~delay:(clamp_delay t delay) msg
+
+let deliver t ~recipient ~round =
+  Event_queue.pop_due t.inboxes.(recipient) ~now:round
+
+let pending t =
+  Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.inboxes
+
+let messages_sent t = t.sent

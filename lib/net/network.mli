@@ -1,0 +1,54 @@
+(** The asynchronous Δ-delay message layer.
+
+    Capability ① of the paper's adversary: it may delay and reorder every
+    message, per recipient and adaptively, by up to [delta] rounds, but can
+    neither drop nor modify it.  The network enforces the [delta] cap
+    regardless of what the delay policy asks for; delivery of a message
+    sent at round [r] happens when the recipient processes round
+    [r + chosen_delay] (with [chosen_delay >= 1]: a block mined in round
+    [r] is never seen by others within round [r], matching the model where
+    honest queries within one round are parallel). *)
+
+type message = {
+  sender : int;  (** miner index, or [-1] for the adversary's releases *)
+  sent_round : int;
+  blocks : Nakamoto_chain.Block.t list;  (** a chain segment, any order *)
+}
+
+type delay_policy =
+  | Immediate  (** delay 1: next-round delivery, the synchronous baseline *)
+  | Fixed of int  (** constant delay in [1, delta] (clamped) *)
+  | Uniform_random  (** uniform on [1, delta], drawn per recipient *)
+  | Maximal  (** always the full [delta] — the worst honest-facing case *)
+  | Per_recipient of (recipient:int -> message -> int)
+      (** adaptive adversarial choice, still clamped to [1, delta] *)
+
+type t
+
+val create : delta:int -> players:int -> policy:delay_policy ->
+  rng:Nakamoto_prob.Rng.t -> t
+(** [create ~delta ~players ~policy ~rng] builds an empty network.
+    @raise Invalid_argument if [delta < 1] or [players <= 0]. *)
+
+val delta : t -> int
+
+val broadcast : t -> message -> unit
+(** [broadcast t msg] enqueues [msg] to every player except the sender,
+    with per-recipient delays chosen by the policy (clamped to
+    [[1, delta]]). *)
+
+val send_direct : t -> recipient:int -> delay:int -> message -> unit
+(** [send_direct t ~recipient ~delay msg] enqueues with an explicit delay
+    (clamped to [[1, delta]]) — used by adversarial strategies that release
+    different views to different players.
+    @raise Invalid_argument if [recipient] is out of range. *)
+
+val deliver : t -> recipient:int -> round:int -> message list
+(** [deliver t ~recipient ~round] removes and returns the messages due at
+    or before [round] for [recipient], in due order. *)
+
+val pending : t -> int
+(** [pending t] counts undelivered messages across all recipients. *)
+
+val messages_sent : t -> int
+(** [messages_sent t] is the cumulative per-recipient enqueue count. *)

@@ -1,0 +1,105 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+type axis_scale = Linear | Log10
+
+let transform = function
+  | Linear -> fun x -> if Float.is_finite x then Some x else None
+  | Log10 -> fun x -> if x > 0. && Float.is_finite x then Some (Float.log10 x) else None
+
+let plot ?(width = 72) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear)
+    ~title ~x_label ~y_label series =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.plot: grid too small";
+  let tx = transform x_scale and ty = transform y_scale in
+  let projected =
+    List.map
+      (fun s ->
+        let pts =
+          List.filter_map
+            (fun (x, y) ->
+              match (tx x, ty y) with
+              | Some px, Some py -> Some (px, py)
+              | _ -> None)
+            s.points
+        in
+        (s, pts))
+      series
+  in
+  let all_points = List.concat_map snd projected in
+  if all_points = [] then invalid_arg "Ascii_plot.plot: nothing to plot";
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let min_list = List.fold_left Float.min infinity in
+  let max_list = List.fold_left Float.max neg_infinity in
+  let x_min = min_list xs and x_max = max_list xs in
+  let y_min = min_list ys and y_max = max_list ys in
+  let pad_range lo hi =
+    if hi > lo then (lo, hi)
+    else
+      let eps = Float.max 1e-9 (Float.abs lo *. 1e-6) in
+      (lo -. eps, hi +. eps)
+  in
+  let x_min, x_max = pad_range x_min x_max in
+  let y_min, y_max = pad_range y_min y_max in
+  let grid = Array.make_matrix height width ' ' in
+  let to_col x =
+    int_of_float
+      (Float.round ((x -. x_min) /. (x_max -. x_min) *. float_of_int (width - 1)))
+  in
+  let to_row y =
+    (height - 1)
+    - int_of_float
+        (Float.round
+           ((y -. y_min) /. (y_max -. y_min) *. float_of_int (height - 1)))
+  in
+  List.iter
+    (fun (s, pts) ->
+      List.iter
+        (fun (x, y) ->
+          let col = s.glyph in
+          let r = to_row y and c = to_col x in
+          if r >= 0 && r < height && c >= 0 && c < width then
+            grid.(r).(c) <- col)
+        pts)
+    projected;
+  let buf = Buffer.create ((width + 12) * (height + 6)) in
+  Buffer.add_string buf (title ^ "\n");
+  let untransform scale v =
+    match scale with Linear -> v | Log10 -> 10. ** v
+  in
+  let y_hi_label = Printf.sprintf "%.4g" (untransform y_scale y_max) in
+  let y_lo_label = Printf.sprintf "%.4g" (untransform y_scale y_min) in
+  let margin = max (String.length y_hi_label) (String.length y_lo_label) in
+  let pad_left s =
+    String.make (margin - String.length s) ' ' ^ s
+  in
+  for r = 0 to height - 1 do
+    let label =
+      if r = 0 then pad_left y_hi_label
+      else if r = height - 1 then pad_left y_lo_label
+      else String.make margin ' '
+    in
+    Buffer.add_string buf label;
+    Buffer.add_string buf " |";
+    Buffer.add_string buf (String.init width (fun c -> grid.(r).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make margin ' ');
+  Buffer.add_string buf " +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let x_lo_label = Printf.sprintf "%.4g" (untransform x_scale x_min) in
+  let x_hi_label = Printf.sprintf "%.4g" (untransform x_scale x_max) in
+  let gap =
+    max 1 (width - String.length x_lo_label - String.length x_hi_label)
+  in
+  Buffer.add_string buf (String.make (margin + 2) ' ');
+  Buffer.add_string buf x_lo_label;
+  Buffer.add_string buf (String.make gap ' ');
+  Buffer.add_string buf x_hi_label;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "x: %s%s   y: %s\n" x_label
+       (match x_scale with Log10 -> " (log)" | Linear -> "")
+       (y_label ^ match y_scale with Log10 -> " (log)" | Linear -> ""));
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  %c  %s\n" s.glyph s.label))
+    series;
+  Buffer.contents buf

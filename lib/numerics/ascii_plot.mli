@@ -1,0 +1,29 @@
+(** Minimal character-grid plotting for terminal figures.
+
+    Used to render Figure 1 (and ad-hoc sweeps) directly in the bench and
+    example output without any graphics dependency.  Supports multiple
+    series, optional log-scaled x axis, and per-series glyphs. *)
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;  (** (x, y) pairs; non-finite points are skipped *)
+}
+
+type axis_scale = Linear | Log10
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:axis_scale ->
+  ?y_scale:axis_scale ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [plot ~title ~x_label ~y_label series] renders the series on a
+    [width * height] grid (defaults 72 x 20) with framed axes, min/max
+    tick annotations, and a legend.  Log scales drop non-positive
+    coordinates.  Returns the multi-line string.
+    @raise Invalid_argument if no series contributes a plottable point. *)

@@ -1,0 +1,52 @@
+type t = { lo : float; hi : float }
+
+let valid x = not (Float.is_nan x)
+
+let make ~lo ~hi =
+  if not (valid lo && valid hi) then invalid_arg "Interval.make: NaN endpoint";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point x =
+  if not (valid x) then invalid_arg "Interval.point: NaN";
+  { lo = x; hi = x }
+
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.hi -. t.lo
+let contains t x = t.lo <= x && x <= t.hi
+
+(* One-ulp outward widening: the nearest-rounded result of a primitive
+   operation is within one ulp of the true result. *)
+let down x = if Float.is_finite x then Float.pred x else x
+let up x = if Float.is_finite x then Float.succ x else x
+let widen lo hi = { lo = down lo; hi = up hi }
+
+let add a b = widen (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = widen (a.lo -. b.hi) (a.hi -. b.lo)
+
+let mul a b =
+  let products = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
+  widen
+    (List.fold_left Float.min infinity products)
+    (List.fold_left Float.max neg_infinity products)
+
+let div a b =
+  if b.lo <= 0. && b.hi >= 0. then
+    invalid_arg "Interval.div: divisor contains zero";
+  let quotients = [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ] in
+  widen
+    (List.fold_left Float.min infinity quotients)
+    (List.fold_left Float.max neg_infinity quotients)
+
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+let exp a = widen (Stdlib.exp a.lo) (Stdlib.exp a.hi)
+
+let log a =
+  if a.lo <= 0. then invalid_arg "Interval.log: requires a strictly positive interval";
+  widen (Stdlib.log a.lo) (Stdlib.log a.hi)
+
+let one_minus x = sub (point 1.) x
+let strictly_positive t = t.lo > 0.
+let strictly_negative t = t.hi < 0.
+let pp fmt t = Format.fprintf fmt "[%.17g, %.17g]" t.lo t.hi

@@ -1,0 +1,50 @@
+(** Interval arithmetic with outward rounding.
+
+    Used to {e certify} the bound inversions: a bisection answer
+    [nu_max] is only a float; evaluating the defining inequality over
+    intervals that provably contain every rounding error turns "the
+    solver says so" into "the sign of the criterion is mathematically
+    guaranteed on both sides of the answer".
+
+    OCaml computes in round-to-nearest, so every primitive operation's
+    true result lies within one ulp of the computed one; each operation
+    here widens its float result by one ulp outward ([Float.pred] /
+    [Float.succ]), which makes the enclosures conservative.  Only the
+    operations the bound formulas need are provided. *)
+
+type t = private { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** @raise Invalid_argument unless [lo <= hi] and both are finite-or-inf
+    non-NaN. *)
+
+val point : float -> t
+(** Degenerate interval (no widening — the float itself is the value
+    being reasoned about). *)
+
+val lo : t -> float
+val hi : t -> float
+val width : t -> float
+val contains : t -> float -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Invalid_argument when the divisor interval contains [0.]. *)
+
+val neg : t -> t
+val exp : t -> t
+val log : t -> t
+(** @raise Invalid_argument unless the interval is strictly positive. *)
+
+val one_minus : t -> t
+(** [one_minus x] is [sub (point 1.) x] — common enough to name. *)
+
+val strictly_positive : t -> bool
+(** The {e whole} interval is above zero: the true value is provably
+    positive. *)
+
+val strictly_negative : t -> bool
+
+val pp : Format.formatter -> t -> unit

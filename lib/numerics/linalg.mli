@@ -1,0 +1,59 @@
+(** Small dense linear algebra.
+
+    Sized for the explicit small-[Delta] Markov chains (at most a few
+    thousand states); stationary-distribution solves reduce to one LU
+    factorization.  Matrices are row-major [float array array]; none of the
+    operations mutate their inputs unless the name says so. *)
+
+type matrix = float array array
+
+val make : rows:int -> cols:int -> float -> matrix
+(** [make ~rows ~cols x] is a fresh [rows * cols] matrix filled with [x]. *)
+
+val identity : int -> matrix
+(** [identity n] is the [n * n] identity matrix. *)
+
+val copy : matrix -> matrix
+(** [copy m] is a deep copy of [m]. *)
+
+val dims : matrix -> int * int
+(** [dims m] is [(rows, cols)].
+    @raise Invalid_argument on ragged input. *)
+
+val transpose : matrix -> matrix
+(** [transpose m] is the transposed matrix. *)
+
+val mat_vec : matrix -> float array -> float array
+(** [mat_vec m v] is the product [m v].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val vec_mat : float array -> matrix -> float array
+(** [vec_mat v m] is the row-vector product [v m], the natural orientation
+    for distribution-times-transition-matrix updates.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val mat_mul : matrix -> matrix -> matrix
+(** [mat_mul a b] is the matrix product.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve : matrix -> float array -> float array
+(** [solve a b] solves [a x = b] by LU decomposition with partial pivoting.
+    @raise Invalid_argument on dimension mismatch.
+    @raise Failure on (numerically) singular [a]. *)
+
+val norm_inf : float array -> float
+(** [norm_inf v] is the max-absolute-entry norm. *)
+
+val norm_l1 : float array -> float
+(** [norm_l1 v] is the sum of absolute entries. *)
+
+val vec_sub : float array -> float array -> float array
+(** [vec_sub a b] is the componentwise difference.
+    @raise Invalid_argument on length mismatch. *)
+
+val vec_scale : float -> float array -> float array
+(** [vec_scale k v] is [k] times [v], componentwise. *)
+
+val normalize_l1 : float array -> float array
+(** [normalize_l1 v] rescales [v] so its entries sum to [1.].
+    @raise Invalid_argument if the entry sum is zero or not finite. *)

@@ -1,0 +1,133 @@
+type outcome =
+  | Converged of { root : float; iterations : int }
+  | No_sign_change of { lo : float; hi : float; f_lo : float; f_hi : float }
+  | Max_iterations of { best : float; iterations : int }
+
+let check_bracket lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Roots: bracket endpoints must be finite";
+  if lo >= hi then invalid_arg "Roots: requires lo < hi"
+
+let opposite_signs a b = (a <= 0. && b >= 0.) || (a >= 0. && b <= 0.)
+
+let width_converged ~tol lo hi =
+  hi -. lo <= tol +. (tol *. Float.max (Float.abs lo) (Float.abs hi))
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  check_bracket lo hi;
+  let f_lo = f lo and f_hi = f hi in
+  if f_lo = 0. then Converged { root = lo; iterations = 0 }
+  else if f_hi = 0. then Converged { root = hi; iterations = 0 }
+  else if not (opposite_signs f_lo f_hi) then
+    No_sign_change { lo; hi; f_lo; f_hi }
+  else
+    let rec loop lo hi f_lo iter =
+      if width_converged ~tol lo hi then
+        Converged { root = 0.5 *. (lo +. hi); iterations = iter }
+      else if iter >= max_iter then
+        Max_iterations { best = 0.5 *. (lo +. hi); iterations = iter }
+      else
+        let mid = 0.5 *. (lo +. hi) in
+        let f_mid = f mid in
+        if f_mid = 0. then Converged { root = mid; iterations = iter + 1 }
+        else if opposite_signs f_lo f_mid then loop lo mid f_lo (iter + 1)
+        else loop mid hi f_mid (iter + 1)
+    in
+    loop lo hi f_lo 0
+
+(* Brent's method, following the classic Numerical Recipes formulation:
+   [b] is the current best iterate, [a] the previous one, [c] retains the
+   bracket counterpoint so that f(b) and f(c) always have opposite signs. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  check_bracket lo hi;
+  let f_lo = f lo and f_hi = f hi in
+  if f_lo = 0. then Converged { root = lo; iterations = 0 }
+  else if f_hi = 0. then Converged { root = hi; iterations = 0 }
+  else if not (opposite_signs f_lo f_hi) then
+    No_sign_change { lo; hi; f_lo; f_hi }
+  else begin
+    let a = ref lo and b = ref hi and c = ref hi in
+    let fa = ref f_lo and fb = ref f_hi and fc = ref f_hi in
+    let d = ref (hi -. lo) and e = ref (hi -. lo) in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if (!fb > 0. && !fc > 0.) || (!fb < 0. && !fc < 0.) then begin
+        c := !a; fc := !fa; d := !b -. !a; e := !d
+      end;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b; b := !c; c := !a;
+        fa := !fb; fb := !fc; fc := !fa
+      end;
+      let tol1 =
+        (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol)
+      in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0. then
+        result := Some (Converged { root = !b; iterations = !iter })
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          (* Attempt inverse quadratic interpolation (secant if a = c). *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2. *. xm *. s in
+              (p, 1. -. s)
+            else
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p =
+                s *. ((2. *. xm *. q *. (q -. r))
+                      -. ((!b -. !a) *. (r -. 1.)))
+              in
+              (p, (q -. 1.) *. (r -. 1.) *. (s -. 1.))
+          in
+          let q = if p > 0. then -.q else q in
+          let p = Float.abs p in
+          let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2. *. p < Float.min min1 min2 then begin
+            e := !d; d := p /. q
+          end else begin
+            d := xm; e := !d
+          end
+        end else begin
+          d := xm; e := !d
+        end;
+        a := !b; fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+        fb := f !b
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None -> Max_iterations { best = !b; iterations = !iter }
+  end
+
+let find_root_exn ?tol ?max_iter ~f ~lo ~hi () =
+  match brent ?tol ?max_iter ~f ~lo ~hi () with
+  | Converged { root; _ } -> root
+  | No_sign_change { lo; hi; f_lo; f_hi } ->
+    failwith
+      (Printf.sprintf
+         "Roots.find_root_exn: no sign change on [%g, %g] (f = %g, %g)" lo hi
+         f_lo f_hi)
+  | Max_iterations { best; iterations } ->
+    failwith
+      (Printf.sprintf
+         "Roots.find_root_exn: no convergence after %d iterations (best %g)"
+         iterations best)
+
+let bracket_upward ?(factor = 2.) ?(max_steps = 128) ~f ~lo ~hi0 () =
+  if factor <= 1. then invalid_arg "Roots.bracket_upward: factor must exceed 1";
+  if not (hi0 > lo) then invalid_arg "Roots.bracket_upward: requires hi0 > lo";
+  let f_lo = f lo in
+  let rec grow hi steps =
+    if steps > max_steps then None
+    else
+      let f_hi = f hi in
+      if opposite_signs f_lo f_hi then Some (lo, hi)
+      else grow (hi *. factor) (steps + 1)
+  in
+  grow hi0 0

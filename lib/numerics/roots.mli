@@ -1,0 +1,47 @@
+(** One-dimensional root finding.
+
+    Every bound inversion in the reproduction ("given [c], what is the
+    largest tolerable adversarial fraction [nu]?") is a scalar root-finding
+    problem on a monotone function; bisection is the workhorse because the
+    functions involved are cheap, monotone, and sometimes barely
+    differentiable at the edge of their domain.  Brent's method is provided
+    for the well-behaved interiors. *)
+
+type outcome =
+  | Converged of { root : float; iterations : int }
+      (** The bracket shrank below tolerance around [root]. *)
+  | No_sign_change of { lo : float; hi : float; f_lo : float; f_hi : float }
+      (** [f] has the same sign at both endpoints; no root is bracketed. *)
+  | Max_iterations of { best : float; iterations : int }
+      (** Iteration budget exhausted; [best] is the midpoint of the final
+          bracket. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> outcome
+(** [bisect ~f ~lo ~hi ()] finds a root of [f] in [[lo, hi]] by bisection.
+    Requires [lo < hi].  [tol] (default [1e-12]) bounds the final bracket
+    width both absolutely and relative to the magnitude of the root.
+    An endpoint evaluating exactly to [0.] converges immediately.
+    @raise Invalid_argument if [lo >= hi] or either endpoint is not finite. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> outcome
+(** [brent ~f ~lo ~hi ()] is Brent's method (inverse quadratic
+    interpolation with bisection fallback); same contract as {!bisect} but
+    typically an order of magnitude fewer evaluations on smooth functions. *)
+
+val find_root_exn :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float
+(** [find_root_exn] is {!brent} unwrapped.
+    @raise Failure when the outcome is not [Converged]. *)
+
+val bracket_upward :
+  ?factor:float -> ?max_steps:int -> f:(float -> float) -> lo:float ->
+  hi0:float -> unit -> (float * float) option
+(** [bracket_upward ~f ~lo ~hi0 ()] grows the upper endpoint geometrically
+    ([factor], default [2.]) from [hi0] until [f lo] and [f hi] have opposite
+    signs, returning the bracket, or [None] after [max_steps] (default 128)
+    expansions. *)

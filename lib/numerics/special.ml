@@ -1,0 +1,91 @@
+let log1p = Stdlib.log1p
+let expm1 = Stdlib.expm1
+
+let log_pow1p ~base ~exponent =
+  if 1. +. base <= 0. then
+    invalid_arg "Special.log_pow1p: 1 + base must be positive";
+  exponent *. log1p base
+
+let log_add la lb =
+  if la = neg_infinity then lb
+  else if lb = neg_infinity then la
+  else
+    let hi = Float.max la lb and lo = Float.min la lb in
+    hi +. log1p (exp (lo -. hi))
+
+let log_sub la lb =
+  if lb = neg_infinity then la
+  else if lb > la then invalid_arg "Special.log_sub: lb > la"
+  else if lb = la then neg_infinity
+  else la +. log1p (-.exp (lb -. la))
+
+let log_sum ls =
+  match List.filter (fun l -> l <> neg_infinity) ls with
+  | [] -> neg_infinity
+  | ls ->
+    let hi = List.fold_left Float.max neg_infinity ls in
+    if hi = infinity then infinity
+    else
+      let acc = List.fold_left (fun acc l -> acc +. exp (l -. hi)) 0. ls in
+      hi +. log acc
+
+let log_one_minus_exp lx =
+  if lx > 0. then invalid_arg "Special.log_one_minus_exp: lx > 0";
+  if lx = 0. then neg_infinity
+  else if lx > -.log 2. then log (-.expm1 lx)
+  else log1p (-.exp lx)
+
+let logit x =
+  if not (x > 0. && x < 1.) then invalid_arg "Special.logit: x outside (0, 1)";
+  log (x /. (1. -. x))
+
+let sigmoid x = if x >= 0. then 1. /. (1. +. exp (-.x)) else
+    let e = exp x in
+    e /. (1. +. e)
+
+(* Exact log-factorials for small n; Stirling's series with three correction
+   terms beyond, which is accurate to ~1e-13 relative already at n = 257. *)
+let factorial_table_size = 257
+
+let log_factorial_table =
+  let t = Array.make factorial_table_size 0. in
+  for i = 2 to factorial_table_size - 1 do
+    t.(i) <- t.(i - 1) +. log (float_of_int i)
+  done;
+  t
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: negative argument";
+  if n < factorial_table_size then log_factorial_table.(n)
+  else
+    let x = float_of_int n in
+    let inv = 1. /. x in
+    let inv2 = inv *. inv in
+    ((x +. 0.5) *. log x) -. x
+    +. (0.5 *. log (2. *. Float.pi))
+    +. (inv /. 12.)
+    -. (inv *. inv2 /. 360.)
+    +. (inv *. inv2 *. inv2 /. 1260.)
+
+let log_binomial_coefficient n k =
+  if n < 0 then invalid_arg "Special.log_binomial_coefficient: negative n";
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if a = b then true
+  else
+    Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Special.clamp: lo > hi";
+  Float.min hi (Float.max lo x)
+
+let is_probability x = Float.is_finite x && x >= 0. && x <= 1.
+
+let geometric_series_sum ~ratio ~terms =
+  if terms < 0 then invalid_arg "Special.geometric_series_sum: negative terms";
+  if terms = 0 then 0.
+  else if ratio = 1. then float_of_int terms
+  else (1. -. (ratio ** float_of_int terms)) /. (1. -. ratio)

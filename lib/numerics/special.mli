@@ -1,0 +1,69 @@
+(** Numerically stable special functions used throughout the analysis.
+
+    The paper's quantities live at extreme scales: with [Delta = 1e13] and
+    [p = 1/(c n Delta)], the factor [abar ** (2 * Delta)] underflows any IEEE
+    double unless evaluated in the log domain.  This module collects the
+    stable primitives every other module builds on. *)
+
+val log1p : float -> float
+(** [log1p x] is [log (1. +. x)] computed accurately for small [x]. *)
+
+val expm1 : float -> float
+(** [expm1 x] is [exp x -. 1.] computed accurately for small [x]. *)
+
+val log_pow1p : base:float -> exponent:float -> float
+(** [log_pow1p ~base ~exponent] is [exponent *. log1p base], i.e.
+    [log ((1. +. base) ** exponent)] evaluated stably.  Used for
+    [log ((1-p)^(mu*n)) = mu*n*log1p(-p)].
+    @raise Invalid_argument if [1. +. base <= 0.]. *)
+
+val log_add : float -> float -> float
+(** [log_add la lb] is [log (exp la +. exp lb)] without overflow;
+    identity element is [neg_infinity]. *)
+
+val log_sub : float -> float -> float
+(** [log_sub la lb] is [log (exp la -. exp lb)].
+    @raise Invalid_argument if [lb > la]. *)
+
+val log_sum : float list -> float
+(** [log_sum ls] is [log (sum_i (exp ls_i))] via the max-shift trick. *)
+
+val log_one_minus_exp : float -> float
+(** [log_one_minus_exp lx] is [log (1. -. exp lx)] for [lx <= 0.], stable
+    both for [lx] near [0.] and for very negative [lx].
+    @raise Invalid_argument if [lx > 0.]. *)
+
+val logit : float -> float
+(** [logit x] is [log (x /. (1. -. x))] for [x] in (0, 1). *)
+
+val sigmoid : float -> float
+(** [sigmoid x] is [1. /. (1. +. exp (-.x))], the inverse of {!logit},
+    evaluated without overflow for any [x]. *)
+
+val log_binomial_coefficient : int -> int -> float
+(** [log_binomial_coefficient n k] is [log (n choose k)] via
+    [log_factorial]; exact to double precision for all [n >= 0].
+    Returns [neg_infinity] when [k < 0 || k > n]. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [log n!]; table-driven for [n <= 256], Stirling
+    series beyond.  @raise Invalid_argument on negative [n]. *)
+
+val approx_equal : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_equal ?rtol ?atol a b] holds when
+    [abs (a -. b) <= atol +. rtol *. max (abs a) (abs b)].
+    Defaults: [rtol = 1e-9], [atol = 1e-12].  [nan] is never equal;
+    equal infinities are equal. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to the closed interval [[lo, hi]].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val is_probability : float -> bool
+(** [is_probability x] holds when [0. <= x && x <= 1.] and [x] is finite. *)
+
+val geometric_series_sum : ratio:float -> terms:int -> float
+(** [geometric_series_sum ~ratio ~terms] is [sum_{i=0}^{terms-1} ratio^i],
+    computed in closed form as [(1 - ratio^terms) / (1 - ratio)] with the
+    [ratio = 1.] limit handled exactly.
+    @raise Invalid_argument on negative [terms]. *)

@@ -1,0 +1,92 @@
+type cell =
+  | Text of string
+  | Int of int
+  | Float of float
+  | Sci of float
+  | Log10 of float
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows_rev : cell list list;
+  mutable count : int;
+}
+
+let create ~title ~columns = { title; columns; rows_rev = []; count = 0 }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity differs from header";
+  t.rows_rev <- cells :: t.rows_rev;
+  t.count <- t.count + 1
+
+let row_count t = t.count
+
+let cell_to_string = function
+  | Text s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | Sci f -> Printf.sprintf "%.4e" f
+  | Log10 lnat ->
+    (* A natural-log value rendered as a power of ten, e.g. -145.1 -> 1e-63. *)
+    if lnat = neg_infinity then "0"
+    else Printf.sprintf "1e%+.2f" (lnat /. log 10.)
+
+let rows t = List.rev t.rows_rev
+
+let render t =
+  let header = t.columns in
+  let body = List.map (List.map cell_to_string) (rows t) in
+  let all = header :: body in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i s -> widths.(i) <- max widths.(i) (String.length s))
+        row)
+    all;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let render_row row =
+    let padded = List.mapi pad row in
+    (* Trailing spaces from padding the last column are unwanted. *)
+    String.concat "  " padded |> String.trim
+  in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "  "
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    body;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit t.columns;
+  List.iter (fun row -> emit (List.map cell_to_string row)) (rows t);
+  Buffer.contents buf
+
+let save_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

@@ -1,0 +1,39 @@
+(** Column-aligned text tables and CSV emission.
+
+    Every reproduced paper table/figure is ultimately a [Table.t]: the bench
+    harness renders it for the terminal, the examples also dump CSV so the
+    series can be re-plotted elsewhere. *)
+
+type cell =
+  | Text of string
+  | Int of int
+  | Float of float  (** rendered with [%.6g] *)
+  | Sci of float  (** rendered with [%.4e] *)
+  | Log10 of float  (** a log-domain (natural-log) value rendered as 10^x *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] is an empty table with the given header. *)
+
+val add_row : t -> cell list -> unit
+(** [add_row t cells] appends a row.
+    @raise Invalid_argument if the arity differs from the header. *)
+
+val row_count : t -> int
+(** [row_count t] is the number of data rows added so far. *)
+
+val render : t -> string
+(** [render t] lays the table out with aligned columns, title, and rule
+    lines, ready for a terminal. *)
+
+val to_csv : t -> string
+(** [to_csv t] is an RFC-4180-ish CSV dump (header + rows; fields containing
+    commas or quotes are quoted). *)
+
+val save_csv : t -> path:string -> unit
+(** [save_csv t ~path] writes {!to_csv} output to [path]. *)
+
+val cell_to_string : cell -> string
+(** [cell_to_string c] is the rendering used by both {!render} and
+    {!to_csv}. *)

@@ -1,0 +1,89 @@
+module Special = Nakamoto_numerics.Special
+
+type t = { trials : int; p : float }
+
+let create ~trials ~p =
+  if trials < 0 then invalid_arg "Binomial.create: trials must be nonnegative";
+  if not (Special.is_probability p) then
+    invalid_arg "Binomial.create: p must be a probability";
+  { trials; p }
+
+let mean { trials; p } = float_of_int trials *. p
+let variance { trials; p } = float_of_int trials *. p *. (1. -. p)
+
+let log_pmf { trials; p } k =
+  if k < 0 || k > trials then neg_infinity
+  else if p = 0. then if k = 0 then 0. else neg_infinity
+  else if p = 1. then if k = trials then 0. else neg_infinity
+  else
+    Special.log_binomial_coefficient trials k
+    +. (float_of_int k *. log p)
+    +. Special.log_pow1p ~base:(-.p) ~exponent:(float_of_int (trials - k))
+
+let pmf d k = exp (log_pmf d k)
+
+let cdf d k =
+  if k < 0 then 0.
+  else if k >= d.trials then 1.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to k do
+      acc := !acc +. pmf d i
+    done;
+    Special.clamp ~lo:0. ~hi:1. !acc
+  end
+
+let survival d k =
+  if k < 0 then 1.
+  else if k >= d.trials then 0.
+  else begin
+    (* Sum the (typically tiny) upper tail directly rather than via
+       1 - cdf, preserving relative accuracy. *)
+    let acc = ref 0. in
+    for i = d.trials downto k + 1 do
+      acc := !acc +. pmf d i
+    done;
+    Special.clamp ~lo:0. ~hi:1. !acc
+  end
+
+let log_prob_zero { trials; p } =
+  if p = 1. && trials > 0 then neg_infinity
+  else Special.log_pow1p ~base:(-.p) ~exponent:(float_of_int trials)
+
+let prob_zero d = exp (log_prob_zero d)
+let prob_positive d = -.Special.expm1 (log_prob_zero d)
+
+let log_prob_one { trials; p } =
+  if trials = 0 || p = 0. then neg_infinity
+  else if p = 1. then if trials = 1 then 0. else neg_infinity
+  else
+    log (p *. float_of_int trials)
+    +. Special.log_pow1p ~base:(-.p) ~exponent:(float_of_int (trials - 1))
+
+let prob_one d = exp (log_prob_one d)
+
+(* Sequential inversion: walk the pmf from k = 0 using the recurrence
+   pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p).  Expected work O(1 + np). *)
+let sample_by_inversion rng d =
+  let u = Rng.float rng in
+  let ratio = d.p /. (1. -. d.p) in
+  let rec walk k pk acc =
+    if acc +. pk >= u || k >= d.trials then k
+    else
+      let pk' = pk *. ratio *. float_of_int (d.trials - k) /. float_of_int (k + 1) in
+      walk (k + 1) pk' (acc +. pk)
+  in
+  walk 0 (prob_zero d) 0.
+
+let sample_by_trials rng d =
+  let count = ref 0 in
+  for _ = 1 to d.trials do
+    if Rng.bernoulli rng ~p:d.p then incr count
+  done;
+  !count
+
+let sample rng d =
+  if d.trials = 0 || d.p = 0. then 0
+  else if d.p = 1. then d.trials
+  else if mean d <= 64. || d.trials <= 256 then sample_by_inversion rng d
+  else sample_by_trials rng d

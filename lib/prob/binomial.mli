@@ -1,0 +1,56 @@
+(** The binomial distribution [binom(n, p)].
+
+    Per round, the number of blocks mined by [m] miners each succeeding
+    independently with probability [p] is binomial — both the honest side
+    ([binom(mu*n, p)], Eqs. 7–9 of the paper) and the adversary
+    ([binom(nu*n, p)], Eq. 27).  Everything here is exact (no normal
+    approximation); log-domain variants cover the extreme parameter ranges
+    of the paper's Figure 1. *)
+
+type t = private { trials : int; p : float }
+
+val create : trials:int -> p:float -> t
+(** [create ~trials ~p] validates [trials >= 0] and [p] in [[0, 1]].
+    @raise Invalid_argument otherwise. *)
+
+val mean : t -> float
+(** [mean d] is [trials *. p]. *)
+
+val variance : t -> float
+(** [variance d] is [trials *. p *. (1 -. p)]. *)
+
+val log_pmf : t -> int -> float
+(** [log_pmf d k] is [log P(X = k)]; [neg_infinity] outside [[0, trials]]. *)
+
+val pmf : t -> int -> float
+(** [pmf d k] is [P(X = k)]. *)
+
+val cdf : t -> int -> float
+(** [cdf d k] is [P(X <= k)] by direct summation (clamped to [[0, 1]]). *)
+
+val survival : t -> int -> float
+(** [survival d k] is [P(X > k)], summed from the tail for accuracy. *)
+
+val log_prob_zero : t -> float
+(** [log_prob_zero d] is [log P(X = 0) = trials * log1p (-p)] — the paper's
+    [log abar] when applied to the honest miners. *)
+
+val prob_zero : t -> float
+(** [prob_zero d] is [P(X = 0)] — the paper's [abar], Eq. (8). *)
+
+val prob_positive : t -> float
+(** [prob_positive d] is [P(X > 0) = 1 - prob_zero d] — the paper's
+    [alpha], Eq. (7), computed as [-expm1 (log_prob_zero d)]. *)
+
+val log_prob_one : t -> float
+(** [log_prob_one d] is [log P(X = 1)] — the paper's [log alpha1],
+    Eq. (9): [log (p * trials) + (trials - 1) * log1p (-p)]. *)
+
+val prob_one : t -> float
+(** [prob_one d] is [P(X = 1)] — the paper's [alpha1]. *)
+
+val sample : Rng.t -> t -> int
+(** [sample rng d] draws from the distribution.  Uses sequential inversion
+    from [k = 0] (expected [O(1 + mean)] work — the simulator's [p] is
+    tiny, so this is effectively constant time), falling back to explicit
+    Bernoulli summation when inversion would be slow. *)

@@ -1,0 +1,73 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Advance a SplitMix64 stream: state += golden gamma, output = finalize. *)
+let splitmix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  splitmix64 !state
+
+let create ~seed =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = bits64 t in
+  create ~seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling on the top bits to avoid modulo bias. *)
+    let b = Int64.of_int bound in
+    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
+    let rec draw () =
+      let r = Int64.shift_right_logical (bits64 t) 1 in
+      if r >= limit then draw () else Int64.to_int (Int64.rem r b)
+    in
+    draw ()
+  end
+
+let bernoulli t ~p =
+  if not (Nakamoto_numerics.Special.is_probability p) then
+    invalid_arg "Rng.bernoulli: p must be a probability";
+  float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    xoshiro256** seeded via SplitMix64, the standard pairing recommended by
+    the xoshiro authors; SplitMix64 is also exposed directly as the
+    random-oracle hash finalizer used by {!Nakamoto_chain.Hash}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator; any seed (including [0L]) is valid
+    because SplitMix64 whitens it. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream from [t], advancing
+    [t].  Used to give each miner its own stream so that per-miner draws do
+    not depend on iteration order elsewhere. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform on [[0, 1)], built from 53 high bits. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform on [[0, bound)], bias-free by rejection.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p].
+    @raise Invalid_argument if [p] is not a probability. *)
+
+val splitmix64 : int64 -> int64
+(** [splitmix64 x] is the SplitMix64 finalizer of [x]: a high-quality
+    64-bit mixing permutation.  Exposed for hashing. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] uniformly in place (Fisher–Yates). *)

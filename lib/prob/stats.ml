@@ -1,0 +1,105 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.mean
+  let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min_value t = t.min_v
+  let max_value t = t.max_v
+
+  let confidence_interval_95 t =
+    if t.count < 2 then
+      invalid_arg "Stats.Summary.confidence_interval_95: needs >= 2 samples";
+    let half = 1.96 *. stddev t /. sqrt (float_of_int t.count) in
+    (mean t -. half, mean t +. half)
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let n = a.count + b.count in
+      let fa = float_of_int a.count and fb = float_of_int b.count in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. fb /. float_of_int n) in
+      let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
+      {
+        count = n;
+        mean;
+        m2;
+        min_v = Float.min a.min_v b.min_v;
+        max_v = Float.max a.max_v b.max_v;
+      }
+    end
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if not (lo < hi) then invalid_arg "Stats.Histogram.create: requires lo < hi";
+    if bins <= 0 then invalid_arg "Stats.Histogram.create: bins must be positive";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let bin_of t x =
+    let bins = Array.length t.counts in
+    let raw =
+      int_of_float (Float.of_int bins *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    max 0 (min (bins - 1) raw)
+
+  let add t x =
+    t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+  let counts t = Array.copy t.counts
+
+  let fraction_at_most t x =
+    if t.total = 0 then 0.
+    else begin
+      let bins = Array.length t.counts in
+      let width = (t.hi -. t.lo) /. float_of_int bins in
+      let acc = ref 0 in
+      for i = 0 to bins - 1 do
+        let upper = t.lo +. (width *. float_of_int (i + 1)) in
+        if upper <= x then acc := !acc + t.counts.(i)
+      done;
+      float_of_int !acc /. float_of_int t.total
+    end
+end
+
+let empirical_rate ~hits ~trials =
+  if trials <= 0 then invalid_arg "Stats.empirical_rate: trials must be positive";
+  if hits < 0 || hits > trials then
+    invalid_arg "Stats.empirical_rate: hits outside [0, trials]";
+  float_of_int hits /. float_of_int trials
+
+let wilson_interval ~hits ~trials =
+  let p_hat = empirical_rate ~hits ~trials in
+  let z = 1.96 in
+  let n = float_of_int trials in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p_hat +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p_hat *. (1. -. p_hat) /. n) +. (z2 /. (4. *. n *. n)))
+  in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))

@@ -1,0 +1,62 @@
+(** Streaming summary statistics and empirical distributions.
+
+    Monte-Carlo validation runs stream millions of observations; Welford's
+    online algorithm keeps mean and variance exactly without storing the
+    sample.  Histograms support the concentration experiments (empirical
+    tail frequency vs analytic bound). *)
+
+module Summary : sig
+  type t
+  (** Mutable running summary: count, mean, min, max, variance. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [mean t] is [nan] on an empty summary. *)
+
+  val variance : t -> float
+  (** Unbiased (n-1) sample variance; [nan] with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val confidence_interval_95 : t -> float * float
+  (** [confidence_interval_95 t] is a normal-approximation 95% CI
+      [(lo, hi)] for the mean: [mean ± 1.96 * stddev / sqrt count].
+      @raise Invalid_argument with fewer than two samples. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] combines two summaries as if all observations had been
+      added to one (parallel Welford merge); inputs are unchanged. *)
+end
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** Uniform-width histogram on [[lo, hi]); out-of-range observations are
+      counted in saturating edge bins.
+      @raise Invalid_argument unless [lo < hi] and [bins > 0]. *)
+
+  val add : t -> float -> unit
+  val total : t -> int
+  val counts : t -> int array
+  (** [counts t] is a copy of the per-bin counts. *)
+
+  val fraction_at_most : t -> float -> float
+  (** [fraction_at_most t x] is the empirical fraction of observations in
+      bins entirely at or below [x] — a CDF lower estimate. *)
+end
+
+val empirical_rate : hits:int -> trials:int -> float
+(** [empirical_rate ~hits ~trials] is [hits / trials] as a float.
+    @raise Invalid_argument if [trials <= 0] or [hits] outside
+    [[0, trials]]. *)
+
+val wilson_interval : hits:int -> trials:int -> float * float
+(** [wilson_interval ~hits ~trials] is the 95% Wilson score interval for a
+    binomial proportion — well behaved even when [hits] is 0 or [trials].
+    @raise Invalid_argument under the same conditions as
+    {!empirical_rate}. *)

@@ -1,0 +1,54 @@
+module Special = Nakamoto_numerics.Special
+
+let relative_entropy_bernoulli ~q ~p =
+  if not (Special.is_probability q && Special.is_probability p) then
+    invalid_arg "Tail_bounds.relative_entropy_bernoulli: arguments must be probabilities";
+  let term x y =
+    if x = 0. then 0.
+    else if y = 0. then infinity
+    else x *. log (x /. y)
+  in
+  term q p +. term (1. -. q) (1. -. p)
+
+let log_binomial_upper_tail (d : Binomial.t) ~delta =
+  if delta < 0. then invalid_arg "Tail_bounds.binomial_upper_tail: delta < 0";
+  let q = (1. +. delta) *. d.p in
+  if q >= 1. then 0.
+  else -.(float_of_int d.trials *. relative_entropy_bernoulli ~q ~p:d.p)
+
+let binomial_upper_tail d ~delta = exp (log_binomial_upper_tail d ~delta)
+
+let binomial_lower_tail (d : Binomial.t) ~delta =
+  if delta < 0. || delta > 1. then
+    invalid_arg "Tail_bounds.binomial_lower_tail: delta outside [0, 1]";
+  let q = (1. -. delta) *. d.p in
+  exp (-.(float_of_int d.trials *. relative_entropy_bernoulli ~q ~p:d.p))
+
+let hoeffding_upper_tail ~trials ~mean_shift =
+  if trials <= 0 then invalid_arg "Tail_bounds.hoeffding_upper_tail: trials <= 0";
+  if mean_shift < 0. then
+    invalid_arg "Tail_bounds.hoeffding_upper_tail: mean_shift < 0";
+  exp (-2. *. float_of_int trials *. mean_shift *. mean_shift)
+
+let markov_chain_lower_tail ~norm_phi_pi ~stationary_rate ~horizon ~mixing_time
+    ~delta =
+  if norm_phi_pi < 1. then
+    invalid_arg "Tail_bounds.markov_chain_lower_tail: ||phi||_pi >= 1 required";
+  if not (stationary_rate > 0. && stationary_rate <= 1.) then
+    invalid_arg "Tail_bounds.markov_chain_lower_tail: stationary_rate outside (0, 1]";
+  if horizon <= 0 then
+    invalid_arg "Tail_bounds.markov_chain_lower_tail: horizon <= 0";
+  if mixing_time <= 0. then
+    invalid_arg "Tail_bounds.markov_chain_lower_tail: mixing_time <= 0";
+  if delta < 0. || delta > 1. then
+    invalid_arg "Tail_bounds.markov_chain_lower_tail: delta outside [0, 1]";
+  let exponent =
+    -.(delta *. delta *. float_of_int horizon *. stationary_rate)
+    /. (72. *. mixing_time)
+  in
+  Float.min 1. (norm_phi_pi *. exp exponent)
+
+let pi_norm_bound ~min_stationary =
+  if not (min_stationary > 0. && min_stationary <= 1.) then
+    invalid_arg "Tail_bounds.pi_norm_bound: min_stationary outside (0, 1]";
+  1. /. sqrt min_stationary

@@ -1,0 +1,56 @@
+(** Large-deviation bounds used in the paper's concentration arguments.
+
+    Section V-B bounds the shortfall of the convergence-opportunity count
+    [C] with the Chernoff–Hoeffding bound for Markov chains of Chung, Lam,
+    Liu and Mitzenmacher (Ineq. 47); Section V-C bounds the overshoot of
+    the adversary's block count [A] with the Arratia–Gordon binomial tail
+    (Ineq. 49) via the relative entropy of Eq. (48).  Both bounds are
+    implemented as computable functions so the bench harness can compare
+    them with Monte-Carlo tail frequencies. *)
+
+val relative_entropy_bernoulli : q:float -> p:float -> float
+(** [relative_entropy_bernoulli ~q ~p] is
+    [D(q || p) = q ln (q/p) + (1-q) ln ((1-q)/(1-p))], the KL divergence
+    between Bernoulli(q) and Bernoulli(p), in nats.  Zero-probability
+    conventions: [0 ln 0 = 0].  Infinite when the supports disagree.
+    @raise Invalid_argument unless both are probabilities. *)
+
+val binomial_upper_tail : Binomial.t -> delta:float -> float
+(** [binomial_upper_tail d ~delta] is the Arratia–Gordon bound (Ineq. 49):
+    [P(X >= (1+delta) * mean) <= exp (-trials * D((1+delta) p || p))].
+    Returns the bound (in [[0, 1]]), or [1.] when [(1+delta) p >= 1].
+    @raise Invalid_argument if [delta < 0.]. *)
+
+val log_binomial_upper_tail : Binomial.t -> delta:float -> float
+(** Log-domain version of {!binomial_upper_tail}. *)
+
+val binomial_lower_tail : Binomial.t -> delta:float -> float
+(** [binomial_lower_tail d ~delta] bounds
+    [P(X <= (1-delta) * mean) <= exp (-trials * D((1-delta) p || p))].
+    @raise Invalid_argument unless [0. <= delta && delta <= 1.]. *)
+
+val hoeffding_upper_tail : trials:int -> mean_shift:float -> float
+(** [hoeffding_upper_tail ~trials ~mean_shift] is the two-point Hoeffding
+    bound [exp (-2 * trials * mean_shift^2)] for the probability that the
+    empirical mean of [trials] [0,1]-valued variables exceeds its
+    expectation by [mean_shift].
+    @raise Invalid_argument if [trials <= 0] or [mean_shift < 0.]. *)
+
+val markov_chain_lower_tail :
+  norm_phi_pi:float -> stationary_rate:float -> horizon:int ->
+  mixing_time:float -> delta:float -> float
+(** [markov_chain_lower_tail ~norm_phi_pi ~stationary_rate ~horizon
+    ~mixing_time ~delta] is the shape of Ineq. (47): the Chung et al. bound
+    [c * ||phi||_pi * exp (- delta^2 * T * mu / (72 * tau))] on the
+    probability that the occupancy of a state set with stationary mass
+    [stationary_rate = mu] over [horizon = T] steps falls below
+    [(1 - delta)] of its mean, where [tau] is the 1/8-mixing time.  The
+    leading absolute constant [c] is taken as [1.] (the theorem guarantees
+    some constant independent of the parameters; for comparison plots only
+    the exponential rate matters).
+    @raise Invalid_argument on out-of-range arguments. *)
+
+val pi_norm_bound : min_stationary:float -> float
+(** [pi_norm_bound ~min_stationary] is Proposition 1's bound
+    [||phi||_pi <= 1 / sqrt min_stationary].
+    @raise Invalid_argument unless [0. < min_stationary && min_stationary <= 1.]. *)

@@ -1,0 +1,56 @@
+(** Simulation configuration and derived quantities.
+
+    Ties the protocol parameters of Table I to concrete simulator inputs.
+    The adversary controls [floor (nu * n)] of the [n] miners; the paper's
+    worst case (the adversary always at its cap, Section III) is the only
+    case simulated. *)
+
+type t = {
+  n : int;  (** total miners; the paper requires [n >= 4] *)
+  nu : float;  (** adversarial fraction; the paper requires [0 <= nu < 1/2] *)
+  p : float;  (** per-query success probability *)
+  delta : int;  (** maximum message delay, [>= 1] *)
+  rounds : int;  (** execution length *)
+  seed : int64;  (** master PRNG seed *)
+  strategy : Adversary.strategy;
+  snapshot_interval : int;  (** record per-miner tips every this many rounds *)
+  truncate : int;  (** the [T] used in consistency checks *)
+  delay_override : Nakamoto_net.Network.delay_policy option;
+      (** force a message-delay policy instead of the strategy's default —
+          e.g. [Some Maximal] with an [Idle] adversary isolates the pure
+          network-delay effect on chain growth *)
+  tie_break : Nakamoto_chain.Block_tree.tie_break;
+      (** honest miners' equal-height chain-selection rule;
+          [Prefer_honest] realizes the Eyal-Sirer gamma = 0 regime,
+          [First_seen] gives a withholding attacker the races its releases
+          reach first (gamma > 0) *)
+}
+
+val validate : t -> unit
+(** @raise Invalid_argument on any out-of-range field.  [nu = 0.] is
+    allowed (pure honest run) even though the paper's theorems assume
+    [nu > 0]. *)
+
+val adversary_count : t -> int
+(** [floor (nu * n)]. *)
+
+val honest_count : t -> int
+(** [n - adversary_count]. *)
+
+val mu : t -> float
+(** Realized honest fraction [honest_count / n] (differs from [1 - nu]
+    only by rounding). *)
+
+val c : t -> float
+(** [c t = 1 / (p * n * delta)] — the paper's central ratio. *)
+
+val with_c : t -> c:float -> t
+(** [with_c t ~c] adjusts [p] so that the configuration has the given [c].
+    @raise Invalid_argument if the implied [p] leaves (0, 1]. *)
+
+val state_process_config : t -> State_process.config
+(** The matching fast-path configuration. *)
+
+val default : t
+(** A small, fast baseline: [n = 40], [nu = 0.25], [delta = 4],
+    [c = 2.5], 4000 rounds, idle adversary, seed 42. *)

@@ -1,0 +1,189 @@
+module Block = Nakamoto_chain.Block
+module Block_tree = Nakamoto_chain.Block_tree
+module Network = Nakamoto_net.Network
+module Rng = Nakamoto_prob.Rng
+module Pow = Nakamoto_chain.Pow
+
+let log_src = Logs.Src.create "nakamoto.sim" ~doc:"Delta-delay protocol execution"
+
+module Log = (val Logs.src_log log_src)
+
+type snapshot = { round : int; tips : Block.t array }
+
+type result = {
+  config : Config.t;
+  snapshots : snapshot list;
+  god_view : Block_tree.t;
+  final_tips : Block.t array;
+  convergence_opportunities : int;
+  adversary_blocks : int;
+  honest_blocks : int;
+  h_rounds : int;
+  h1_rounds : int;
+  max_reorg_depth : int;
+  adversary_releases : int;
+  messages_sent : int;
+  orphans_remaining : int;
+}
+
+type round_report = {
+  round_number : int;
+  honest_mined : int;
+  adversary_successes : int;
+  releases_issued : int;
+  best_height : int;
+  reorg_depth : int;
+}
+
+let run ?on_round config =
+  Config.validate config;
+  let honest_n = Config.honest_count config in
+  let adv_n = Config.adversary_count config in
+  let rng = Rng.create ~seed:config.seed in
+  let oracle = Pow.create ~seed:(Rng.bits64 rng) ~p:config.p in
+  let net_rng = Rng.split rng in
+  let adversary = Adversary.create ~strategy:config.strategy ~honest_count:honest_n in
+  let policy =
+    match config.delay_override with
+    | Some policy -> policy
+    | None ->
+      Adversary.delay_policy_for config.strategy ~delta:config.delta
+        ~honest_count:honest_n
+  in
+  let network =
+    Network.create ~delta:config.delta ~players:honest_n ~policy ~rng:net_rng
+  in
+  let miners =
+    Array.init honest_n (fun id -> Miner.create ~tie_break:config.tie_break ~id ())
+  in
+  let pattern = Pattern.create ~delta:config.delta in
+  let god = Adversary.view adversary in
+  let snapshots = ref [] in
+  let honest_blocks = ref 0 in
+  let adversary_blocks = ref 0 in
+  let h_rounds = ref 0 in
+  let h1_rounds = ref 0 in
+  let max_reorg = ref 0 in
+  let take_snapshot round =
+    snapshots :=
+      { round; tips = Array.map Miner.best_tip miners } :: !snapshots
+  in
+  (* Drain one round of deliveries for every miner, tracking how deep any
+     of them had to roll back its chain. *)
+  let deliver_round round ~track_round_reorg =
+    Array.iter
+      (fun miner ->
+        let inbox = Network.deliver network ~recipient:(Miner.id miner) ~round in
+        if inbox <> [] then begin
+          let old_tip = Miner.best_tip miner in
+          Miner.receive miner
+            (List.concat_map (fun (m : Network.message) -> m.blocks) inbox);
+          let new_tip = Miner.best_tip miner in
+          if not (Block.equal old_tip new_tip) then begin
+            let meet = Block_tree.common_prefix_height god old_tip new_tip in
+            let rolled_back = old_tip.Block.height - meet in
+            (match track_round_reorg with
+            | Some cell -> if rolled_back > !cell then cell := rolled_back
+            | None -> ());
+            if rolled_back > 2 then
+              Log.debug (fun m ->
+                  m "round %d: miner %d rolled back %d blocks (%d -> %d)" round
+                    (Miner.id miner) rolled_back old_tip.Block.height
+                    new_tip.Block.height);
+            if rolled_back > !max_reorg then max_reorg := rolled_back
+          end
+        end)
+      miners
+  in
+  for round = 1 to config.rounds do
+    let round_reorg = ref 0 in
+    (* Phase 1: delivery.  Record reorg depth when a miner abandons part of
+       its previously-best chain. *)
+    deliver_round round ~track_round_reorg:(Some round_reorg);
+    (* Phase 2: honest mining — one parallel H-query each (Section III's
+       oracle: the query digests the miner's current parent). *)
+    let mined_this_round = ref [] in
+    Array.iter
+      (fun miner ->
+        let parent = (Miner.best_tip miner).Block.hash in
+        match
+          Pow.query oracle ~parent ~miner:(Miner.id miner) ~round ~query_index:0
+        with
+        | None -> ()
+        | Some _proof ->
+          let block = Miner.extend_tip miner ~round ~nonce:(Miner.id miner) in
+          mined_this_round := block :: !mined_this_round;
+          Network.broadcast network
+            { Network.sender = Miner.id miner; sent_round = round; blocks = [ block ] })
+      miners;
+    let h = List.length !mined_this_round in
+    honest_blocks := !honest_blocks + h;
+    if h > 0 then incr h_rounds;
+    if h = 1 then incr h1_rounds;
+    Pattern.observe pattern (Round_state.of_block_count h);
+    Adversary.observe adversary !mined_this_round;
+    (* Phase 3: the adversary's q = nu n sequential H-queries on its
+       strategy-chosen tip, then releases. *)
+    let successes =
+      List.length
+        (Pow.success_count oracle
+           ~parent:(Adversary.private_tip adversary).Block.hash ~miner:(-1)
+           ~round ~queries:adv_n)
+    in
+    adversary_blocks := !adversary_blocks + successes;
+    let releases = Adversary.act adversary ~round ~successes in
+    if releases <> [] then
+      Log.debug (fun m ->
+          m "round %d: adversary issued %d release(s) (%d successes this round)"
+            round (List.length releases) successes);
+    List.iter
+      (fun { Adversary.recipients; delay; blocks } ->
+        List.iter
+          (fun recipient ->
+            Network.send_direct network ~recipient ~delay
+              { Network.sender = -1; sent_round = round; blocks })
+          recipients)
+      releases;
+    (match on_round with
+    | None -> ()
+    | Some report ->
+      let best_height =
+        Array.fold_left
+          (fun acc m -> max acc (Miner.chain_length m))
+          0 miners
+      in
+      report
+        {
+          round_number = round;
+          honest_mined = h;
+          adversary_successes = successes;
+          releases_issued = List.length releases;
+          best_height;
+          reorg_depth = !round_reorg;
+        });
+    if round mod config.snapshot_interval = 0 || round = config.rounds then
+      take_snapshot round
+  done;
+  (* Quiesce: deliver the messages still in flight (at most delta rounds'
+     worth).  Without this, an adversary that reorders heavily can leave a
+     child block delivered but its parent still in transit at the cutoff,
+     stranding orphans that the model says must connect. *)
+  for round = config.rounds + 1 to config.rounds + config.delta do
+    deliver_round round ~track_round_reorg:None
+  done;
+  {
+    config;
+    snapshots = List.rev !snapshots;
+    god_view = god;
+    final_tips = Array.map Miner.best_tip miners;
+    convergence_opportunities = Pattern.count pattern;
+    adversary_blocks = !adversary_blocks;
+    honest_blocks = !honest_blocks;
+    h_rounds = !h_rounds;
+    h1_rounds = !h1_rounds;
+    max_reorg_depth = !max_reorg;
+    adversary_releases = Adversary.reorgs_caused adversary;
+    messages_sent = Network.messages_sent network;
+    orphans_remaining =
+      Array.fold_left (fun acc m -> acc + Miner.orphan_count m) 0 miners;
+  }

@@ -1,0 +1,52 @@
+(** The round-by-round protocol execution of Section III.
+
+    Each round, in order: (1) every honest miner drains its inbox and
+    adopts the longest known chain; (2) every honest miner makes its single
+    parallel [H]-query and broadcasts on success (the adversary's routing
+    chooses per-recipient delays, capped at [Delta]); (3) the adversary,
+    who saw everything instantly, spends its [binom(nu*n, p)] sequential
+    queries and releases whatever its strategy dictates.  Per-miner best
+    tips are snapshotted on a configurable cadence for the consistency
+    audit in {!Metrics}. *)
+
+type snapshot = {
+  round : int;
+  tips : Nakamoto_chain.Block.t array;  (** indexed by honest miner *)
+}
+
+type result = {
+  config : Config.t;
+  snapshots : snapshot list;  (** chronological *)
+  god_view : Nakamoto_chain.Block_tree.t;  (** every block ever mined *)
+  final_tips : Nakamoto_chain.Block.t array;
+  convergence_opportunities : int;
+  adversary_blocks : int;
+  honest_blocks : int;
+  h_rounds : int;
+  h1_rounds : int;
+  max_reorg_depth : int;
+      (** deepest rollback any honest miner ever performed when switching
+          tips — a direct witness against [T]-consistency for
+          [T <= max_reorg_depth] *)
+  adversary_releases : int;
+  messages_sent : int;
+  orphans_remaining : int;  (** undeliverable blocks at the end (should be 0) *)
+}
+
+type round_report = {
+  round_number : int;
+  honest_mined : int;  (** honest blocks this round *)
+  adversary_successes : int;  (** adversary's binomial draw this round *)
+  releases_issued : int;  (** release messages the adversary sent *)
+  best_height : int;  (** tallest honest chain after the round *)
+  reorg_depth : int;  (** deepest rollback performed this round *)
+}
+
+val run : ?on_round:(round_report -> unit) -> Config.t -> result
+(** [run config] executes the protocol, then quiesces: [delta] further
+    delivery-only rounds flush every in-flight message, so
+    [orphans_remaining] is [0] under any delay policy and [final_tips]
+    describe a settled network.  [on_round], if given, is called once per
+    mining round (not the quiescence rounds) after the adversary has
+    acted — the hook behind {!Trace.capture}.
+    @raise Invalid_argument when the configuration is invalid. *)

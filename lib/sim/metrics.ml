@@ -1,0 +1,138 @@
+module Block = Nakamoto_chain.Block
+module Block_tree = Nakamoto_chain.Block_tree
+module Hash = Nakamoto_chain.Hash
+
+type consistency_report = {
+  truncate : int;
+  pairs_checked : int;
+  violations : int;
+  worst_violation_depth : int;
+}
+
+(* The meet (deepest common ancestor) of all tips in a snapshot. *)
+let snapshot_meet god (snap : Execution.snapshot) =
+  match Array.to_list snap.tips with
+  | [] -> Block.genesis
+  | first :: rest ->
+    List.fold_left
+      (fun meet tip ->
+        let h = Block_tree.common_prefix_height god meet tip in
+        Block_tree.ancestor_at_height god meet ~height:h)
+      first rest
+
+(* Hash of every ancestor of [b], indexed by height — turns repeated
+   "is X an ancestor of b" queries into array lookups. *)
+let hash_chain god (b : Block.t) =
+  let chain = Array.make (b.height + 1) b.hash in
+  let rec fill (b : Block.t) =
+    chain.(b.height) <- b.hash;
+    if b.height > 0 then fill (Block_tree.find_exn god b.parent)
+  in
+  fill b;
+  chain
+
+let check_consistency ?truncate (result : Execution.result) =
+  let truncate =
+    match truncate with Some t -> t | None -> result.config.Config.truncate
+  in
+  if truncate < 0 then invalid_arg "Metrics.check_consistency: negative truncate";
+  let god = result.god_view in
+  let snaps = Array.of_list result.snapshots in
+  let meets = Array.map (snapshot_meet god) snaps in
+  let meet_chains = Array.map (hash_chain god) meets in
+  let pairs = ref 0 in
+  let violations = ref 0 in
+  let worst = ref 0 in
+  Array.iteri
+    (fun ri snap_r ->
+      (* Each r-tip's height-[keep] ancestor is shared across all s. *)
+      let truncated_tips =
+        Array.map
+          (fun (tip : Block.t) ->
+            let keep = tip.height - truncate in
+            if keep <= 0 then None
+            else Some (Block_tree.ancestor_at_height god tip ~height:keep))
+          snap_r.Execution.tips
+      in
+      for si = ri to Array.length snaps - 1 do
+        let meet_s = meets.(si) in
+        let chain_s = meet_chains.(si) in
+        Array.iter
+          (fun truncated ->
+            incr pairs;
+            (* Prefix of the meet covers every player j at s; the truncated
+               r-chain is a prefix iff its hash sits at its height in the
+               meet's ancestor chain. *)
+            match truncated with
+            | None -> ()
+            | Some (cut : Block.t) ->
+              let ok =
+                cut.height <= meet_s.Block.height
+                && Hash.equal chain_s.(cut.height) cut.hash
+              in
+              if not ok then begin
+                incr violations;
+                (* Depth of the failure: how far below the cut the chains
+                   actually agree. *)
+                let rec agreed (b : Block.t) =
+                  if
+                    b.height <= meet_s.Block.height
+                    && Hash.equal chain_s.(b.height) b.hash
+                  then b.height
+                  else agreed (Block_tree.find_exn god b.parent)
+                in
+                let depth = cut.height - agreed cut in
+                if depth > !worst then worst := depth
+              end)
+          truncated_tips
+      done)
+    snaps;
+  {
+    truncate;
+    pairs_checked = !pairs;
+    violations = !violations;
+    worst_violation_depth = !worst;
+  }
+
+let max_disagreement (result : Execution.result) =
+  let god = result.god_view in
+  List.fold_left
+    (fun acc (snap : Execution.snapshot) ->
+      let tips = snap.tips in
+      let worst = ref acc in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if j > i then begin
+                let d = Block_tree.divergence god a b in
+                if d > !worst then worst := d
+              end)
+            tips)
+        tips;
+      !worst)
+    0 result.snapshots
+
+type growth_report = { final_height : int; rounds : int; growth_rate : float }
+
+let chain_growth (result : Execution.result) =
+  let final_height =
+    Array.fold_left
+      (fun acc (tip : Block.t) -> min acc tip.height)
+      max_int result.final_tips
+  in
+  let final_height = if final_height = max_int then 0 else final_height in
+  let rounds = result.config.Config.rounds in
+  {
+    final_height;
+    rounds;
+    growth_rate =
+      (if rounds = 0 then 0. else float_of_int final_height /. float_of_int rounds);
+  }
+
+let chain_quality (result : Execution.result) =
+  if Array.length result.final_tips = 0 then 1.
+  else Block_tree.honest_fraction_on_chain result.god_view result.final_tips.(0)
+
+let agreed_prefix_height (result : Execution.result) snap =
+  (snapshot_meet result.god_view snap).Block.height

@@ -1,0 +1,63 @@
+type t = {
+  delta : int;
+  mutable n_run : int;  (** consecutive N rounds ending at the last round *)
+  mutable ever_h : bool;  (** some H has been seen *)
+  mutable armed_at : int;  (** round of a qualifying H1, or -1 *)
+  mutable round : int;
+  mutable count : int;
+}
+
+let create ~delta =
+  if delta < 1 then invalid_arg "Pattern.create: delta must be >= 1";
+  { delta; n_run = 0; ever_h = false; armed_at = -1; round = 0; count = 0 }
+
+let observe t (s : Round_state.t) =
+  t.round <- t.round + 1;
+  match s with
+  | H k ->
+    (* An H inside the armed window kills the pending opportunity.  This H
+       itself opens one iff it is H1 and the N run before it is >= Delta
+       with an H before the run. *)
+    if t.ever_h && t.n_run >= t.delta && k = 1 then t.armed_at <- t.round
+    else t.armed_at <- -1;
+    t.ever_h <- true;
+    t.n_run <- 0
+  | N ->
+    t.n_run <- t.n_run + 1;
+    if t.armed_at >= 0 && t.round = t.armed_at + t.delta then begin
+      t.count <- t.count + 1;
+      t.armed_at <- -1
+    end
+
+let count t = t.count
+let rounds_seen t = t.round
+let observe_all t states = Array.iter (observe t) states
+
+let count_by_rescan ~delta states =
+  if delta < 1 then invalid_arg "Pattern.count_by_rescan: delta must be >= 1";
+  let len = Array.length states in
+  let is_n i = i >= 0 && i < len && not (Round_state.is_h states.(i)) in
+  let is_h i = i >= 0 && i < len && Round_state.is_h states.(i) in
+  let occurrences = ref 0 in
+  (* An opportunity completes at index t (0-based) when:
+     - states.(t - delta) is H1,
+     - states.(t - delta + 1 .. t) are all N,
+     - the N run ending at t - delta - 1 has length d >= delta, and
+     - the position just before that run holds an H. *)
+  for t = 0 to len - 1 do
+    let h1_pos = t - delta in
+    if h1_pos >= 0 && Round_state.is_h1 states.(h1_pos) then begin
+      let tail_all_n = ref true in
+      for i = h1_pos + 1 to t do
+        if not (is_n i) then tail_all_n := false
+      done;
+      if !tail_all_n then begin
+        let d = ref 0 in
+        while is_n (h1_pos - 1 - !d) do
+          incr d
+        done;
+        if !d >= delta && is_h (h1_pos - 1 - !d) then incr occurrences
+      end
+    end
+  done;
+  !occurrences

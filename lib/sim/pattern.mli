@@ -1,0 +1,34 @@
+(** Streaming detection of convergence opportunities.
+
+    A convergence opportunity completes at round [t] when the state series
+    matches [H N^{>=Delta} H1 N^Delta] ending at [t] (the [C_F||P] state
+    [HN^{>=Delta} || H1 N^Delta] of Section V-A): an [H 1] round preceded by
+    at least [Delta] consecutive [N] rounds (themselves preceded by some
+    earlier H), followed by [Delta] more [N] rounds.  At that point every
+    honest player agrees on the single longest chain.
+
+    The streaming counter runs in O(1) time and O(1) space per round;
+    {!count_by_rescan} is the obviously-correct O(rounds * Delta)
+    implementation kept as the property-test oracle (ablation #5 in
+    DESIGN.md). *)
+
+type t
+
+val create : delta:int -> t
+(** @raise Invalid_argument if [delta < 1]. *)
+
+val observe : t -> Round_state.t -> unit
+(** [observe t s] feeds the next round's state. *)
+
+val count : t -> int
+(** [count t] is the number of convergence opportunities completed so far. *)
+
+val rounds_seen : t -> int
+
+val observe_all : t -> Round_state.t array -> unit
+(** [observe_all t states] feeds a whole trace. *)
+
+val count_by_rescan : delta:int -> Round_state.t array -> int
+(** [count_by_rescan ~delta states] recounts by explicit window scanning
+    over the full trace (indices are rounds [1..length]).
+    @raise Invalid_argument if [delta < 1]. *)

@@ -1,0 +1,106 @@
+type config = { lambda : float; mu : float; delta : float }
+
+let validate c =
+  if not (c.lambda > 0. && Float.is_finite c.lambda) then
+    invalid_arg "Poisson: lambda must be positive";
+  if not (c.mu > 0. && c.mu <= 1.) then
+    invalid_arg "Poisson: mu must lie in (0, 1]";
+  if not (c.delta > 0. && Float.is_finite c.delta) then
+    invalid_arg "Poisson: delta must be positive"
+
+let isolated_rate c =
+  validate c;
+  let honest = c.lambda *. c.mu in
+  honest *. exp (-2. *. honest *. c.delta)
+
+let adversary_rate c =
+  validate c;
+  c.lambda *. (1. -. c.mu)
+
+let consistency_margin c =
+  validate c;
+  if c.mu = 1. then infinity
+  else log (isolated_rate c) -. log (adversary_rate c)
+
+let neat_bound_equivalent c =
+  validate c;
+  if c.mu = 1. then true
+  else begin
+    let nu = 1. -. c.mu in
+    let cc = 1. /. (c.lambda *. c.delta) in
+    let margin_positive = consistency_margin c > 0. in
+    let neat_positive = cc > 2. *. c.mu /. log (c.mu /. nu) in
+    margin_positive = neat_positive
+  end
+
+type run = {
+  horizon : float;
+  arrivals : int;
+  honest_arrivals : int;
+  isolated_honest : int;
+  adversary_arrivals : int;
+}
+
+let exponential rng ~rate =
+  (* Inverse transform; 1 - u avoids log 0. *)
+  -.log (1. -. Nakamoto_prob.Rng.float rng) /. rate
+
+let simulate ~rng c ~horizon =
+  validate c;
+  if not (horizon > 0. && Float.is_finite horizon) then
+    invalid_arg "Poisson.simulate: horizon must be positive";
+  let arrivals = ref 0 in
+  let honest_arrivals = ref 0 in
+  let adversary_arrivals = ref 0 in
+  let isolated = ref 0 in
+  (* Stream honest arrival times; an honest arrival is isolated when both
+     neighbouring honest arrivals are more than delta away.  Track the
+     previous two honest times and decide for the middle one once the next
+     arrives; the final honest arrival is decided at the horizon. *)
+  let prev = ref neg_infinity in
+  let mid = ref None in
+  let decide_mid ~next =
+    match !mid with
+    | Some m ->
+      if m -. !prev > c.delta && next -. m > c.delta then incr isolated;
+      prev := m
+    | None -> ()
+  in
+  let t = ref 0. in
+  let continue = ref true in
+  while !continue do
+    t := !t +. exponential rng ~rate:c.lambda;
+    if !t > horizon then continue := false
+    else begin
+      incr arrivals;
+      if Nakamoto_prob.Rng.bernoulli rng ~p:c.mu then begin
+        incr honest_arrivals;
+        decide_mid ~next:!t;
+        mid := Some !t
+      end
+      else incr adversary_arrivals
+    end
+  done;
+  (* Final pending honest arrival: treat the empty stretch beyond the
+     horizon as silence (a one-arrival boundary effect, negligible over
+     long horizons). *)
+  decide_mid ~next:(horizon +. c.delta +. 1.);
+  {
+    horizon;
+    arrivals = !arrivals;
+    honest_arrivals = !honest_arrivals;
+    isolated_honest = !isolated;
+    adversary_arrivals = !adversary_arrivals;
+  }
+
+let discrete_rate_per_time ~p ~n ~mu ~delta_rounds =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Poisson.discrete_rate_per_time: p outside (0, 1)";
+  if n < 1. then invalid_arg "Poisson.discrete_rate_per_time: n < 1";
+  if not (mu > 0. && mu <= 1.) then
+    invalid_arg "Poisson.discrete_rate_per_time: mu outside (0, 1]";
+  if delta_rounds < 1 then
+    invalid_arg "Poisson.discrete_rate_per_time: delta_rounds < 1";
+  let log_abar = mu *. n *. Float.log1p (-.p) in
+  let log_alpha1 = log (p *. mu *. n) +. (((mu *. n) -. 1.) *. Float.log1p (-.p)) in
+  exp ((2. *. float_of_int delta_rounds *. log_abar) +. log_alpha1)

@@ -1,0 +1,61 @@
+(** The continuous-time (Poisson) limit of the Δ-delay model.
+
+    As rounds shrink ([p -> 0] at fixed [c = 1/(p n Delta)]), the
+    round-based mining process converges to a Poisson process: blocks
+    arrive at rate [lambda = p n] per unit time, each honest with
+    probability [mu].  The continuous analogue of a convergence
+    opportunity is a {e Δ-isolated honest arrival} — an honest block with
+    no other honest block within [Delta] on either side — whose rate is
+    [lambda mu exp (-2 lambda mu Delta)].
+
+    Requiring that rate to exceed the adversary's [lambda nu] gives
+    [exp (-2 mu / c) > nu / mu], i.e. exactly the paper's neat bound
+    [c > 2 mu / ln (mu / nu)] — the continuous limit is where the bound's
+    closed form lives, and this module lets the test suite and bench
+    verify both that formula and the discrete chain's convergence to it. *)
+
+type config = {
+  lambda : float;  (** total arrival rate (blocks per unit time), > 0 *)
+  mu : float;  (** honest fraction of arrivals, in (0, 1] *)
+  delta : float;  (** the delay bound, > 0, in the same time unit *)
+}
+
+val validate : config -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val isolated_rate : config -> float
+(** [lambda mu exp (-2 lambda mu delta)] — Δ-isolated honest arrivals per
+    unit time. *)
+
+val adversary_rate : config -> float
+(** [lambda (1 - mu)]. *)
+
+val consistency_margin : config -> float
+(** [log (isolated_rate) - log (adversary_rate)]: positive iff the
+    continuous loner condition holds.  [infinity] when [mu = 1.]. *)
+
+val neat_bound_equivalent : config -> bool
+(** Checks the algebraic identity that {!consistency_margin} [> 0] iff
+    [c > 2 mu / ln (mu / nu)] where [c = 1 / (lambda delta)] — evaluated
+    numerically at this configuration (used as a self-test). *)
+
+type run = {
+  horizon : float;  (** simulated time *)
+  arrivals : int;  (** total blocks *)
+  honest_arrivals : int;
+  isolated_honest : int;  (** Δ-isolated honest arrivals *)
+  adversary_arrivals : int;
+}
+
+val simulate : rng:Nakamoto_prob.Rng.t -> config -> horizon:float -> run
+(** [simulate ~rng config ~horizon] draws the Poisson process (exponential
+    inter-arrival times, honest/adversarial thinning) and counts
+    Δ-isolated honest arrivals with a streaming three-point window.
+    @raise Invalid_argument on a non-positive horizon or invalid config. *)
+
+val discrete_rate_per_time : p:float -> n:float -> mu:float -> delta_rounds:int -> float
+(** The round-based rate [abar^(2 Delta) alpha1] expressed per unit of
+    continuous time when one round is [1 / (n p ... )]... concretely:
+    [abar^(2 delta_rounds) * alpha1] per round — helper for the
+    convergence-of-limits table (bench section CONT).
+    @raise Invalid_argument on out-of-range arguments. *)

@@ -1,0 +1,20 @@
+type t = N | H of int
+
+let of_block_count k =
+  if k < 0 then invalid_arg "Round_state.of_block_count: negative count";
+  if k = 0 then N else H k
+
+let is_h = function H _ -> true | N -> false
+let is_h1 = function H 1 -> true | H _ | N -> false
+let block_count = function N -> 0 | H k -> k
+
+let to_char = function
+  | N -> 'N'
+  | H 1 -> '1'
+  | H _ -> 'H'
+
+let equal a b =
+  match (a, b) with
+  | N, N -> true
+  | H x, H y -> x = y
+  | N, H _ | H _, N -> false

@@ -1,0 +1,23 @@
+(** Per-round honest mining outcomes — the paper's detailed state alphabet.
+
+    A round is [N] when no honest miner solved the puzzle, or [H k] when
+    exactly [k >= 1] did (Detailed-State-Set, Eq. 38).  The coarse state of
+    the suffix chain collapses every [H k] to [H]. *)
+
+type t = N | H of int  (** [H k] requires [k >= 1] *)
+
+val of_block_count : int -> t
+(** [of_block_count k] classifies a round in which honest miners produced
+    [k] blocks.  @raise Invalid_argument on negative [k]. *)
+
+val is_h : t -> bool
+val is_h1 : t -> bool
+(** [is_h1 t] holds exactly for [H 1] — the only state that can open a
+    convergence opportunity. *)
+
+val block_count : t -> int
+val to_char : t -> char
+(** ['N'], ['1'] for [H 1], ['H'] for [H k] with [k >= 2] — used in trace
+    dumps. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,66 @@
+let base ~seed =
+  { Config.default with seed }
+
+let check_nu nu =
+  if not (nu > 0. && nu < 0.5) then
+    invalid_arg "Scenarios: nu must lie in (0, 1/2)"
+
+let honest_baseline ~seed =
+  Config.with_c { (base ~seed) with nu = 0.; strategy = Adversary.Idle } ~c:2.5
+
+let neat_bound_c ~nu =
+  let mu = 1. -. nu in
+  2. *. mu /. log (mu /. nu)
+
+let at_c ~seed ~nu ~c ~rounds =
+  check_nu nu;
+  (* The audit's T sits well below the attack's reorg target so that the
+     pre-release fork is witnessable for a whole window of snapshots, not
+     only at the instant of release. *)
+  Config.with_c
+    {
+      (base ~seed) with
+      nu;
+      rounds;
+      strategy = Adversary.Private_chain { reorg_target = 12 };
+      truncate = 6;
+    }
+    ~c
+
+let safe_zone ~seed ~nu =
+  (* Comfortably above the neat bound: consistency should hold. *)
+  at_c ~seed ~nu ~c:(3. *. neat_bound_c ~nu) ~rounds:6000
+
+let attack_zone ~seed ~nu =
+  check_nu nu;
+  (* Below the PSS attack threshold 1/c > 1/nu - 1/(1-nu): the private
+     miner's drift beats the Delta-throttled honest chain.  Snapshots are
+     taken densely because the forks the attack creates are short-lived. *)
+  let c_attack = 1. /. ((1. /. nu) -. (1. /. (1. -. nu))) in
+  let cfg = at_c ~seed ~nu ~c:(0.5 *. c_attack) ~rounds:6000 in
+  { cfg with snapshot_interval = 20 }
+
+let selfish ~seed ~nu =
+  check_nu nu;
+  Config.with_c
+    {
+      (base ~seed) with
+      nu;
+      rounds = 20_000;
+      strategy = Adversary.Selfish_mining;
+      truncate = 8;
+      snapshot_interval = 500;
+    }
+    ~c:4.
+
+let split_world ~seed =
+  let cfg =
+    {
+      (base ~seed) with
+      nu = 0.3;
+      strategy = Adversary.Balance { group_boundary = 14 };
+      rounds = 6000;
+      truncate = 12;
+    }
+  in
+  Config.with_c cfg ~c:1.5

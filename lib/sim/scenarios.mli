@@ -1,0 +1,32 @@
+(** Canned simulation scenarios used by examples, benches, and tests.
+
+    All are scaled-down (small [n], small [Delta]) but hold [c = 1/(pn*Delta)]
+    at meaningful positions relative to the paper's bounds, which is the
+    dimension the theory actually depends on (see DESIGN.md, substitution
+    table). *)
+
+val honest_baseline : seed:int64 -> Config.t
+(** No active adversary, moderate [c]: the chain should converge and stay
+    consistent with zero violations. *)
+
+val safe_zone : seed:int64 -> nu:float -> Config.t
+(** Private-chain adversary with [c] placed above our bound
+    [2 mu / ln (mu/nu)] for the given [nu]: consistency should hold.
+    @raise Invalid_argument unless [0 < nu < 1/2]. *)
+
+val attack_zone : seed:int64 -> nu:float -> Config.t
+(** Private-chain adversary with [c] placed below the PSS attack line for
+    the given [nu] (adversary provably wins eventually): expect deep
+    reorgs.
+    @raise Invalid_argument unless [0 < nu < 1/2]. *)
+
+val split_world : seed:int64 -> Config.t
+(** Balance adversary keeping two halves of the honest miners apart. *)
+
+val selfish : seed:int64 -> nu:float -> Config.t
+(** Eyal–Sirer selfish mining at a comfortable [c] (the attack targets
+    revenue share, not consistency).
+    @raise Invalid_argument unless [0 < nu < 1/2]. *)
+
+val at_c : seed:int64 -> nu:float -> c:float -> rounds:int -> Config.t
+(** Fully parameterized private-chain scenario at an explicit [c]. *)

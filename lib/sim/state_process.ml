@@ -1,0 +1,75 @@
+module Binomial = Nakamoto_prob.Binomial
+
+type config = { honest : int; adversarial : int; p : float; delta : int }
+
+let validate c =
+  if c.honest <= 0 then invalid_arg "State_process: honest must be positive";
+  if c.adversarial < 0 then
+    invalid_arg "State_process: adversarial must be nonnegative";
+  if not (Nakamoto_numerics.Special.is_probability c.p) then
+    invalid_arg "State_process: p must be a probability";
+  if c.delta < 1 then invalid_arg "State_process: delta must be >= 1"
+
+type run = {
+  rounds : int;
+  convergence_opportunities : int;
+  adversary_blocks : int;
+  h_rounds : int;
+  h1_rounds : int;
+  honest_blocks : int;
+}
+
+let distributions c =
+  ( Binomial.create ~trials:c.honest ~p:c.p,
+    Binomial.create ~trials:c.adversarial ~p:c.p )
+
+let run ~rng c ~rounds =
+  validate c;
+  if rounds < 0 then invalid_arg "State_process.run: negative rounds";
+  let honest_dist, adv_dist = distributions c in
+  let pattern = Pattern.create ~delta:c.delta in
+  let adversary_blocks = ref 0 in
+  let h_rounds = ref 0 in
+  let h1_rounds = ref 0 in
+  let honest_blocks = ref 0 in
+  for _ = 1 to rounds do
+    let h = Binomial.sample rng honest_dist in
+    let a = Binomial.sample rng adv_dist in
+    adversary_blocks := !adversary_blocks + a;
+    honest_blocks := !honest_blocks + h;
+    if h > 0 then incr h_rounds;
+    if h = 1 then incr h1_rounds;
+    Pattern.observe pattern (Round_state.of_block_count h)
+  done;
+  {
+    rounds;
+    convergence_opportunities = Pattern.count pattern;
+    adversary_blocks = !adversary_blocks;
+    h_rounds = !h_rounds;
+    h1_rounds = !h1_rounds;
+    honest_blocks = !honest_blocks;
+  }
+
+let run_trace ~rng c ~rounds =
+  validate c;
+  if rounds < 0 then invalid_arg "State_process.run_trace: negative rounds";
+  let honest_dist, _ = distributions c in
+  Array.init rounds (fun _ ->
+      Round_state.of_block_count (Binomial.sample rng honest_dist))
+
+let window_counts ~rng c ~windows ~window_length =
+  validate c;
+  if windows < 0 then invalid_arg "State_process.window_counts: negative windows";
+  if window_length <= 0 then
+    invalid_arg "State_process.window_counts: window_length must be positive";
+  let honest_dist, adv_dist = distributions c in
+  let pattern = Pattern.create ~delta:c.delta in
+  Array.init windows (fun _ ->
+      let before = Pattern.count pattern in
+      let adv = ref 0 in
+      for _ = 1 to window_length do
+        let h = Binomial.sample rng honest_dist in
+        adv := !adv + Binomial.sample rng adv_dist;
+        Pattern.observe pattern (Round_state.of_block_count h)
+      done;
+      (Pattern.count pattern - before, !adv))

@@ -1,0 +1,46 @@
+(** The bare mining state process, without any network machinery.
+
+    Each round draws the honest block count from [binom(honest, p)] and the
+    adversarial block count from [binom(adversarial, p)] — exactly the laws
+    the paper's Markov analysis is built on (Eqs. 7–9, 27).  This fast path
+    validates the stationary theory (Eq. 44) and the concentration claims
+    (Ineqs. 19–20) at volumes the full protocol simulator cannot reach. *)
+
+type config = {
+  honest : int;  (** number of honest miners, [mu * n] *)
+  adversarial : int;  (** number of corrupted miners, [nu * n] *)
+  p : float;  (** per-query success probability *)
+  delta : int;  (** the network delay bound, >= 1 *)
+}
+
+val validate : config -> unit
+(** @raise Invalid_argument when any field is out of range. *)
+
+type run = {
+  rounds : int;
+  convergence_opportunities : int;  (** the paper's [C(t0, t0+T-1)] *)
+  adversary_blocks : int;  (** the paper's [A(t0, t0+T-1)] *)
+  h_rounds : int;  (** rounds with at least one honest block *)
+  h1_rounds : int;  (** rounds with exactly one honest block *)
+  honest_blocks : int;  (** total honest blocks mined *)
+}
+
+val run : rng:Nakamoto_prob.Rng.t -> config -> rounds:int -> run
+(** [run ~rng config ~rounds] simulates [rounds] rounds and tallies.
+    @raise Invalid_argument if [rounds < 0] or the config is invalid. *)
+
+val run_trace :
+  rng:Nakamoto_prob.Rng.t -> config -> rounds:int -> Round_state.t array
+(** [run_trace ~rng config ~rounds] returns the raw state series (for
+    oracle recounts and window experiments). *)
+
+val window_counts :
+  rng:Nakamoto_prob.Rng.t -> config -> windows:int -> window_length:int ->
+  (int * int) array
+(** [window_counts ~rng config ~windows ~window_length] simulates
+    [windows] back-to-back windows of [window_length] rounds over one
+    continuous trajectory and returns per-window
+    [(convergence_opportunities, adversary_blocks)] — the samples behind
+    the concentration experiment (each window plays the role of
+    [t0 .. t0+T-1]).  Pattern context carries across window boundaries, as
+    it does for the stationary chain. *)

@@ -1,0 +1,34 @@
+(* Shared test utilities: float comparison testables and qcheck adapters. *)
+
+let close ?(rtol = 1e-9) ?(atol = 1e-12) msg expected actual =
+  if not (Nakamoto_numerics.Special.approx_equal ~rtol ~atol expected actual)
+  then
+    Alcotest.failf "%s: expected %.17g, got %.17g (diff %.3e)" msg expected
+      actual
+      (Float.abs (expected -. actual))
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Invalid_argument, got %s" msg
+      (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument, got a value" msg
+
+let case name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen law)
+
+(* A deterministic rng for tests that need one. *)
+let rng ?(seed = 12345L) () = Nakamoto_prob.Rng.create ~seed
+
+let contains_substring ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = affix || scan (i + 1)) in
+  n = 0 || scan 0

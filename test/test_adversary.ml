@@ -1,0 +1,196 @@
+open Helpers
+module Adversary = Nakamoto_sim.Adversary
+module Block = Nakamoto_chain.Block
+module Block_tree = Nakamoto_chain.Block_tree
+module Network = Nakamoto_net.Network
+
+let honest_block ~parent ~miner ~round =
+  Block.mine ~parent ~miner ~miner_class:Block.Honest ~round ~nonce:0
+    ~payload:""
+
+let test_create_validation () =
+  check_raises_invalid "no honest" (fun () ->
+      ignore (Adversary.create ~strategy:Adversary.Idle ~honest_count:0));
+  check_raises_invalid "reorg target" (fun () ->
+      ignore
+        (Adversary.create
+           ~strategy:(Adversary.Private_chain { reorg_target = 0 })
+           ~honest_count:4));
+  check_raises_invalid "group boundary" (fun () ->
+      ignore
+        (Adversary.create
+           ~strategy:(Adversary.Balance { group_boundary = 4 })
+           ~honest_count:4))
+
+let test_idle_does_nothing () =
+  let a = Adversary.create ~strategy:Adversary.Idle ~honest_count:4 in
+  let releases = Adversary.act a ~round:1 ~successes:5 in
+  check_true "no releases" (releases = []);
+  check_int "no blocks" 0 (Adversary.blocks_mined a);
+  check_raises_invalid "negative successes" (fun () ->
+      ignore (Adversary.act a ~round:1 ~successes:(-1)))
+
+let test_private_chain_withholds_until_lead () =
+  let a =
+    Adversary.create
+      ~strategy:(Adversary.Private_chain { reorg_target = 2 })
+      ~honest_count:3
+  in
+  (* Adversary mines two blocks privately: no release (public hasn't grown). *)
+  check_true "withholds" (Adversary.act a ~round:1 ~successes:2 = []);
+  check_int "mined privately" 2 (Adversary.blocks_mined a);
+  check_int "private height 2" 2 (Adversary.private_tip a).Block.height;
+  (* Honest chain grows by 2 (public lead = 2 over the genesis fork), while
+     the adversary keeps one block ahead. *)
+  let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:2 in
+  let h2 = honest_block ~parent:h1 ~miner:1 ~round:3 in
+  Adversary.observe a [ h1 ];
+  check_true "still quiet" (Adversary.act a ~round:2 ~successes:1 = []);
+  Adversary.observe a [ h2 ];
+  match Adversary.act a ~round:3 ~successes:1 with
+  | [ { Adversary.recipients; delay; blocks } ] ->
+    check_int "release to all honest" 3 (List.length recipients);
+    check_int "immediate release" 1 delay;
+    check_int "whole private chain" 4 (List.length blocks);
+    check_int "one reorg" 1 (Adversary.reorgs_caused a)
+  | _ -> Alcotest.fail "expected one release"
+
+let test_private_chain_adopts_when_behind () =
+  let a =
+    Adversary.create
+      ~strategy:(Adversary.Private_chain { reorg_target = 5 })
+      ~honest_count:2
+  in
+  (* Honest chain runs ahead while the adversary has nothing. *)
+  let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:1 in
+  let h2 = honest_block ~parent:h1 ~miner:0 ~round:2 in
+  Adversary.observe a [ h1; h2 ];
+  ignore (Adversary.act a ~round:3 ~successes:1);
+  (* The private tip must now extend the adopted public tip. *)
+  let tip = Adversary.private_tip a in
+  check_int "forked from public tip" 3 tip.Block.height;
+  check_true "parent is public tip"
+    (Nakamoto_chain.Hash.equal tip.Block.parent h2.Block.hash)
+
+let test_balance_releases_to_both_groups () =
+  let a =
+    Adversary.create
+      ~strategy:(Adversary.Balance { group_boundary = 2 })
+      ~honest_count:4
+  in
+  let releases = Adversary.act a ~round:1 ~successes:1 in
+  check_int "two releases per block" 2 (List.length releases);
+  let near = List.nth releases 0 and far = List.nth releases 1 in
+  check_int "near group immediate" 1 near.Adversary.delay;
+  check_true "far group delayed" (far.Adversary.delay > 1);
+  check_int "near + far = all honest" 4
+    (List.length near.Adversary.recipients + List.length far.Adversary.recipients)
+
+let test_balance_targets_shorter_branch () =
+  let a =
+    Adversary.create
+      ~strategy:(Adversary.Balance { group_boundary = 2 })
+      ~honest_count:4
+  in
+  (* Group A (miners 0,1) builds two blocks; branch B is shorter. *)
+  let a1 = honest_block ~parent:Block.genesis ~miner:0 ~round:1 in
+  let a2 = honest_block ~parent:a1 ~miner:1 ~round:2 in
+  Adversary.observe a [ a1; a2 ];
+  (match Adversary.act a ~round:3 ~successes:1 with
+  | first :: _ ->
+    (* The mined block must go to group B (recipients 2, 3). *)
+    check_true "released to group B"
+      (List.sort compare first.Adversary.recipients = [ 2; 3 ])
+  | [] -> Alcotest.fail "expected releases");
+  check_int "one adversarial block" 1 (Adversary.blocks_mined a)
+
+let test_delay_policy_for () =
+  (match Adversary.delay_policy_for Adversary.Idle ~delta:4 ~honest_count:4 with
+  | Network.Immediate -> ()
+  | _ -> Alcotest.fail "idle should be immediate");
+  (match
+     Adversary.delay_policy_for
+       (Adversary.Private_chain { reorg_target = 3 })
+       ~delta:4 ~honest_count:4
+   with
+  | Network.Maximal -> ()
+  | _ -> Alcotest.fail "private chain should be maximal");
+  match
+    Adversary.delay_policy_for
+      (Adversary.Balance { group_boundary = 2 })
+      ~delta:4 ~honest_count:4
+  with
+  | Network.Per_recipient f ->
+    let msg sender = { Network.sender; sent_round = 1; blocks = [] } in
+    check_int "in-group fast" 1 (f ~recipient:1 (msg 0));
+    check_int "cross-group slow" 4 (f ~recipient:3 (msg 0));
+    check_int "adversarial releases not slowed" 1 (f ~recipient:3 (msg (-1)))
+  | _ -> Alcotest.fail "balance should be per-recipient"
+
+let test_selfish_withholds_then_banks () =
+  let a = Adversary.create ~strategy:Adversary.Selfish_mining ~honest_count:3 in
+  (* Two private blocks: withheld silently. *)
+  check_true "withholds at lead 2" (Adversary.act a ~round:1 ~successes:2 = []);
+  check_int "mined 2" 2 (Adversary.blocks_mined a);
+  (* An honest block shrinks the lead 2 -> 1: the selfish miner banks the
+     whole branch next act. *)
+  let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:2 in
+  Adversary.observe a [ h1 ];
+  (match Adversary.act a ~round:3 ~successes:0 with
+  | [ { Adversary.blocks; recipients; delay } ] ->
+    check_int "banks both blocks" 2 (List.length blocks);
+    check_int "to everyone" 3 (List.length recipients);
+    check_int "instantly" 1 delay
+  | _ -> Alcotest.fail "expected the branch to be published");
+  check_int "one reorg event" 1 (Adversary.reorgs_caused a)
+
+let test_selfish_races_at_tie () =
+  let a = Adversary.create ~strategy:Adversary.Selfish_mining ~honest_count:3 in
+  (* One private block, then an honest block ties it. *)
+  check_true "withholds single block" (Adversary.act a ~round:1 ~successes:1 = []);
+  let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:2 in
+  Adversary.observe a [ h1 ];
+  (match Adversary.act a ~round:3 ~successes:0 with
+  | [ { Adversary.blocks; _ } ] -> check_int "publishes the rival" 1 (List.length blocks)
+  | _ -> Alcotest.fail "expected a race release")
+
+let test_selfish_abandons_when_passed () =
+  let a = Adversary.create ~strategy:Adversary.Selfish_mining ~honest_count:2 in
+  ignore (Adversary.act a ~round:1 ~successes:1);
+  (* Honest chain jumps two ahead of the fork: private branch hopeless. *)
+  let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:2 in
+  let h2 = honest_block ~parent:h1 ~miner:1 ~round:3 in
+  Adversary.observe a [ h1; h2 ];
+  (* First act reacts: tie release (lead 1-2 = -1 -> abandon, no release). *)
+  check_true "no release when passed" (Adversary.act a ~round:4 ~successes:0 = []);
+  (* The next private success must extend the public tip. *)
+  ignore (Adversary.act a ~round:5 ~successes:1);
+  let tip = Adversary.private_tip a in
+  check_int "re-forked from public tip" 3 tip.Block.height
+
+let test_view_is_omniscient () =
+  let a =
+    Adversary.create
+      ~strategy:(Adversary.Private_chain { reorg_target = 10 })
+      ~honest_count:2
+  in
+  let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:1 in
+  Adversary.observe a [ h1 ];
+  ignore (Adversary.act a ~round:2 ~successes:3);
+  (* god view holds genesis + honest + all withheld private blocks. *)
+  check_int "god view size" 5 (Block_tree.block_count (Adversary.view a))
+
+let suite =
+  [
+    case "create validation" test_create_validation;
+    case "idle strategy" test_idle_does_nothing;
+    case "private chain withholds then releases" test_private_chain_withholds_until_lead;
+    case "private chain adopts when behind" test_private_chain_adopts_when_behind;
+    case "balance releases to both groups" test_balance_releases_to_both_groups;
+    case "balance targets shorter branch" test_balance_targets_shorter_branch;
+    case "selfish withholds then banks" test_selfish_withholds_then_banks;
+    case "selfish races at tie" test_selfish_races_at_tie;
+    case "selfish abandons when passed" test_selfish_abandons_when_passed;
+    case "delay policies per strategy" test_delay_policy_for;
+    case "omniscient view" test_view_is_omniscient;
+  ]

@@ -1,0 +1,66 @@
+open Helpers
+module Ascii_plot = Nakamoto_numerics.Ascii_plot
+
+let line_series =
+  {
+    Ascii_plot.label = "line";
+    glyph = '*';
+    points = List.init 20 (fun i -> (float_of_int i, float_of_int i *. 2.));
+  }
+
+let test_renders () =
+  let s =
+    Ascii_plot.plot ~title:"t" ~x_label:"x" ~y_label:"y" [ line_series ]
+  in
+  check_true "title" (contains_substring ~affix:"t\n" s);
+  check_true "glyph appears" (contains_substring ~affix:"*" s);
+  check_true "legend" (contains_substring ~affix:"line" s);
+  check_true "axis labels" (contains_substring ~affix:"x: x" s)
+
+let test_log_scale_drops_nonpositive () =
+  let s =
+    Ascii_plot.plot ~x_scale:Ascii_plot.Log10 ~title:"t" ~x_label:"x"
+      ~y_label:"y"
+      [
+        {
+          Ascii_plot.label = "l";
+          glyph = 'o';
+          points = [ (-1., 1.); (0., 2.); (1., 3.); (10., 4.) ];
+        };
+      ]
+  in
+  (* Only the two positive-x points remain; the plot must still render. *)
+  check_true "rendered" (String.length s > 0)
+
+let test_empty_rejected () =
+  check_raises_invalid "no points" (fun () ->
+      ignore
+        (Ascii_plot.plot ~title:"t" ~x_label:"x" ~y_label:"y"
+           [ { Ascii_plot.label = "e"; glyph = 'e'; points = [] } ]));
+  check_raises_invalid "nan only" (fun () ->
+      ignore
+        (Ascii_plot.plot ~title:"t" ~x_label:"x" ~y_label:"y"
+           [ { Ascii_plot.label = "n"; glyph = 'n'; points = [ (nan, 1.) ] } ]))
+
+let test_degenerate_range () =
+  (* A single point must not divide by zero. *)
+  let s =
+    Ascii_plot.plot ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ { Ascii_plot.label = "p"; glyph = 'p'; points = [ (1., 1.) ] } ]
+  in
+  check_true "single point renders" (contains_substring ~affix:"p" s)
+
+let test_small_grid_rejected () =
+  check_raises_invalid "tiny grid" (fun () ->
+      ignore
+        (Ascii_plot.plot ~width:2 ~height:2 ~title:"t" ~x_label:"x"
+           ~y_label:"y" [ line_series ]))
+
+let suite =
+  [
+    case "renders title, glyphs, legend" test_renders;
+    case "log scale drops nonpositive" test_log_scale_drops_nonpositive;
+    case "empty input rejected" test_empty_rejected;
+    case "degenerate range" test_degenerate_range;
+    case "small grid rejected" test_small_grid_rejected;
+  ]

@@ -1,0 +1,91 @@
+open Helpers
+module Assessment = Nakamoto_core.Assessment
+module Params = Nakamoto_core.Params
+
+let point ~nu ~c = Params.of_c ~n:1e5 ~delta:1e6 ~nu ~c
+
+let test_zones () =
+  let zone a = (Assessment.assess a).Assessment.zone in
+  check_true "well above the bound is safe"
+    (zone (point ~nu:0.25 ~c:5.) = Assessment.Safe);
+  check_true "below the attack line is broken"
+    (zone (point ~nu:0.3 ~c:0.2) = Assessment.Broken);
+  check_true "between is the gap"
+    (zone (point ~nu:0.3 ~c:0.8) = Assessment.Gap);
+  check_true "nu = 0 is always safe"
+    (zone (Params.of_c ~n:1e5 ~delta:1e6 ~nu:0. ~c:0.01) = Assessment.Safe)
+
+let test_zone_boundaries_consistent () =
+  (* The zone must agree with the underlying bound functions. *)
+  List.iter
+    (fun (nu, c) ->
+      let a = Assessment.assess (point ~nu ~c) in
+      (match a.Assessment.zone with
+      | Assessment.Safe -> check_true "safe means margin > 0" (a.neat_margin > 0.)
+      | Assessment.Broken ->
+        check_true "broken means below attack" (c < a.attack_threshold)
+      | Assessment.Gap ->
+        check_true "gap between the lines"
+          (c <= a.neat_threshold +. 1e-12 && c >= a.attack_threshold -. 1e-12));
+      check_true "thresholds ordered"
+        (a.attack_threshold <= a.neat_threshold +. 1e-9))
+    [ (0.1, 3.); (0.25, 1.); (0.4, 0.5); (0.45, 10.); (0.05, 0.1) ]
+
+let test_safe_zone_has_settlement () =
+  let a = Assessment.assess (point ~nu:0.2 ~c:5.) in
+  (match a.Assessment.confirmations with
+  | Some conf ->
+    check_true "finite depth" (conf.Nakamoto_core.Confirmation.confirmations > 0)
+  | None -> Alcotest.fail "safe zone must have a settlement depth");
+  (* Deep in the broken zone the conservative rates give no finite depth. *)
+  let broken = Assessment.assess (point ~nu:0.45 ~c:0.2) in
+  check_true "no settlement when broken"
+    (broken.Assessment.confirmations = None)
+
+let test_margins_and_envelopes () =
+  let a = Assessment.assess (point ~nu:0.25 ~c:5.) in
+  close "neat margin is c - threshold" (5. -. a.neat_threshold)
+    a.Assessment.neat_margin;
+  check_true "Thm1 margin positive in safe zone" (a.theorem1_log_margin > 0.);
+  let lo, hi = a.growth_bounds in
+  check_true "growth bounds ordered" (0. < lo && lo <= hi);
+  check_true "quality floor in [0,1]"
+    (a.quality_bound >= 0. && a.quality_bound <= 1.);
+  check_true "exact Thm2 threshold at least the neat one"
+    (a.theorem2_exact_threshold >= a.neat_threshold -. 1e-9)
+
+let test_rendering () =
+  let a = Assessment.assess (point ~nu:0.25 ~c:5.) in
+  let s = Format.asprintf "%a" Assessment.pp a in
+  check_true "zone shown" (contains_substring ~affix:"SAFE" s);
+  check_true "bound shown" (contains_substring ~affix:"our bound" s);
+  let table = Assessment.to_table [ a; Assessment.assess (point ~nu:0.3 ~c:0.2) ] in
+  check_int "two rows" 2 (Nakamoto_numerics.Table.row_count table)
+
+let props =
+  [
+    prop ~count:100 "zone ordering is monotone in c"
+      QCheck2.Gen.(
+        (* c is round-tripped through p = 1/(cnD); keep the two points a
+           few ulps apart so rounding cannot swap them across a boundary. *)
+        let* nu = float_range 0.05 0.45 in
+        let* c1 = float_range 0.05 50. in
+        let* factor = float_range 1.001 3. in
+        return (nu, c1, c1 *. factor))
+      (fun (nu, c_lo, c_hi) ->
+        let rank z =
+          match z with Assessment.Broken -> 0 | Assessment.Gap -> 1 | Assessment.Safe -> 2
+        in
+        let z c = (Assessment.assess (point ~nu ~c)).Assessment.zone in
+        rank (z c_lo) <= rank (z c_hi));
+  ]
+
+let suite =
+  [
+    case "zones" test_zones;
+    case "zone boundaries consistent" test_zone_boundaries_consistent;
+    case "settlement availability" test_safe_zone_has_settlement;
+    case "margins and envelopes" test_margins_and_envelopes;
+    case "rendering" test_rendering;
+  ]
+  @ props

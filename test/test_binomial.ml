@@ -1,0 +1,139 @@
+open Helpers
+module Binomial = Nakamoto_prob.Binomial
+
+let test_create_validation () =
+  check_raises_invalid "negative trials" (fun () ->
+      ignore (Binomial.create ~trials:(-1) ~p:0.5));
+  check_raises_invalid "p > 1" (fun () ->
+      ignore (Binomial.create ~trials:3 ~p:1.5));
+  check_raises_invalid "nan p" (fun () ->
+      ignore (Binomial.create ~trials:3 ~p:nan))
+
+let test_moments () =
+  let d = Binomial.create ~trials:100 ~p:0.3 in
+  close "mean" 30. (Binomial.mean d);
+  close "variance" 21. (Binomial.variance d)
+
+let test_pmf_known_values () =
+  let d = Binomial.create ~trials:4 ~p:0.5 in
+  close "pmf 0" 0.0625 (Binomial.pmf d 0);
+  close "pmf 2" 0.375 (Binomial.pmf d 2);
+  close "pmf 4" 0.0625 (Binomial.pmf d 4);
+  close "pmf out of range" 0. (Binomial.pmf d 5);
+  close "pmf negative" 0. (Binomial.pmf d (-1))
+
+let test_pmf_degenerate () =
+  let zero = Binomial.create ~trials:5 ~p:0. in
+  close "p=0 mass at 0" 1. (Binomial.pmf zero 0);
+  close "p=0 elsewhere" 0. (Binomial.pmf zero 3);
+  let one = Binomial.create ~trials:5 ~p:1. in
+  close "p=1 mass at n" 1. (Binomial.pmf one 5);
+  close "p=1 elsewhere" 0. (Binomial.pmf one 4)
+
+let test_cdf_survival () =
+  let d = Binomial.create ~trials:10 ~p:0.4 in
+  close "cdf at n" 1. (Binomial.cdf d 10);
+  close "cdf negative" 0. (Binomial.cdf d (-1));
+  close "survival at n" 0. (Binomial.survival d 10);
+  close "survival negative" 1. (Binomial.survival d (-1));
+  for k = 0 to 10 do
+    close
+      (Printf.sprintf "cdf + survival = 1 at %d" k)
+      1.
+      (Binomial.cdf d k +. Binomial.survival d k)
+  done
+
+let test_paper_quantities () =
+  (* alpha, abar, alpha1 of Eqs. 7-9 with mu*n = 30 honest miners. *)
+  let d = Binomial.create ~trials:30 ~p:0.01 in
+  close "abar" (0.99 ** 30.) (Binomial.prob_zero d);
+  close "alpha" (1. -. (0.99 ** 30.)) (Binomial.prob_positive d);
+  close "alpha1" (30. *. 0.01 *. (0.99 ** 29.)) (Binomial.prob_one d);
+  close "log_prob_zero" (30. *. log 0.99) (Binomial.log_prob_zero d);
+  (* Log domain must survive the paper's extreme scale. *)
+  let extreme = Binomial.create ~trials:100_000 ~p:1e-18 in
+  close ~rtol:1e-6 "extreme log_prob_zero" (-1e-13)
+    (Binomial.log_prob_zero extreme)
+
+let test_sampling_moments () =
+  let g = rng () in
+  let check_dist trials p =
+    let d = Binomial.create ~trials ~p in
+    let n = 20_000 in
+    let sum = ref 0 and sumsq = ref 0 in
+    for _ = 1 to n do
+      let x = Binomial.sample g d in
+      check_true "sample in range" (x >= 0 && x <= trials);
+      sum := !sum + x;
+      sumsq := !sumsq + (x * x)
+    done;
+    let mean = float_of_int !sum /. float_of_int n in
+    let var =
+      (float_of_int !sumsq /. float_of_int n) -. (mean *. mean)
+    in
+    check_true
+      (Printf.sprintf "mean near (trials=%d p=%g): %g" trials p mean)
+      (Float.abs (mean -. Binomial.mean d)
+       < 4. *. sqrt (Binomial.variance d /. float_of_int n) +. 1e-9);
+    check_true
+      (Printf.sprintf "variance near (trials=%d p=%g): %g" trials p var)
+      (Binomial.variance d = 0.
+       || Float.abs (var -. Binomial.variance d) /. Binomial.variance d < 0.15)
+  in
+  check_dist 10 0.5;
+  check_dist 50 0.02;
+  check_dist 1000 0.001;
+  check_dist 5000 0.02 (* exercises the per-trial fallback path *)
+
+let test_sampling_degenerate () =
+  let g = rng () in
+  check_int "p=0" 0 (Binomial.sample g (Binomial.create ~trials:10 ~p:0.));
+  check_int "p=1" 10 (Binomial.sample g (Binomial.create ~trials:10 ~p:1.));
+  check_int "0 trials" 0 (Binomial.sample g (Binomial.create ~trials:0 ~p:0.5))
+
+let props =
+  let gen_dist =
+    QCheck2.Gen.(
+      let* trials = int_range 0 60 in
+      let* p = float_range 0. 1. in
+      return (trials, p))
+  in
+  [
+    prop "pmf sums to 1" gen_dist (fun (trials, p) ->
+        let d = Binomial.create ~trials ~p in
+        let total = ref 0. in
+        for k = 0 to trials do
+          total := !total +. Binomial.pmf d k
+        done;
+        Float.abs (!total -. 1.) < 1e-9);
+    prop "mean equals sum of k pmf(k)" gen_dist (fun (trials, p) ->
+        let d = Binomial.create ~trials ~p in
+        let m = ref 0. in
+        for k = 0 to trials do
+          m := !m +. (float_of_int k *. Binomial.pmf d k)
+        done;
+        Float.abs (!m -. Binomial.mean d) < 1e-9);
+    prop "cdf monotone" gen_dist (fun (trials, p) ->
+        let d = Binomial.create ~trials ~p in
+        let ok = ref true in
+        for k = 0 to trials - 1 do
+          if Binomial.cdf d k > Binomial.cdf d (k + 1) +. 1e-12 then ok := false
+        done;
+        !ok);
+    prop "prob_one <= prob_positive" gen_dist (fun (trials, p) ->
+        let d = Binomial.create ~trials ~p in
+        Binomial.prob_one d <= Binomial.prob_positive d +. 1e-12);
+  ]
+
+let suite =
+  [
+    case "create validation" test_create_validation;
+    case "moments" test_moments;
+    case "pmf known values" test_pmf_known_values;
+    case "pmf degenerate p" test_pmf_degenerate;
+    case "cdf/survival" test_cdf_survival;
+    case "paper quantities (Eqs. 7-9)" test_paper_quantities;
+    case "sampling moments" test_sampling_moments;
+    case "sampling degenerate" test_sampling_degenerate;
+  ]
+  @ props

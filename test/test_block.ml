@@ -1,0 +1,61 @@
+open Helpers
+module Block = Nakamoto_chain.Block
+module Hash = Nakamoto_chain.Hash
+
+let test_genesis () =
+  check_true "genesis is genesis" (Block.is_genesis Block.genesis);
+  check_int "height 0" 0 Block.genesis.height;
+  check_int "round 0" 0 Block.genesis.round;
+  check_true "parent is zero" (Hash.equal Block.genesis.parent Hash.zero)
+
+let test_mine () =
+  let b =
+    Block.mine ~parent:Block.genesis ~miner:3 ~miner_class:Block.Honest
+      ~round:5 ~nonce:1 ~payload:"tx"
+  in
+  check_int "height" 1 b.height;
+  check_int "miner" 3 b.miner;
+  check_int "round" 5 b.round;
+  check_true "parent link" (Hash.equal b.parent Block.genesis.hash);
+  check_false "not genesis" (Block.is_genesis b);
+  let c =
+    Block.mine ~parent:b ~miner:0 ~miner_class:Block.Adversarial ~round:6
+      ~nonce:0 ~payload:""
+  in
+  check_int "grandchild height" 2 c.height;
+  check_true "class recorded" (c.miner_class = Block.Adversarial)
+
+let test_mine_validation () =
+  check_raises_invalid "round 0" (fun () ->
+      ignore
+        (Block.mine ~parent:Block.genesis ~miner:0 ~miner_class:Block.Honest
+           ~round:0 ~nonce:0 ~payload:""));
+  check_raises_invalid "negative miner" (fun () ->
+      ignore
+        (Block.mine ~parent:Block.genesis ~miner:(-2) ~miner_class:Block.Honest
+           ~round:1 ~nonce:0 ~payload:""))
+
+let test_equal_by_hash () =
+  let mk () =
+    Block.mine ~parent:Block.genesis ~miner:1 ~miner_class:Block.Honest
+      ~round:1 ~nonce:7 ~payload:"x"
+  in
+  check_true "same fields same hash" (Block.equal (mk ()) (mk ()));
+  let other =
+    Block.mine ~parent:Block.genesis ~miner:1 ~miner_class:Block.Honest
+      ~round:1 ~nonce:8 ~payload:"x"
+  in
+  check_false "different nonce differs" (Block.equal (mk ()) other)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Block.pp Block.genesis in
+  check_true "pp shows height" (contains_substring ~affix:"h=0" s)
+
+let suite =
+  [
+    case "genesis" test_genesis;
+    case "mine" test_mine;
+    case "mine validation" test_mine_validation;
+    case "equality by hash" test_equal_by_hash;
+    case "pp" test_pp;
+  ]

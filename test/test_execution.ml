@@ -1,0 +1,157 @@
+open Helpers
+module Sim = Nakamoto_sim
+module Block = Nakamoto_chain.Block
+module Block_tree = Nakamoto_chain.Block_tree
+
+let quick_config ?(nu = 0.25) ?(rounds = 800) ?(strategy = Sim.Adversary.Idle) ()
+    =
+  {
+    Sim.Config.default with
+    nu;
+    rounds;
+    strategy;
+    seed = 7L;
+    snapshot_interval = 50;
+  }
+
+let test_config_validation () =
+  check_raises_invalid "n < 4" (fun () ->
+      Sim.Config.validate { Sim.Config.default with n = 3 });
+  check_raises_invalid "nu >= 1/2" (fun () ->
+      Sim.Config.validate { Sim.Config.default with nu = 0.5 });
+  check_raises_invalid "bad p" (fun () ->
+      Sim.Config.validate { Sim.Config.default with p = 0. });
+  check_raises_invalid "delta < 1" (fun () ->
+      Sim.Config.validate { Sim.Config.default with delta = 0 });
+  check_raises_invalid "bad snapshot interval" (fun () ->
+      Sim.Config.validate { Sim.Config.default with snapshot_interval = 0 });
+  Sim.Config.validate Sim.Config.default
+
+let test_config_derivations () =
+  let cfg = { Sim.Config.default with n = 40; nu = 0.25 } in
+  check_int "adversary count" 10 (Sim.Config.adversary_count cfg);
+  check_int "honest count" 30 (Sim.Config.honest_count cfg);
+  close "mu" 0.75 (Sim.Config.mu cfg);
+  let cfg2 = Sim.Config.with_c cfg ~c:2. in
+  close "c roundtrip" 2. (Sim.Config.c cfg2);
+  check_raises_invalid "with_c absurd" (fun () ->
+      ignore (Sim.Config.with_c cfg ~c:(-1.)))
+
+let test_determinism () =
+  let r1 = Sim.Execution.run (quick_config ()) in
+  let r2 = Sim.Execution.run (quick_config ()) in
+  check_int "same honest blocks" r1.honest_blocks r2.honest_blocks;
+  check_int "same adversary blocks" r1.adversary_blocks r2.adversary_blocks;
+  check_int "same convergence count" r1.convergence_opportunities
+    r2.convergence_opportunities;
+  let r3 = Sim.Execution.run { (quick_config ()) with seed = 8L } in
+  check_true "different seed differs"
+    (r1.honest_blocks <> r3.honest_blocks
+    || r1.adversary_blocks <> r3.adversary_blocks)
+
+let test_all_honest_blocks_in_god_view () =
+  let r = Sim.Execution.run (quick_config ()) in
+  (* Every honest block ever mined lives in the god view; heights match. *)
+  let counted = ref 0 in
+  Block_tree.iter_blocks r.god_view (fun b ->
+      if (not (Block.is_genesis b)) && b.Block.miner_class = Block.Honest then
+        incr counted);
+  check_int "honest block conservation" r.honest_blocks !counted
+
+let test_tips_known_to_god () =
+  let r = Sim.Execution.run (quick_config ()) in
+  Array.iter
+    (fun (tip : Block.t) ->
+      check_true "final tip in god view" (Block_tree.mem r.god_view tip.hash))
+    r.final_tips;
+  List.iter
+    (fun (snap : Sim.Execution.snapshot) ->
+      Array.iter
+        (fun (tip : Block.t) ->
+          check_true "snapshot tip in god view" (Block_tree.mem r.god_view tip.hash))
+        snap.tips)
+    r.snapshots
+
+let test_no_orphans_remain () =
+  let r = Sim.Execution.run (quick_config ~strategy:Sim.Adversary.Idle ()) in
+  check_int "no orphans (idle)" 0 r.orphans_remaining;
+  let r2 =
+    Sim.Execution.run
+      (quick_config ~strategy:(Sim.Adversary.Private_chain { reorg_target = 4 }) ())
+  in
+  check_int "no orphans (attack)" 0 r2.orphans_remaining
+
+let test_honest_convergence_without_adversary () =
+  let cfg = Sim.Scenarios.honest_baseline ~seed:3L in
+  let r = Sim.Execution.run cfg in
+  (* With delay-1 delivery and c comfortably high, all miners agree up to
+     the propagation frontier at the end. *)
+  let heights = Array.map (fun (b : Block.t) -> b.height) r.final_tips in
+  let min_h = Array.fold_left min max_int heights in
+  let max_h = Array.fold_left max 0 heights in
+  check_true "tips within one block of each other" (max_h - min_h <= 1);
+  check_int "nobody mined adversarially" 0 r.adversary_blocks;
+  check_true "chain grew" (max_h > 50)
+
+let test_snapshots_cadence () =
+  let r = Sim.Execution.run (quick_config ~rounds:200 ()) in
+  (* Every 50 rounds plus the final round (200 is on the cadence). *)
+  check_int "snapshot count" 4 (List.length r.snapshots);
+  let rounds = List.map (fun (s : Sim.Execution.snapshot) -> s.round) r.snapshots in
+  Alcotest.(check (list int)) "snapshot rounds" [ 50; 100; 150; 200 ] rounds
+
+let test_counters_against_state_law () =
+  (* The execution's per-round H/N tallies follow the same binomial law as
+     the state process (same honest trials, same p). *)
+  let cfg = quick_config ~rounds:4_000 () in
+  let r = Sim.Execution.run cfg in
+  let d =
+    Nakamoto_prob.Binomial.create ~trials:(Sim.Config.honest_count cfg) ~p:cfg.p
+  in
+  let t = float_of_int cfg.rounds in
+  let alpha = Nakamoto_prob.Binomial.prob_positive d in
+  check_true
+    (Printf.sprintf "H-round rate %.4f near alpha %.4f"
+       (float_of_int r.h_rounds /. t) alpha)
+    (Float.abs ((float_of_int r.h_rounds /. t) -. alpha)
+    < 5. *. sqrt (alpha /. t) +. 0.01);
+  check_true "h1 <= h" (r.h1_rounds <= r.h_rounds);
+  check_true "C <= h1" (r.convergence_opportunities <= r.h1_rounds)
+
+let test_delay_override () =
+  (* Forcing worst-case delays on an idle adversary slows chain growth
+     into the analytic envelope's lower half. *)
+  let base = Sim.Config.with_c { (quick_config ~rounds:6000 ()) with nu = 0.25 } ~c:1. in
+  let fast = Sim.Execution.run base in
+  let slow =
+    Sim.Execution.run
+      { base with delay_override = Some Nakamoto_net.Network.Maximal }
+  in
+  let rate (r : Sim.Execution.result) =
+    (Sim.Metrics.chain_growth r).growth_rate
+  in
+  check_true
+    (Printf.sprintf "maximal delays slow growth (%.4f < %.4f)" (rate slow)
+       (rate fast))
+    (rate slow < rate fast);
+  (* Blocks still all arrive: no orphans, full consistency machinery ran. *)
+  check_int "no orphans under maximal delays" 0 slow.orphans_remaining
+
+let test_invalid_config_rejected_by_run () =
+  check_raises_invalid "run validates" (fun () ->
+      ignore (Sim.Execution.run { (quick_config ()) with n = 2 }))
+
+let suite =
+  [
+    case "config validation" test_config_validation;
+    case "config derivations" test_config_derivations;
+    case "determinism by seed" test_determinism;
+    case "honest block conservation" test_all_honest_blocks_in_god_view;
+    case "tips known to god view" test_tips_known_to_god;
+    case "no orphans remain" test_no_orphans_remain;
+    case "honest-only convergence" test_honest_convergence_without_adversary;
+    case "snapshot cadence" test_snapshots_cadence;
+    case "counters follow the state law" test_counters_against_state_law;
+    case "delay override" test_delay_override;
+    case "run validates config" test_invalid_config_rejected_by_run;
+  ]

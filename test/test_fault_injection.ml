@@ -1,0 +1,119 @@
+(* Fault injection: the protocol machinery must stay sound under arbitrary
+   (even deliberately nasty) delay policies and malformed inputs — the
+   adversary's only real power is the one the model grants. *)
+
+open Helpers
+module Sim = Nakamoto_sim
+module Network = Nakamoto_net.Network
+module Block = Nakamoto_chain.Block
+module Block_tree = Nakamoto_chain.Block_tree
+
+(* A delay policy computed from a hash of (recipient, sender, round) with
+   deliberately out-of-range outputs: negative, zero, and huge delays.
+   The network must clamp everything into [1, delta]. *)
+let nasty_policy salt =
+  Network.Per_recipient
+    (fun ~recipient (msg : Network.message) ->
+      let h =
+        Nakamoto_prob.Rng.splitmix64
+          (Int64.of_int ((recipient * 7919) + (msg.sender * 104729)
+                         + (msg.sent_round * 31) + salt))
+      in
+      (* Map to a range straddling both invalid extremes. *)
+      Int64.to_int (Int64.rem h 400L) - 100)
+
+let run_with_policy ~salt ~seed =
+  let cfg =
+    {
+      (Sim.Config.with_c
+         { Sim.Config.default with rounds = 1200; seed; nu = 0.25 }
+         ~c:1.5)
+      with
+      delay_override = Some (nasty_policy salt);
+    }
+  in
+  Sim.Execution.run cfg
+
+let test_nasty_policies_keep_invariants () =
+  List.iter
+    (fun salt ->
+      let r = run_with_policy ~salt ~seed:(Int64.of_int (salt + 9)) in
+      check_int
+        (Printf.sprintf "salt %d: no orphans" salt)
+        0 r.orphans_remaining;
+      (* Conservation: every honest block is in the god view. *)
+      let honest = ref 0 in
+      Block_tree.iter_blocks r.god_view (fun b ->
+          if (not (Block.is_genesis b)) && b.Block.miner_class = Block.Honest
+          then incr honest);
+      check_int (Printf.sprintf "salt %d: conservation" salt) r.honest_blocks
+        !honest;
+      (* Chains are valid: every final tip's chain walks back to genesis. *)
+      Array.iter
+        (fun tip ->
+          let path = Block_tree.chain_to_genesis r.god_view tip in
+          check_true "path starts at genesis" (Block.is_genesis (List.hd path)))
+        r.final_tips;
+      (* The consistency auditor must run without exceptions. *)
+      ignore (Sim.Metrics.check_consistency r))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_delays_never_exceed_delta () =
+  (* Direct check at the network layer: even a policy answering max_int or
+     negative numbers delivers within [1, delta]. *)
+  let rng = rng () in
+  let evil =
+    Network.Per_recipient
+      (fun ~recipient _ -> if recipient mod 2 = 0 then max_int else -1000)
+  in
+  let n = Network.create ~delta:5 ~players:4 ~policy:evil ~rng in
+  for round = 1 to 50 do
+    Network.broadcast n
+      { Network.sender = round mod 4; sent_round = round; blocks = [] }
+  done;
+  let received = ref 0 in
+  for recipient = 0 to 3 do
+    for round = 1 to 55 do
+      received :=
+        !received + List.length (Network.deliver n ~recipient ~round)
+    done
+  done;
+  check_int "all messages delivered within delta" (Network.messages_sent n)
+    !received
+
+let test_malformed_blocks_rejected_everywhere () =
+  (* A block whose parent is unknown is refused by the tree and buffered,
+     not inserted, by the miner. *)
+  let tree = Block_tree.create () in
+  let stranger =
+    Block.mine
+      ~parent:
+        (Block.mine ~parent:Block.genesis ~miner:1 ~miner_class:Block.Honest
+           ~round:1 ~nonce:0 ~payload:"")
+      ~miner:1 ~miner_class:Block.Honest ~round:2 ~nonce:0 ~payload:""
+  in
+  check_true "tree refuses orphan" (Block_tree.insert tree stranger = `Orphan);
+  let miner = Sim.Miner.create ~id:0 () in
+  Sim.Miner.receive miner [ stranger ];
+  check_int "miner buffers, does not adopt" 0 (Sim.Miner.chain_length miner);
+  check_int "orphan buffered" 1 (Sim.Miner.orphan_count miner)
+
+let props =
+  [
+    prop ~count:20 "random nasty policies keep the execution sound"
+      QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 1000))
+      (fun (salt, seed) ->
+        let r = run_with_policy ~salt ~seed:(Int64.of_int seed) in
+        r.orphans_remaining = 0
+        && Array.for_all
+             (fun (tip : Block.t) -> Block_tree.mem r.god_view tip.hash)
+             r.final_tips);
+  ]
+
+let suite =
+  [
+    case "nasty policies keep invariants" test_nasty_policies_keep_invariants;
+    case "delays always clamped to [1, delta]" test_delays_never_exceed_delta;
+    case "malformed blocks rejected" test_malformed_blocks_rejected_everywhere;
+  ]
+  @ props

@@ -1,0 +1,103 @@
+open Helpers
+module Figure1 = Nakamoto_core.Figure1
+module Figure2 = Nakamoto_core.Figure2
+module Table = Nakamoto_numerics.Table
+
+let small_grid = [ 0.3; 1.; 2.; 3.; 10.; 100. ]
+let rows = Figure1.series ~c_grid:small_grid ()
+
+let test_grid () =
+  let g = Figure1.default_c_grid () in
+  check_int "61 points" 61 (List.length g);
+  close "starts at 0.1" 0.1 (List.hd g);
+  close ~rtol:1e-9 "ends at 100" 100. (List.nth g 60);
+  (* log-spaced: ratios constant *)
+  let r01 = List.nth g 1 /. List.nth g 0 in
+  let r12 = List.nth g 2 /. List.nth g 1 in
+  close "log spacing" r01 r12
+
+let test_shape_invariants () =
+  check_true "shape invariants" (Figure1.shape_invariants_hold rows);
+  (* deliberately break ordering to prove the check has teeth *)
+  let broken =
+    List.map
+      (fun (r : Figure1.row) -> { r with Figure1.pss_attack = r.ours_neat /. 2. })
+      rows
+  in
+  check_false "detects violation" (Figure1.shape_invariants_hold broken)
+
+let test_figure1_key_points () =
+  (* Qualitative anchors read off the paper's figure. *)
+  let at c =
+    List.find (fun (r : Figure1.row) -> Float.abs (r.c -. c) < 1e-9) rows
+  in
+  let r3 = at 3. in
+  check_true "at c=3 ours ~ 0.40" (Float.abs (r3.ours_neat -. 0.40) < 0.01);
+  check_true "at c=3 pss ~ 0.366" (Float.abs (r3.pss_consistency -. 0.366) < 0.01);
+  check_true "at c=1 pss = 0 but ours > 0.15"
+    ((at 1.).pss_consistency = 0. && (at 1.).ours_neat > 0.15);
+  check_true "at c=100 all near 1/2"
+    ((at 100.).ours_neat > 0.49 && (at 100.).pss_attack > 0.49)
+
+let test_figure1_exact_extensions () =
+  List.iter
+    (fun (r : Figure1.row) ->
+      check_true "Thm1 exact close to neat at paper scale"
+        (Float.abs (r.theorem1_exact -. r.ours_neat) < 1e-3);
+      check_true "Thm2 exact <= neat (finite Delta costs)"
+        (r.theorem2_exact <= r.ours_neat +. 1e-9))
+    rows
+
+let test_figure1_table_and_plot () =
+  let t = Figure1.to_table rows in
+  check_int "one row per c" (List.length small_grid) (Table.row_count t);
+  let plot = Figure1.to_plot rows in
+  check_true "plot has all three glyphs"
+    (contains_substring ~affix:"o" plot
+    && contains_substring ~affix:"+" plot
+    && contains_substring ~affix:"x" plot)
+
+let test_compute_row_validation () =
+  check_raises_invalid "c <= 0" (fun () ->
+      ignore (Figure1.compute_row ~c:0. ()))
+
+let test_figure2_census () =
+  let c = Figure2.census ~delta:4 ~alpha:0.3 in
+  check_int "states" 9 c.states;
+  check_int "recent" 4 c.recent_states;
+  check_int "deep" 1 c.deep_states;
+  check_int "deep recent" 4 c.deep_recent_states;
+  check_int "edges 2 per state" 18 c.edges;
+  check_true "irreducible" c.irreducible;
+  check_true "aperiodic" c.aperiodic;
+  check_true "Eq.37 vs solve tight" (c.stationary_max_abs_error < 1e-10)
+
+let test_figure2_census_range () =
+  List.iter
+    (fun delta ->
+      let c = Figure2.census ~delta ~alpha:0.2 in
+      check_int
+        (Printf.sprintf "2D+1 at %d" delta)
+        ((2 * delta) + 1)
+        c.states;
+      check_true "always ergodic" (c.irreducible && c.aperiodic))
+    [ 1; 2; 3; 8; 16; 64 ]
+
+let test_figure2_table () =
+  let t = Figure2.to_table [ Figure2.census ~delta:3 ~alpha:0.4 ] in
+  check_int "one row" 1 (Table.row_count t);
+  check_true "rendered"
+    (contains_substring ~affix:"suffix chain" (Table.render t))
+
+let suite =
+  [
+    case "default c grid" test_grid;
+    case "shape invariants hold (and have teeth)" test_shape_invariants;
+    case "Figure 1 key anchor points" test_figure1_key_points;
+    case "Figure 1 exact-curve extensions" test_figure1_exact_extensions;
+    case "Figure 1 table and plot" test_figure1_table_and_plot;
+    case "compute_row validation" test_compute_row_validation;
+    case "Figure 2 census" test_figure2_census;
+    case "Figure 2 census across deltas" test_figure2_census_range;
+    case "Figure 2 table" test_figure2_table;
+  ]

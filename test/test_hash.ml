@@ -1,0 +1,60 @@
+open Helpers
+module Hash = Nakamoto_chain.Hash
+
+let test_roundtrip () =
+  let h = Hash.of_int64 0x1234_5678_9ABC_DEF0L in
+  check_true "int64 roundtrip" (Hash.to_int64 h = 0x1234_5678_9ABC_DEF0L);
+  check_true "equal reflexive" (Hash.equal h h);
+  check_int "compare self" 0 (Hash.compare h h)
+
+let test_hex () =
+  Alcotest.(check string) "hex" "00000000000000ff" (Hash.to_hex (Hash.of_int64 255L));
+  Alcotest.(check string) "zero" "0000000000000000" (Hash.to_hex Hash.zero);
+  check_int "hex length" 16 (String.length (Hash.to_hex (Hash.of_int64 (-1L))))
+
+let test_combine_sensitivity () =
+  let base = Hash.of_int64 17L in
+  check_true "combine changes value" (not (Hash.equal (Hash.combine base 1L) base));
+  check_true "different absorbed values differ"
+    (not (Hash.equal (Hash.combine base 1L) (Hash.combine base 2L)));
+  check_true "order sensitive"
+    (not
+       (Hash.equal
+          (Hash.combine (Hash.combine base 1L) 2L)
+          (Hash.combine (Hash.combine base 2L) 1L)))
+
+let test_of_fields_distinct () =
+  let mk ~miner ~round ~nonce =
+    Hash.of_fields ~parent:Hash.zero ~miner ~round ~nonce
+  in
+  let a = mk ~miner:1 ~round:1 ~nonce:0 in
+  check_true "miner matters" (not (Hash.equal a (mk ~miner:2 ~round:1 ~nonce:0)));
+  check_true "round matters" (not (Hash.equal a (mk ~miner:1 ~round:2 ~nonce:0)));
+  check_true "nonce matters" (not (Hash.equal a (mk ~miner:1 ~round:1 ~nonce:1)));
+  check_true "deterministic" (Hash.equal a (mk ~miner:1 ~round:1 ~nonce:0))
+
+let test_no_collisions_small_space () =
+  (* A birthday test over 10^5 headers: any collision would indicate a
+     broken mixer, not bad luck (probability < 3e-10). *)
+  let seen = Hashtbl.create 200_000 in
+  let collisions = ref 0 in
+  for miner = 0 to 99 do
+    for round = 1 to 100 do
+      for nonce = 0 to 9 do
+        let h =
+          Hash.to_int64 (Hash.of_fields ~parent:Hash.zero ~miner ~round ~nonce)
+        in
+        if Hashtbl.mem seen h then incr collisions else Hashtbl.add seen h ()
+      done
+    done
+  done;
+  check_int "no collisions" 0 !collisions
+
+let suite =
+  [
+    case "int64 roundtrip" test_roundtrip;
+    case "hex rendering" test_hex;
+    case "combine sensitivity" test_combine_sensitivity;
+    case "of_fields distinguishes fields" test_of_fields_distinct;
+    case "birthday test" test_no_collisions_small_space;
+  ]

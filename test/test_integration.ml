@@ -1,0 +1,203 @@
+(* Cross-library integration: the simulator and the analysis must tell one
+   story.  These are the "does the theory predict the system we built?"
+   tests — the heart of the reproduction. *)
+
+open Helpers
+module Sim = Nakamoto_sim
+module Core = Nakamoto_core
+
+let test_state_process_matches_eq44 () =
+  (* Empirical convergence-opportunity rate vs abar^(2D) alpha1, with a
+     CLT-scale tolerance. *)
+  let cfg = { Sim.State_process.honest = 40; adversarial = 10; p = 0.01; delta = 3 } in
+  let params = Core.Params.create ~n:50. ~delta:3. ~p:0.01 ~nu:0.2 in
+  let rounds = 1_000_000 in
+  let r = Sim.State_process.run ~rng:(rng ~seed:31L ()) cfg ~rounds in
+  let rate = Core.Conv_chain.convergence_rate params in
+  let got = float_of_int r.convergence_opportunities /. float_of_int rounds in
+  (* Visits are positively correlated across rounds, so allow ~8 CLT sigmas. *)
+  let sigma = sqrt (rate /. float_of_int rounds) in
+  check_true
+    (Printf.sprintf "C/T = %.6f vs %.6f (8 sigma = %.6f)" got rate (8. *. sigma))
+    (Float.abs (got -. rate) < 8. *. sigma)
+
+let test_execution_matches_state_process_law () =
+  (* The full protocol execution's H/N classification follows the same law
+     as the bare state process: equal-seed runs need not match, but their
+     rates must agree within noise. *)
+  let cfg =
+    Sim.Config.with_c
+      { Sim.Config.default with rounds = 20_000; seed = 17L }
+      ~c:2.0
+  in
+  let r = Sim.Execution.run cfg in
+  let sp =
+    Sim.State_process.run ~rng:(rng ~seed:18L ())
+      (Sim.Config.state_process_config cfg)
+      ~rounds:20_000
+  in
+  let rate x = float_of_int x /. 20_000. in
+  check_true "H-round rates agree"
+    (Float.abs (rate r.h_rounds -. rate sp.h_rounds) < 0.02);
+  check_true "conv rates agree"
+    (Float.abs
+       (rate r.convergence_opportunities -. rate sp.convergence_opportunities)
+    < 0.01)
+
+let test_theorem1_separates_sim_outcomes () =
+  (* Above the bound: no violations.  Attack zone: violations.  Both facts
+     already tested individually; here we tie them to the analytic margin
+     computed from the *same* configuration. *)
+  let safe = Sim.Scenarios.safe_zone ~seed:41L ~nu:0.25 in
+  let params_safe = Core.Params.of_sim_config safe in
+  check_true "analytic margin positive in safe zone"
+    (Core.Bounds.theorem1_margin params_safe > 0.);
+  let r_safe = Sim.Execution.run safe in
+  check_int "no violations in safe zone" 0
+    (Sim.Metrics.check_consistency r_safe).violations;
+  let attack = Sim.Scenarios.attack_zone ~seed:41L ~nu:0.3 in
+  let params_attack = Core.Params.of_sim_config attack in
+  check_true "analytic margin negative in attack zone"
+    (Core.Bounds.theorem1_margin params_attack < 0.);
+  let r_attack = Sim.Execution.run attack in
+  check_true "violations in attack zone"
+    ((Sim.Metrics.check_consistency r_attack).violations > 0)
+
+let test_convergence_beats_adversary_above_bound () =
+  (* Lemma 1's premise, measured: in the safe zone, convergence
+     opportunities outnumber adversary blocks over the window. *)
+  let cfg = Sim.Scenarios.safe_zone ~seed:43L ~nu:0.25 in
+  let sp =
+    Sim.State_process.run ~rng:(rng ~seed:43L ())
+      (Sim.Config.state_process_config cfg)
+      ~rounds:200_000
+  in
+  check_true
+    (Printf.sprintf "C = %d > A = %d" sp.convergence_opportunities
+       sp.adversary_blocks)
+    (sp.convergence_opportunities > sp.adversary_blocks);
+  (* And the expectations predicted it (Ineq. 18 direction). *)
+  let p = Core.Params.of_sim_config cfg in
+  check_true "E C > E A"
+    (Core.Conv_chain.convergence_rate p > Core.Params.adversary_rate p)
+
+let test_window_concentration_ineq19 () =
+  (* Ineq. 19 empirically: the fraction of windows whose C falls below
+     (1 - delta2) E[C] is small and shrinks with window length. *)
+  let cfg = { Sim.State_process.honest = 40; adversarial = 10; p = 0.01; delta = 3 } in
+  let params = Core.Params.create ~n:50. ~delta:3. ~p:0.01 ~nu:0.2 in
+  let shortfall_fraction ~window_length ~windows =
+    let w =
+      Sim.State_process.window_counts ~rng:(rng ~seed:51L ()) cfg ~windows
+        ~window_length
+    in
+    let expect =
+      Core.Conv_chain.expected_convergence_count params ~horizon:window_length
+    in
+    let threshold = 0.75 *. expect in
+    let below =
+      Array.fold_left
+        (fun acc (c, _) -> if float_of_int c <= threshold then acc + 1 else acc)
+        0 w
+    in
+    float_of_int below /. float_of_int windows
+  in
+  let short = shortfall_fraction ~window_length:400 ~windows:300 in
+  let long = shortfall_fraction ~window_length:10_000 ~windows:300 in
+  check_true
+    (Printf.sprintf "shortfall shrinks with T (%.3f -> %.3f)" short long)
+    (long <= short);
+  check_true
+    (Printf.sprintf "long windows rarely fall 25%% short (%.3f)" long)
+    (long < 0.05)
+
+let test_adversary_overshoot_ineq20 () =
+  (* Ineq. 20 empirically vs the Arratia-Gordon analytic bound. *)
+  let cfg = { Sim.State_process.honest = 40; adversarial = 10; p = 0.01; delta = 3 } in
+  let window_length = 2_000 and windows = 500 in
+  let w =
+    Sim.State_process.window_counts ~rng:(rng ~seed:61L ()) cfg ~windows
+      ~window_length
+  in
+  let mean_a = 0.01 *. 10. *. float_of_int window_length in
+  let delta3 = 0.25 in
+  let overshoots =
+    Array.fold_left
+      (fun acc (_, a) ->
+        if float_of_int a >= (1. +. delta3) *. mean_a then acc + 1 else acc)
+      0 w
+  in
+  let empirical = float_of_int overshoots /. float_of_int windows in
+  let bound =
+    Nakamoto_prob.Tail_bounds.binomial_upper_tail
+      (Nakamoto_prob.Binomial.create ~trials:(window_length * 10) ~p:0.01)
+      ~delta:delta3
+  in
+  check_true
+    (Printf.sprintf "empirical %.4f <= bound %.4f" empirical bound)
+    (empirical <= bound +. 0.02)
+
+let test_classifier_on_execution_trace () =
+  (* The suffix classifier and the pattern counter agree on a real
+     protocol execution: counting Deep||H1 N^D completions from classes
+     equals the streaming counter.  Derive states from an execution-scale
+     state process trace. *)
+  let delta = 3 in
+  let cfg = { Sim.State_process.honest = 30; adversarial = 0; p = 0.02; delta } in
+  let trace = Sim.State_process.run_trace ~rng:(rng ~seed:71L ()) cfg ~rounds:50_000 in
+  let streaming =
+    let p = Sim.Pattern.create ~delta in
+    Sim.Pattern.observe_all p trace;
+    Sim.Pattern.count p
+  in
+  (* Count via the classifier: a completion at t means classes t-delta-1
+     = Deep, state t-delta is H1, and states t-delta+1..t all N. *)
+  let classes = Core.Suffix_chain.classify_series ~delta trace in
+  let by_classifier = ref 0 in
+  Array.iteri
+    (fun t _ ->
+      if t >= delta + 1 then begin
+        let all_n = ref true in
+        for i = t - delta + 1 to t do
+          if Sim.Round_state.is_h trace.(i) then all_n := false
+        done;
+        if
+          !all_n
+          && Sim.Round_state.is_h1 trace.(t - delta)
+          && classes.(t - delta - 1) = Some Core.Suffix_chain.Deep
+        then incr by_classifier
+      end)
+    trace;
+  check_int "classifier count = streaming count" streaming !by_classifier
+
+let test_cli_scenarios_all_run () =
+  (* Every canned scenario must execute and produce internally consistent
+     results (conservation, orphan-free termination). *)
+  List.iter
+    (fun cfg ->
+      let r = Sim.Execution.run cfg in
+      check_int "no orphans" 0 r.orphans_remaining;
+      check_true "tips nonempty" (Array.length r.final_tips > 0);
+      check_true "growth bounded by production"
+        ((Sim.Metrics.chain_growth r).final_height
+        <= r.honest_blocks + r.adversary_blocks))
+    [
+      Sim.Scenarios.honest_baseline ~seed:81L;
+      Sim.Scenarios.safe_zone ~seed:81L ~nu:0.2;
+      Sim.Scenarios.attack_zone ~seed:81L ~nu:0.35;
+      Sim.Scenarios.split_world ~seed:81L;
+      Sim.Scenarios.at_c ~seed:81L ~nu:0.1 ~c:2. ~rounds:2000;
+      { (Sim.Scenarios.selfish ~seed:81L ~nu:0.35) with rounds = 4000 };
+    ]
+
+let suite =
+  [
+    case "state process matches Eq. 44" test_state_process_matches_eq44;
+    case "execution follows the state law" test_execution_matches_state_process_law;
+    case "Theorem 1 separates simulated outcomes" test_theorem1_separates_sim_outcomes;
+    case "C > A above the bound (Lemma 1)" test_convergence_beats_adversary_above_bound;
+    case "window concentration (Ineq. 19)" test_window_concentration_ineq19;
+    case "adversary overshoot (Ineq. 20)" test_adversary_overshoot_ineq20;
+    case "classifier agrees with pattern counter" test_classifier_on_execution_trace;
+    case "all scenarios run clean" test_cli_scenarios_all_run;
+  ]

@@ -1,0 +1,92 @@
+open Helpers
+module Sim = Nakamoto_sim
+
+let run_scenario scenario =
+  Sim.Execution.run
+    (match scenario with
+    | `Honest -> Sim.Scenarios.honest_baseline ~seed:21L
+    | `Safe -> Sim.Scenarios.safe_zone ~seed:21L ~nu:0.25
+    | `Attack -> Sim.Scenarios.attack_zone ~seed:21L ~nu:0.3
+    | `Split -> Sim.Scenarios.split_world ~seed:21L)
+
+let test_honest_run_consistent () =
+  let r = run_scenario `Honest in
+  let report = Sim.Metrics.check_consistency r in
+  check_int "no violations" 0 report.violations;
+  check_int "worst depth 0" 0 report.worst_violation_depth;
+  check_true "pairs were checked" (report.pairs_checked > 0)
+
+let test_safe_zone_consistent () =
+  let r = run_scenario `Safe in
+  let report = Sim.Metrics.check_consistency r in
+  check_int "no violations above the bound" 0 report.violations;
+  check_true "small reorgs only" (r.max_reorg_depth <= 3)
+
+let test_attack_zone_breaks_consistency () =
+  let r = run_scenario `Attack in
+  let report = Sim.Metrics.check_consistency r in
+  check_true "deep reorgs" (r.max_reorg_depth > 6);
+  check_true "violations detected" (report.violations > 0);
+  check_true "worst depth positive" (report.worst_violation_depth > 0);
+  (* A larger audit window hides the attack again (T above the reorg). *)
+  let forgiving = Sim.Metrics.check_consistency ~truncate:50 r in
+  check_int "huge T forgives" 0 forgiving.violations
+
+let test_truncate_monotone () =
+  let r = run_scenario `Attack in
+  let v t = (Sim.Metrics.check_consistency ~truncate:t r).violations in
+  check_true "violations decrease with T" (v 2 >= v 6 && v 6 >= v 12);
+  check_raises_invalid "negative T" (fun () -> ignore (v (-1)))
+
+let test_chain_growth () =
+  let r = run_scenario `Honest in
+  let g = Sim.Metrics.chain_growth r in
+  check_int "rounds recorded" r.config.Sim.Config.rounds g.rounds;
+  check_true "grew" (g.final_height > 0);
+  close "rate consistent"
+    (float_of_int g.final_height /. float_of_int g.rounds)
+    g.growth_rate;
+  (* Growth is bounded by total honest production. *)
+  check_true "height <= honest blocks" (g.final_height <= r.honest_blocks)
+
+let test_chain_quality () =
+  let honest = run_scenario `Honest in
+  close "all honest" 1. (Sim.Metrics.chain_quality honest);
+  let attack = run_scenario `Attack in
+  let q = Sim.Metrics.chain_quality attack in
+  check_true "attack degrades quality" (q < 0.9);
+  check_true "quality in [0,1]" (q >= 0. && q <= 1.)
+
+let test_disagreement () =
+  let honest = run_scenario `Honest in
+  check_true "honest miners nearly agree"
+    (Sim.Metrics.max_disagreement honest <= 2);
+  let split = run_scenario `Split in
+  check_true "split world disagrees more"
+    (Sim.Metrics.max_disagreement split >= Sim.Metrics.max_disagreement honest)
+
+let test_agreed_prefix () =
+  let r = run_scenario `Honest in
+  match r.snapshots with
+  | [] -> Alcotest.fail "expected snapshots"
+  | snap :: _ ->
+    let h = Sim.Metrics.agreed_prefix_height r snap in
+    let min_tip =
+      Array.fold_left
+        (fun acc (b : Nakamoto_chain.Block.t) -> min acc b.height)
+        max_int snap.tips
+    in
+    check_true "agreed prefix below every tip" (h <= min_tip);
+    check_true "agreed prefix nonnegative" (h >= 0)
+
+let suite =
+  [
+    case "honest run consistent" test_honest_run_consistent;
+    case "safe zone consistent" test_safe_zone_consistent;
+    case "attack zone breaks consistency" test_attack_zone_breaks_consistency;
+    case "violations monotone in T" test_truncate_monotone;
+    case "chain growth" test_chain_growth;
+    case "chain quality" test_chain_quality;
+    case "disagreement" test_disagreement;
+    case "agreed prefix" test_agreed_prefix;
+  ]

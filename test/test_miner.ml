@@ -1,0 +1,102 @@
+open Helpers
+module Miner = Nakamoto_sim.Miner
+module Block = Nakamoto_chain.Block
+
+let mk ~parent ~miner ~round =
+  Block.mine ~parent ~miner ~miner_class:Block.Honest ~round ~nonce:0
+    ~payload:""
+
+let test_fresh_miner () =
+  let m = Miner.create ~id:3 () in
+  check_int "id" 3 (Miner.id m);
+  check_true "starts at genesis" (Block.is_genesis (Miner.best_tip m));
+  check_int "chain length 0" 0 (Miner.chain_length m);
+  check_int "no orphans" 0 (Miner.orphan_count m)
+
+let test_extend_tip () =
+  let m = Miner.create ~id:0 () in
+  let b1 = Miner.extend_tip m ~round:1 ~nonce:0 in
+  check_int "length 1" 1 (Miner.chain_length m);
+  check_true "tip is the new block" (Block.equal (Miner.best_tip m) b1);
+  let b2 = Miner.extend_tip m ~round:2 ~nonce:0 in
+  check_int "length 2" 2 (Miner.chain_length m);
+  check_true "parent link" (Nakamoto_chain.Hash.equal b2.Block.parent b1.Block.hash)
+
+let test_receive_adopts_longest () =
+  let m = Miner.create ~id:0 () in
+  ignore (Miner.extend_tip m ~round:1 ~nonce:0);
+  (* A longer foreign chain arrives. *)
+  let a = mk ~parent:Block.genesis ~miner:1 ~round:1 in
+  let b = mk ~parent:a ~miner:1 ~round:2 in
+  let c = mk ~parent:b ~miner:1 ~round:3 in
+  Miner.receive m [ a; b; c ];
+  check_int "adopted length 3" 3 (Miner.chain_length m);
+  check_true "tip is foreign" (Block.equal (Miner.best_tip m) c)
+
+let test_receive_keeps_longer_own_chain () =
+  let m = Miner.create ~id:0 () in
+  ignore (Miner.extend_tip m ~round:1 ~nonce:0);
+  let own = Miner.extend_tip m ~round:2 ~nonce:0 in
+  let a = mk ~parent:Block.genesis ~miner:1 ~round:1 in
+  Miner.receive m [ a ];
+  check_true "own longer chain kept" (Block.equal (Miner.best_tip m) own)
+
+let test_orphan_buffering () =
+  let m = Miner.create ~id:0 () in
+  let a = mk ~parent:Block.genesis ~miner:1 ~round:1 in
+  let b = mk ~parent:a ~miner:1 ~round:2 in
+  let c = mk ~parent:b ~miner:1 ~round:3 in
+  (* Children arrive before the parent (adversarial reordering). *)
+  Miner.receive m [ c ];
+  check_int "c buffered" 1 (Miner.orphan_count m);
+  check_int "tip unchanged" 0 (Miner.chain_length m);
+  Miner.receive m [ b ];
+  check_int "b and c still disconnected" 2 (Miner.orphan_count m);
+  Miner.receive m [ a ];
+  check_int "whole chain connects" 0 (Miner.orphan_count m);
+  check_int "tip height 3" 3 (Miner.chain_length m)
+
+let test_orphans_connect_within_one_batch () =
+  let m = Miner.create ~id:0 () in
+  let a = mk ~parent:Block.genesis ~miner:1 ~round:1 in
+  let b = mk ~parent:a ~miner:1 ~round:2 in
+  Miner.receive m [ b; a ];
+  check_int "batch connects regardless of order" 2 (Miner.chain_length m);
+  check_int "no leftovers" 0 (Miner.orphan_count m)
+
+let test_duplicate_delivery_harmless () =
+  let m = Miner.create ~id:0 () in
+  let a = mk ~parent:Block.genesis ~miner:1 ~round:1 in
+  Miner.receive m [ a ];
+  Miner.receive m [ a; a ];
+  check_int "height still 1" 1 (Miner.chain_length m);
+  check_int "view size" 2
+    (Nakamoto_chain.Block_tree.block_count (Miner.view m))
+
+let test_chain_never_shrinks () =
+  (* Longest-chain rule: receiving anything never decreases chain length. *)
+  let m = Miner.create ~id:0 () in
+  let g = rng () in
+  let known = ref [ Block.genesis ] in
+  for round = 1 to 200 do
+    let parent =
+      List.nth !known (Nakamoto_prob.Rng.int g ~bound:(List.length !known))
+    in
+    let b = mk ~parent ~miner:1 ~round in
+    known := b :: !known;
+    let before = Miner.chain_length m in
+    Miner.receive m [ b ];
+    check_true "monotone" (Miner.chain_length m >= before)
+  done
+
+let suite =
+  [
+    case "fresh miner" test_fresh_miner;
+    case "extend tip" test_extend_tip;
+    case "receive adopts longest" test_receive_adopts_longest;
+    case "keeps longer own chain" test_receive_keeps_longer_own_chain;
+    case "orphan buffering across rounds" test_orphan_buffering;
+    case "orphans connect within a batch" test_orphans_connect_within_one_batch;
+    case "duplicate delivery harmless" test_duplicate_delivery_harmless;
+    case "chain never shrinks" test_chain_never_shrinks;
+  ]

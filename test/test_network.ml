@@ -1,0 +1,126 @@
+open Helpers
+module Network = Nakamoto_net.Network
+module Block = Nakamoto_chain.Block
+
+let make ?(delta = 4) ?(players = 3) ?(policy = Network.Immediate) () =
+  Network.create ~delta ~players ~policy ~rng:(rng ())
+
+let msg ?(sender = 0) ~round () =
+  { Network.sender; sent_round = round; blocks = [ Block.genesis ] }
+
+let test_create_validation () =
+  check_raises_invalid "delta 0" (fun () ->
+      ignore (make ~delta:0 ()));
+  check_raises_invalid "no players" (fun () -> ignore (make ~players:0 ()))
+
+let test_broadcast_excludes_sender () =
+  let n = make () in
+  Network.broadcast n (msg ~sender:1 ~round:1 ());
+  check_int "two recipients" 2 (Network.messages_sent n);
+  check_true "sender gets nothing"
+    (Network.deliver n ~recipient:1 ~round:100 = []);
+  check_int "others get it" 1
+    (List.length (Network.deliver n ~recipient:0 ~round:100))
+
+let test_immediate_delivery_next_round () =
+  let n = make () in
+  Network.broadcast n (msg ~round:5 ());
+  check_true "not yet at round 5" (Network.deliver n ~recipient:1 ~round:5 = []);
+  check_int "delivered at round 6" 1
+    (List.length (Network.deliver n ~recipient:1 ~round:6))
+
+let test_maximal_policy_delays_delta () =
+  let n = make ~delta:4 ~policy:Network.Maximal () in
+  Network.broadcast n (msg ~round:10 ());
+  check_true "not at 13" (Network.deliver n ~recipient:1 ~round:13 = []);
+  check_int "at 14" 1 (List.length (Network.deliver n ~recipient:1 ~round:14))
+
+let test_fixed_policy_clamped () =
+  (* Fixed 100 with delta 4 must clamp to 4. *)
+  let n = make ~delta:4 ~policy:(Network.Fixed 100) () in
+  Network.broadcast n (msg ~round:1 ());
+  check_int "clamped to delta" 1
+    (List.length (Network.deliver n ~recipient:1 ~round:5));
+  (* Fixed 0 clamps up to 1. *)
+  let n0 = make ~delta:4 ~policy:(Network.Fixed 0) () in
+  Network.broadcast n0 (msg ~round:1 ());
+  check_true "same-round delivery impossible"
+    (Network.deliver n0 ~recipient:1 ~round:1 = []);
+  check_int "clamped to 1" 1
+    (List.length (Network.deliver n0 ~recipient:1 ~round:2))
+
+let test_uniform_policy_within_bounds () =
+  let n = make ~delta:6 ~policy:Network.Uniform_random ~players:2 () in
+  for r = 1 to 200 do
+    Network.broadcast n { (msg ~round:r ()) with sender = 0 }
+  done;
+  (* Everything must arrive within delta rounds. *)
+  let received = ref 0 in
+  for r = 1 to 206 do
+    received := !received + List.length (Network.deliver n ~recipient:1 ~round:r)
+  done;
+  check_int "all arrive within delta" 200 !received;
+  check_int "none pending" 0 (Network.pending n)
+
+let test_per_recipient_policy () =
+  let policy =
+    Network.Per_recipient
+      (fun ~recipient _ -> if recipient = 1 then 1 else 3)
+  in
+  let n = make ~delta:4 ~players:3 ~policy () in
+  Network.broadcast n (msg ~sender:0 ~round:1 ());
+  check_int "fast recipient" 1
+    (List.length (Network.deliver n ~recipient:1 ~round:2));
+  check_true "slow recipient not yet" (Network.deliver n ~recipient:2 ~round:2 = []);
+  check_int "slow recipient at 4" 1
+    (List.length (Network.deliver n ~recipient:2 ~round:4))
+
+let test_send_direct () =
+  let n = make ~delta:4 () in
+  Network.send_direct n ~recipient:2 ~delay:2 (msg ~sender:(-1) ~round:1 ());
+  check_int "direct delivery" 1
+    (List.length (Network.deliver n ~recipient:2 ~round:3));
+  check_raises_invalid "recipient range" (fun () ->
+      Network.send_direct n ~recipient:7 ~delay:1 (msg ~round:1 ()))
+
+let test_delivery_order () =
+  let n = make ~delta:8 ~players:2 () in
+  (* Two messages due the same round arrive in send order. *)
+  Network.send_direct n ~recipient:1 ~delay:2
+    { Network.sender = 0; sent_round = 1; blocks = [] };
+  Network.send_direct n ~recipient:1 ~delay:2
+    { Network.sender = 0; sent_round = 1; blocks = [ Block.genesis ] };
+  match Network.deliver n ~recipient:1 ~round:3 with
+  | [ first; second ] ->
+    check_int "first sent first" 0 (List.length first.Network.blocks);
+    check_int "second second" 1 (List.length second.Network.blocks)
+  | _ -> Alcotest.fail "expected both messages"
+
+let test_messages_never_lost () =
+  let n = make ~delta:3 ~players:4 ~policy:Network.Uniform_random () in
+  for r = 1 to 50 do
+    Network.broadcast n (msg ~sender:(r mod 4) ~round:r ())
+  done;
+  let total = ref 0 in
+  for recipient = 0 to 3 do
+    for r = 1 to 60 do
+      total := !total + List.length (Network.deliver n ~recipient ~round:r)
+    done
+  done;
+  check_int "every enqueued message is delivered exactly once"
+    (Network.messages_sent n) !total;
+  check_int "nothing pending" 0 (Network.pending n)
+
+let suite =
+  [
+    case "create validation" test_create_validation;
+    case "broadcast excludes sender" test_broadcast_excludes_sender;
+    case "immediate = next round" test_immediate_delivery_next_round;
+    case "maximal policy waits delta" test_maximal_policy_delays_delta;
+    case "fixed policy clamped to [1, delta]" test_fixed_policy_clamped;
+    case "uniform policy within bounds" test_uniform_policy_within_bounds;
+    case "per-recipient adaptive policy" test_per_recipient_policy;
+    case "send_direct" test_send_direct;
+    case "same-round delivery order" test_delivery_order;
+    case "messages never lost (capability 1)" test_messages_never_lost;
+  ]

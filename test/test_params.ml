@@ -1,0 +1,100 @@
+open Helpers
+module Params = Nakamoto_core.Params
+
+let p0 = Params.create ~n:100. ~delta:10. ~p:0.001 ~nu:0.2
+
+let test_validation () =
+  check_raises_invalid "n < 4" (fun () ->
+      ignore (Params.create ~n:3. ~delta:1. ~p:0.1 ~nu:0.1));
+  check_raises_invalid "delta < 1" (fun () ->
+      ignore (Params.create ~n:10. ~delta:0.5 ~p:0.1 ~nu:0.1));
+  check_raises_invalid "p = 0" (fun () ->
+      ignore (Params.create ~n:10. ~delta:1. ~p:0. ~nu:0.1));
+  check_raises_invalid "p = 1" (fun () ->
+      ignore (Params.create ~n:10. ~delta:1. ~p:1. ~nu:0.1));
+  check_raises_invalid "nu = 1/2" (fun () ->
+      ignore (Params.create ~n:10. ~delta:1. ~p:0.1 ~nu:0.5));
+  check_raises_invalid "nu < 0" (fun () ->
+      ignore (Params.create ~n:10. ~delta:1. ~p:0.1 ~nu:(-0.1)));
+  (* nu = 0 is tolerated for baselines. *)
+  ignore (Params.create ~n:10. ~delta:1. ~p:0.1 ~nu:0.)
+
+let test_of_c_roundtrip () =
+  let p = Params.of_c ~n:1000. ~delta:100. ~nu:0.3 ~c:2.5 in
+  close "c roundtrip" 2.5 (Params.c p);
+  close "p derived" (1. /. (2.5 *. 1000. *. 100.)) p.Params.p;
+  check_raises_invalid "c <= 0" (fun () ->
+      ignore (Params.of_c ~n:10. ~delta:1. ~nu:0.1 ~c:0.))
+
+let test_derived_quantities () =
+  close "mu" 0.8 (Params.mu p0);
+  close "log ratio" (log 4.) (Params.log_ratio p0);
+  (* alpha and abar against direct binomial forms (mu n = 80 trials). *)
+  close "abar" (0.999 ** 80.) (Params.abar p0);
+  close "alpha" (1. -. (0.999 ** 80.)) (Params.alpha p0);
+  close "alpha1" (0.001 *. 80. *. (0.999 ** 79.)) (Params.alpha1 p0);
+  close "alpha + abar = 1" 1. (Params.alpha p0 +. Params.abar p0);
+  close "adversary rate" (0.001 *. 0.2 *. 100.) (Params.adversary_rate p0);
+  close "honest rate" (0.001 *. 0.8 *. 100.) (Params.honest_rate p0);
+  close "log_abar" (log (Params.abar p0)) (Params.log_abar p0);
+  close "log_alpha1" (log (Params.alpha1 p0)) (Params.log_alpha1 p0)
+
+let test_nu_zero_cases () =
+  let p = Params.create ~n:10. ~delta:1. ~p:0.1 ~nu:0. in
+  check_true "adversary rate log is -inf"
+    (Params.log_adversary_rate p = neg_infinity);
+  close "adversary rate 0" 0. (Params.adversary_rate p);
+  check_raises_invalid "log_ratio needs nu > 0" (fun () ->
+      ignore (Params.log_ratio p))
+
+let test_extreme_scale_log_domain () =
+  (* The paper's Figure 1 point: everything must stay finite in logs. *)
+  let p = Params.figure1_point ~nu:0.25 ~c:3. in
+  check_true "abar underflow-free" (Params.log_abar p < 0.);
+  check_true "log_abar finite" (Float.is_finite (Params.log_abar p));
+  check_true "log_alpha1 finite" (Float.is_finite (Params.log_alpha1 p));
+  (* 2 Delta log abar ~ -2 mu / c: the dimensional identity behind the
+     neat bound. *)
+  close ~rtol:1e-6 "2D log abar = -2mu/c" (-2. *. 0.75 /. 3.)
+    (2. *. p.Params.delta *. Params.log_abar p)
+
+let test_of_sim_config () =
+  let cfg = { Nakamoto_sim.Config.default with n = 40; nu = 0.25 } in
+  let p = Params.of_sim_config cfg in
+  close "n" 40. p.Params.n;
+  close "realized nu" 0.25 p.Params.nu;
+  close "p carried" cfg.Nakamoto_sim.Config.p p.Params.p
+
+let props =
+  let gen =
+    QCheck2.Gen.(
+      let* n = float_range 4. 1e6 in
+      let* delta = float_range 1. 1e6 in
+      let* nu = float_range 0.01 0.49 in
+      let* c = float_range 0.1 100. in
+      return (n, delta, nu, c))
+  in
+  [
+    prop "alpha1 <= alpha <= 1" gen (fun (n, delta, nu, c) ->
+        let p = Params.of_c ~n ~delta ~nu ~c in
+        let a = Params.alpha p and a1 = Params.alpha1 p in
+        a1 <= a +. 1e-15 && a <= 1.);
+    prop "c of of_c" gen (fun (n, delta, nu, c) ->
+        let p = Params.of_c ~n ~delta ~nu ~c in
+        Float.abs (Params.c p -. c) /. c < 1e-9);
+    prop "exp log_abar = abar" gen (fun (n, delta, nu, c) ->
+        let p = Params.of_c ~n ~delta ~nu ~c in
+        Nakamoto_numerics.Special.approx_equal (exp (Params.log_abar p))
+          (Params.abar p));
+  ]
+
+let suite =
+  [
+    case "validation (Eqs. 1-3)" test_validation;
+    case "of_c roundtrip" test_of_c_roundtrip;
+    case "derived quantities (Eqs. 7-9)" test_derived_quantities;
+    case "nu = 0 edge cases" test_nu_zero_cases;
+    case "extreme scale stays in log domain" test_extreme_scale_log_domain;
+    case "of_sim_config" test_of_sim_config;
+  ]
+  @ props

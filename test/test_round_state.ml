@@ -1,0 +1,40 @@
+open Helpers
+module Round_state = Nakamoto_sim.Round_state
+
+let test_classification () =
+  check_true "0 -> N" (Round_state.of_block_count 0 = Round_state.N);
+  check_true "1 -> H 1" (Round_state.of_block_count 1 = Round_state.H 1);
+  check_true "5 -> H 5" (Round_state.of_block_count 5 = Round_state.H 5);
+  check_raises_invalid "negative" (fun () ->
+      ignore (Round_state.of_block_count (-1)))
+
+let test_predicates () =
+  check_false "N not H" (Round_state.is_h Round_state.N);
+  check_true "H 2 is H" (Round_state.is_h (Round_state.H 2));
+  check_true "H 1 is H1" (Round_state.is_h1 (Round_state.H 1));
+  check_false "H 2 not H1" (Round_state.is_h1 (Round_state.H 2));
+  check_false "N not H1" (Round_state.is_h1 Round_state.N)
+
+let test_block_count () =
+  check_int "N count" 0 (Round_state.block_count Round_state.N);
+  check_int "H count" 3 (Round_state.block_count (Round_state.H 3))
+
+let test_to_char () =
+  Alcotest.(check char) "N" 'N' (Round_state.to_char Round_state.N);
+  Alcotest.(check char) "H1" '1' (Round_state.to_char (Round_state.H 1));
+  Alcotest.(check char) "Hm" 'H' (Round_state.to_char (Round_state.H 4))
+
+let test_equal () =
+  check_true "N = N" (Round_state.equal Round_state.N Round_state.N);
+  check_true "H 2 = H 2" (Round_state.equal (Round_state.H 2) (Round_state.H 2));
+  check_false "H 1 <> H 2" (Round_state.equal (Round_state.H 1) (Round_state.H 2));
+  check_false "N <> H" (Round_state.equal Round_state.N (Round_state.H 1))
+
+let suite =
+  [
+    case "of_block_count" test_classification;
+    case "is_h / is_h1" test_predicates;
+    case "block_count" test_block_count;
+    case "to_char" test_to_char;
+    case "equal" test_equal;
+  ]

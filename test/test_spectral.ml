@@ -1,0 +1,85 @@
+open Helpers
+module Chain = Nakamoto_markov.Chain
+module Spectral = Nakamoto_markov.Spectral
+
+let weather =
+  Chain.create ~size:2
+    ~rows:[| [ (0, 0.7); (1, 0.3) ]; [ (0, 0.5); (1, 0.5) ] |]
+    ()
+
+let test_two_state_exact () =
+  (* Eigenvalues of a 2x2 stochastic matrix are 1 and (a + d - 1). *)
+  close ~rtol:1e-6 "weather slem" 0.2 (Spectral.slem weather);
+  close ~rtol:1e-6 "relaxation" (1. /. 0.8) (Spectral.relaxation_time weather)
+
+let test_iid_chain_slem_zero () =
+  (* Rows all equal: one-step mixing, SLEM 0. *)
+  let iid =
+    Chain.create ~size:3
+      ~rows:
+        [|
+          [ (0, 0.2); (1, 0.3); (2, 0.5) ];
+          [ (0, 0.2); (1, 0.3); (2, 0.5) ];
+          [ (0, 0.2); (1, 0.3); (2, 0.5) ];
+        |]
+      ()
+  in
+  check_true "slem ~ 0" (Spectral.slem iid < 1e-6)
+
+let test_slow_chain_large_slem () =
+  (* Sticky two-state chain: eigenvalue 0.98. *)
+  let sticky =
+    Chain.create ~size:2
+      ~rows:[| [ (0, 0.99); (1, 0.01) ]; [ (0, 0.01); (1, 0.99) ] |]
+      ()
+  in
+  close ~rtol:1e-5 "sticky slem" 0.98 (Spectral.slem sticky);
+  check_true "long relaxation" (Spectral.relaxation_time sticky > 49.)
+
+let test_periodic_rejected () =
+  let cyc =
+    Chain.create ~size:3 ~rows:[| [ (1, 1.) ]; [ (2, 1.) ]; [ (0, 1.) ] |] ()
+  in
+  check_raises_invalid "periodic chain rejected" (fun () ->
+      ignore (Spectral.slem cyc))
+
+let test_singleton () =
+  let one = Chain.create ~size:1 ~rows:[| [ (0, 1.) ] |] () in
+  close "singleton slem 0" 0. (Spectral.slem one)
+
+let test_estimate_tracks_exact_mixing () =
+  (* On the paper's suffix chains (non-reversible), the spectral estimate
+     must stay within a small factor of the exact mixing time. *)
+  List.iter
+    (fun (delta, alpha) ->
+      let chain = Nakamoto_core.Suffix_chain.build ~delta ~alpha in
+      let estimate = Spectral.mixing_time_estimate chain in
+      match Chain.mixing_time chain with
+      | None -> Alcotest.fail "suffix chain must mix"
+      | Some exact ->
+        let ratio = estimate /. float_of_int exact in
+        check_true
+          (Printf.sprintf "d=%d a=%g estimate %.1f vs exact %d" delta alpha
+             estimate exact)
+          (ratio > 0.1 && ratio < 10.))
+    [ (4, 0.3); (8, 0.2); (16, 0.1) ]
+
+let test_estimate_exact_for_reversible () =
+  (* weather is reversible (2 states always are): the formula upper-bounds
+     the true mixing time. *)
+  let estimate = Spectral.mixing_time_estimate weather in
+  match Chain.mixing_time weather with
+  | Some exact -> check_true "upper bound" (estimate >= float_of_int exact -. 1.)
+  | None -> Alcotest.fail "weather mixes"
+
+let suite =
+  [
+    case "two-state exact eigenvalue" test_two_state_exact;
+    case "iid chain has slem 0" test_iid_chain_slem_zero;
+    case "sticky chain has large slem" test_slow_chain_large_slem;
+    case "periodic rejected" test_periodic_rejected;
+    case "singleton" test_singleton;
+    case "estimate tracks exact mixing (suffix chains)"
+      test_estimate_tracks_exact_mixing;
+    case "upper bound for reversible chains" test_estimate_exact_for_reversible;
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+module State_process = Nakamoto_sim.State_process
+module Round_state = Nakamoto_sim.Round_state
+
+let cfg = { State_process.honest = 30; adversarial = 10; p = 0.02; delta = 3 }
+
+let test_validation () =
+  check_raises_invalid "no honest" (fun () ->
+      State_process.validate { cfg with honest = 0 });
+  check_raises_invalid "negative adversarial" (fun () ->
+      State_process.validate { cfg with adversarial = -1 });
+  check_raises_invalid "bad p" (fun () ->
+      State_process.validate { cfg with p = 1.5 });
+  check_raises_invalid "delta 0" (fun () ->
+      State_process.validate { cfg with delta = 0 });
+  check_raises_invalid "negative rounds" (fun () ->
+      ignore (State_process.run ~rng:(rng ()) cfg ~rounds:(-1)))
+
+let test_zero_rounds () =
+  let r = State_process.run ~rng:(rng ()) cfg ~rounds:0 in
+  check_int "rounds" 0 r.rounds;
+  check_int "C" 0 r.convergence_opportunities;
+  check_int "A" 0 r.adversary_blocks
+
+let test_tallies_consistent () =
+  let r = State_process.run ~rng:(rng ()) cfg ~rounds:50_000 in
+  check_int "rounds recorded" 50_000 r.rounds;
+  check_true "h1 subset of h" (r.h1_rounds <= r.h_rounds);
+  check_true "h rounds at most rounds" (r.h_rounds <= r.rounds);
+  check_true "blocks at least h rounds" (r.honest_blocks >= r.h_rounds);
+  check_true "C bounded by H1 rounds" (r.convergence_opportunities <= r.h1_rounds)
+
+let test_rates_match_theory () =
+  let r = State_process.run ~rng:(rng ~seed:99L ()) cfg ~rounds:400_000 in
+  let t = 400_000. in
+  let d = Nakamoto_prob.Binomial.create ~trials:30 ~p:0.02 in
+  let alpha = Nakamoto_prob.Binomial.prob_positive d in
+  let alpha1 = Nakamoto_prob.Binomial.prob_one d in
+  check_true "H rate near alpha"
+    (Float.abs ((float_of_int r.h_rounds /. t) -. alpha) < 0.005);
+  check_true "H1 rate near alpha1"
+    (Float.abs ((float_of_int r.h1_rounds /. t) -. alpha1) < 0.005);
+  check_true "honest block rate near mean"
+    (Float.abs ((float_of_int r.honest_blocks /. t) -. 0.6) < 0.01);
+  check_true "adversary rate near p nu n"
+    (Float.abs ((float_of_int r.adversary_blocks /. t) -. 0.2) < 0.01)
+
+let test_trace_matches_run_statistics () =
+  let trace = State_process.run_trace ~rng:(rng ()) cfg ~rounds:10_000 in
+  check_int "trace length" 10_000 (Array.length trace);
+  let h1 = Array.fold_left (fun acc s -> if Round_state.is_h1 s then acc + 1 else acc) 0 trace in
+  check_true "some H1 rounds" (h1 > 0)
+
+let test_determinism () =
+  let a = State_process.run ~rng:(rng ~seed:5L ()) cfg ~rounds:10_000 in
+  let b = State_process.run ~rng:(rng ~seed:5L ()) cfg ~rounds:10_000 in
+  check_int "same C" a.convergence_opportunities b.convergence_opportunities;
+  check_int "same A" a.adversary_blocks b.adversary_blocks
+
+let test_window_counts () =
+  let w =
+    State_process.window_counts ~rng:(rng ()) cfg ~windows:20 ~window_length:5_000
+  in
+  check_int "window count" 20 (Array.length w);
+  let total_c = Array.fold_left (fun acc (c, _) -> acc + c) 0 w in
+  let one_run = State_process.run ~rng:(rng ()) cfg ~rounds:100_000 in
+  (* Same seed, same total rounds: the windowed pass must see exactly the
+     same convergence opportunities as the single pass. *)
+  check_int "windows partition the trajectory"
+    one_run.convergence_opportunities total_c;
+  check_raises_invalid "bad window length" (fun () ->
+      ignore (State_process.window_counts ~rng:(rng ()) cfg ~windows:2 ~window_length:0))
+
+let suite =
+  [
+    case "validation" test_validation;
+    case "zero rounds" test_zero_rounds;
+    case "tally invariants" test_tallies_consistent;
+    case "rates match Eqs. 7/9/27" test_rates_match_theory;
+    case "trace shape" test_trace_matches_run_statistics;
+    case "determinism by seed" test_determinism;
+    case "window counts partition" test_window_counts;
+  ]

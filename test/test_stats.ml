@@ -1,0 +1,112 @@
+open Helpers
+module Stats = Nakamoto_prob.Stats
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  check_int "empty count" 0 (Stats.Summary.count s);
+  check_true "empty mean is nan" (Float.is_nan (Stats.Summary.mean s));
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_int "count" 8 (Stats.Summary.count s);
+  close "mean" 5. (Stats.Summary.mean s);
+  close "sample variance" (32. /. 7.) (Stats.Summary.variance s);
+  close "min" 2. (Stats.Summary.min_value s);
+  close "max" 9. (Stats.Summary.max_value s)
+
+let test_summary_single () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 3.;
+  close "mean of one" 3. (Stats.Summary.mean s);
+  check_true "variance of one is nan" (Float.is_nan (Stats.Summary.variance s));
+  check_raises_invalid "ci needs 2" (fun () ->
+      ignore (Stats.Summary.confidence_interval_95 s))
+
+let test_confidence_interval () =
+  let s = Stats.Summary.create () in
+  for i = 1 to 1000 do
+    Stats.Summary.add s (float_of_int (i mod 10))
+  done;
+  let lo, hi = Stats.Summary.confidence_interval_95 s in
+  let m = Stats.Summary.mean s in
+  check_true "contains mean" (lo <= m && m <= hi);
+  check_true "interval narrow for 1000 samples" (hi -. lo < 0.5)
+
+let test_merge () =
+  let all = Stats.Summary.create () in
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let g = rng () in
+  for i = 1 to 500 do
+    let x = Nakamoto_prob.Rng.float g in
+    Stats.Summary.add all x;
+    Stats.Summary.add (if i mod 2 = 0 then a else b) x
+  done;
+  let merged = Stats.Summary.merge a b in
+  check_int "merged count" 500 (Stats.Summary.count merged);
+  close "merged mean" (Stats.Summary.mean all) (Stats.Summary.mean merged);
+  close ~rtol:1e-9 "merged variance" (Stats.Summary.variance all)
+    (Stats.Summary.variance merged);
+  close "merged min" (Stats.Summary.min_value all) (Stats.Summary.min_value merged);
+  (* merging with empty is identity *)
+  let empty = Stats.Summary.create () in
+  let same = Stats.Summary.merge a empty in
+  close "merge with empty" (Stats.Summary.mean a) (Stats.Summary.mean same)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -5.; 15. ];
+  check_int "total" 6 (Stats.Histogram.total h);
+  let c = Stats.Histogram.counts h in
+  check_int "first bin holds 0.5 and the underflow" 2 c.(0);
+  check_int "second bin" 2 c.(1);
+  check_int "last bin holds 9.9 and the overflow" 2 c.(9);
+  close "cdf estimate" (4. /. 6.) (Stats.Histogram.fraction_at_most h 2.);
+  check_raises_invalid "bad range" (fun () ->
+      ignore (Stats.Histogram.create ~lo:1. ~hi:1. ~bins:4))
+
+let test_rates () =
+  close "empirical rate" 0.25 (Stats.empirical_rate ~hits:25 ~trials:100);
+  check_raises_invalid "hits > trials" (fun () ->
+      ignore (Stats.empirical_rate ~hits:5 ~trials:3));
+  let lo, hi = Stats.wilson_interval ~hits:25 ~trials:100 in
+  check_true "wilson contains p_hat" (lo < 0.25 && 0.25 < hi);
+  let lo0, _ = Stats.wilson_interval ~hits:0 ~trials:100 in
+  close "wilson at 0 hits stays >= 0" 0. lo0;
+  let _, hi1 = Stats.wilson_interval ~hits:100 ~trials:100 in
+  close "wilson at all hits stays <= 1" 1. hi1
+
+let props =
+  [
+    prop "welford mean equals arithmetic mean"
+      QCheck2.Gen.(list_size (int_range 2 100) (float_range (-100.) 100.))
+      (fun xs ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) xs;
+        let direct = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+        Float.abs (Stats.Summary.mean s -. direct) < 1e-9);
+    prop "merge is order-insensitive"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 30) (float_range (-10.) 10.))
+          (list_size (int_range 1 30) (float_range (-10.) 10.)))
+      (fun (xs, ys) ->
+        let build l =
+          let s = Stats.Summary.create () in
+          List.iter (Stats.Summary.add s) l;
+          s
+        in
+        let ab = Stats.Summary.merge (build xs) (build ys) in
+        let ba = Stats.Summary.merge (build ys) (build xs) in
+        Float.abs (Stats.Summary.mean ab -. Stats.Summary.mean ba) < 1e-9
+        && Float.abs (Stats.Summary.variance ab -. Stats.Summary.variance ba)
+           < 1e-9);
+  ]
+
+let suite =
+  [
+    case "summary basics" test_summary_basic;
+    case "summary single sample" test_summary_single;
+    case "confidence interval" test_confidence_interval;
+    case "merge" test_merge;
+    case "histogram" test_histogram;
+    case "empirical rate / wilson" test_rates;
+  ]
+  @ props

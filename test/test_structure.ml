@@ -1,0 +1,79 @@
+open Helpers
+module Structure = Nakamoto_markov.Structure
+
+(* Adjacency helpers. *)
+let of_edges edges i = List.filter_map (fun (u, v) -> if u = i then Some v else None) edges
+let cycle n i = [ (i + 1) mod n ]
+
+let test_scc_cycle () =
+  let sccs = Structure.strongly_connected_components ~succ:(cycle 5) ~n:5 in
+  check_int "one component" 1 (List.length sccs);
+  check_int "component size" 5 (List.length (List.hd sccs))
+
+let test_scc_two_components () =
+  (* 0 <-> 1, 2 <-> 3, edge 1 -> 2 joins them weakly only. *)
+  let succ = of_edges [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  let sccs = Structure.strongly_connected_components ~succ ~n:4 in
+  check_int "two components" 2 (List.length sccs);
+  let sizes = List.sort compare (List.map List.length sccs) in
+  check_true "sizes 2 and 2" (sizes = [ 2; 2 ])
+
+let test_scc_singletons () =
+  let succ = of_edges [ (0, 1); (1, 2) ] in
+  let sccs = Structure.strongly_connected_components ~succ ~n:3 in
+  check_int "three singletons" 3 (List.length sccs);
+  check_true "all vertices covered"
+    (List.sort compare (List.concat sccs) = [ 0; 1; 2 ])
+
+let test_scc_self_loop () =
+  let succ = of_edges [ (0, 0); (0, 1); (1, 1) ] in
+  let sccs = Structure.strongly_connected_components ~succ ~n:2 in
+  check_int "self loops are singleton SCCs" 2 (List.length sccs)
+
+let test_is_strongly_connected () =
+  check_true "cycle" (Structure.is_strongly_connected ~succ:(cycle 4) ~n:4);
+  check_false "path"
+    (Structure.is_strongly_connected ~succ:(of_edges [ (0, 1); (1, 2) ]) ~n:3);
+  check_true "trivial" (Structure.is_strongly_connected ~succ:(fun _ -> []) ~n:1)
+
+let test_period () =
+  check_int "4-cycle has period 4" 4
+    (Structure.period ~succ:(cycle 4) ~n:4 ~start:0);
+  (* Cycle of length 4 plus a chord creating a 3-cycle -> gcd(4,3) = 1. *)
+  let succ = of_edges [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 3) ] in
+  check_int "chord makes aperiodic" 1 (Structure.period ~succ ~n:4 ~start:0);
+  (* Self loop forces period 1. *)
+  let succ = of_edges [ (0, 1); (1, 0); (0, 0) ] in
+  check_int "self loop" 1 (Structure.period ~succ ~n:2 ~start:0);
+  (* Bipartite 2-cycle has period 2. *)
+  check_int "2-cycle" 2 (Structure.period ~succ:(cycle 2) ~n:2 ~start:0);
+  (* No cycle reachable -> 0. *)
+  check_int "dag" 0
+    (Structure.period ~succ:(of_edges [ (0, 1) ]) ~n:2 ~start:0);
+  check_raises_invalid "bad start" (fun () ->
+      ignore (Structure.period ~succ:(cycle 2) ~n:2 ~start:5))
+
+let test_reachable () =
+  let succ = of_edges [ (0, 1); (1, 2) ] in
+  let r = Structure.reachable ~succ ~n:4 ~start:0 in
+  check_true "reaches 0,1,2" (r.(0) && r.(1) && r.(2));
+  check_false "not 3" (r.(3))
+
+let test_scc_large_path_no_overflow () =
+  (* The iterative Tarjan must handle deep structures. *)
+  let n = 200_000 in
+  let succ i = if i + 1 < n then [ i + 1 ] else [] in
+  let sccs = Structure.strongly_connected_components ~succ ~n in
+  check_int "all singletons" n (List.length sccs)
+
+let suite =
+  [
+    case "scc of a cycle" test_scc_cycle;
+    case "scc two components" test_scc_two_components;
+    case "scc singletons" test_scc_singletons;
+    case "scc self loops" test_scc_self_loop;
+    case "is_strongly_connected" test_is_strongly_connected;
+    case "period" test_period;
+    case "reachable" test_reachable;
+    case "deep path (stack safety)" test_scc_large_path_no_overflow;
+  ]

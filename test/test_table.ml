@@ -1,0 +1,57 @@
+open Helpers
+module Table = Nakamoto_numerics.Table
+
+let test_basic_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ Table.Int 1; Table.Text "x" ];
+  Table.add_row t [ Table.Float 2.5; Table.Text "yy" ];
+  check_int "row count" 2 (Table.row_count t);
+  let s = Table.render t in
+  check_true "title present" (String.length s > 0 && String.sub s 0 7 = "== demo");
+  check_true "contains row" (Helpers.contains_substring ~affix:"2.5" s)
+
+let test_arity_check () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  check_raises_invalid "wrong arity" (fun () -> Table.add_row t [ Table.Int 1 ])
+
+let test_csv () =
+  let t = Table.create ~title:"t" ~columns:[ "name"; "v" ] in
+  Table.add_row t [ Table.Text "plain"; Table.Int 3 ];
+  Table.add_row t [ Table.Text "with,comma"; Table.Int 4 ];
+  Table.add_row t [ Table.Text "with\"quote"; Table.Int 5 ];
+  let csv = Table.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "lines" 4 (List.length lines);
+  check_true "header" (List.hd lines = "name,v");
+  check_true "comma quoted"
+    (Helpers.contains_substring ~affix:"\"with,comma\"" csv);
+  check_true "quote doubled"
+    (Helpers.contains_substring ~affix:"\"with\"\"quote\"" csv)
+
+let test_save_csv () =
+  let t = Table.create ~title:"t" ~columns:[ "x" ] in
+  Table.add_row t [ Table.Sci 1.5e-20 ];
+  let path = Filename.temp_file "table" ".csv" in
+  Table.save_csv t ~path;
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check_true "file contents" (Helpers.contains_substring ~affix:"1.5000e-20" content)
+
+let test_cell_renderings () =
+  Alcotest.(check string) "int" "7" (Table.cell_to_string (Table.Int 7));
+  Alcotest.(check string) "sci" "1.2000e-03" (Table.cell_to_string (Table.Sci 1.2e-3));
+  Alcotest.(check string) "log10 of 0" "0" (Table.cell_to_string (Table.Log10 neg_infinity));
+  (* ln(1e-63) rendered back as a power of ten *)
+  let s = Table.cell_to_string (Table.Log10 (log 1e-63)) in
+  check_true "log10 rendering" (s = "1e-63.00")
+
+let suite =
+  [
+    case "render" test_basic_render;
+    case "arity check" test_arity_check;
+    case "csv escaping" test_csv;
+    case "save_csv" test_save_csv;
+    case "cell renderings" test_cell_renderings;
+  ]

@@ -1,0 +1,92 @@
+open Helpers
+module Trace = Nakamoto_sim.Trace
+module Sim = Nakamoto_sim
+
+let entry ?(round = 1) ?(hb = 0) ?(ab = 0) ?(rel = 0) ?(bh = 0) ?(rd = 0) () =
+  {
+    Trace.round;
+    honest_blocks = hb;
+    adversary_blocks = ab;
+    releases = rel;
+    best_height = bh;
+    reorg_depth = rd;
+  }
+
+let test_record_ordering () =
+  let t = Trace.create () in
+  Trace.record t (entry ~round:1 ());
+  Trace.record t (entry ~round:3 ());
+  check_int "length" 2 (Trace.length t);
+  check_raises_invalid "non-increasing round" (fun () ->
+      Trace.record t (entry ~round:3 ()))
+
+let test_roundtrip () =
+  let t = Trace.create () in
+  Trace.record t (entry ~round:1 ~hb:2 ~bh:1 ());
+  Trace.record t (entry ~round:2 ~ab:1 ~rel:1 ~bh:2 ~rd:3 ());
+  let s = Trace.to_string t in
+  let back = Trace.of_string s in
+  check_true "roundtrip equal" (Trace.equal t back);
+  check_true "header present" (contains_substring ~affix:"nakamoto trace v1" s)
+
+let test_parse_errors () =
+  (match Trace.of_string "no header\n1 2 3 4 5 6\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "missing header must fail");
+  (match Trace.of_string "# nakamoto trace v1\n1 2 3\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "wrong arity must fail");
+  match Trace.of_string "# nakamoto trace v1\n1 2 3 x 5 6\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "non-numeric must fail"
+
+let test_capture_deterministic () =
+  let cfg =
+    { (Sim.Scenarios.attack_zone ~seed:9L ~nu:0.3) with Sim.Config.rounds = 400 }
+  in
+  let a = Trace.capture cfg in
+  let b = Trace.capture cfg in
+  check_int "rounds captured" 400 (Trace.length a);
+  check_true "equal traces from equal seeds" (Trace.equal a b);
+  let c = Trace.capture { cfg with seed = 10L } in
+  check_false "different seed differs" (Trace.equal a c);
+  (* Serialized form also roundtrips. *)
+  check_true "capture roundtrip"
+    (Trace.equal a (Trace.of_string (Trace.to_string a)))
+
+let test_capture_matches_result () =
+  let cfg =
+    { (Sim.Scenarios.honest_baseline ~seed:9L) with Sim.Config.rounds = 500 }
+  in
+  let trace = Trace.capture cfg in
+  let result = Sim.Execution.run cfg in
+  let total f =
+    List.fold_left (fun acc e -> acc + f e) 0 (Trace.entries trace)
+  in
+  check_int "honest totals agree" result.honest_blocks
+    (total (fun (e : Trace.entry) -> e.honest_blocks));
+  check_int "adversary totals agree" result.adversary_blocks
+    (total (fun (e : Trace.entry) -> e.adversary_blocks));
+  let max_reorg =
+    List.fold_left
+      (fun acc (e : Trace.entry) -> max acc e.reorg_depth)
+      0 (Trace.entries trace)
+  in
+  check_int "reorg agrees" result.max_reorg_depth max_reorg
+
+let test_summarize () =
+  let t = Trace.create () in
+  Trace.record t (entry ~round:1 ~hb:2 ~bh:1 ());
+  let s = Trace.summarize t in
+  check_true "mentions rounds" (contains_substring ~affix:"1 rounds" s);
+  check_true "mentions blocks" (contains_substring ~affix:"2 honest blocks" s)
+
+let suite =
+  [
+    case "record ordering" test_record_ordering;
+    case "text roundtrip" test_roundtrip;
+    case "parse errors" test_parse_errors;
+    case "capture determinism" test_capture_deterministic;
+    case "capture matches execution result" test_capture_matches_result;
+    case "summarize" test_summarize;
+  ]
