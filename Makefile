@@ -4,6 +4,20 @@ all:
 test:
 	dune runtest
 
+# A 2-cell x 4-trial campaign on two workers whose journal must be
+# byte-identical to the committed golden file: exercises the CLI, the
+# worker pool, the deterministic sharding and the journal format in one
+# shot.  Regenerate the golden (after a deliberate format change) by
+# rerunning the dune exec line with --out test/golden/campaign_smoke.jsonl.
+campaign-smoke:
+	dune exec bin/main.exe -- campaign -p 0.01 -n 40 --delta 3 --nu 0.15,0.4 \
+	  --trials 4 --rounds 400 --jobs 2 --seed 7 \
+	  --out _campaign_smoke.jsonl --progress-interval 0 >/dev/null
+	cmp _campaign_smoke.jsonl test/golden/campaign_smoke.jsonl
+	rm -f _campaign_smoke.jsonl
+
+check: all test campaign-smoke
+
 bench:
 	dune exec bench/main.exe
 
@@ -14,4 +28,4 @@ artifacts:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-.PHONY: all test bench examples artifacts
+.PHONY: all test bench examples artifacts campaign-smoke check

@@ -9,6 +9,7 @@ module Core = Nakamoto_core
 module Sim = Nakamoto_sim
 module Markov = Nakamoto_markov
 module Prob = Nakamoto_prob
+module Campaign = Nakamoto_campaign
 module Table = Nakamoto_numerics.Table
 
 let section name = Printf.printf "\n########## %s ##########\n\n" name
@@ -736,6 +737,75 @@ let regen_abl () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* MCSCALE: campaign engine multicore scaling                          *)
+(* ------------------------------------------------------------------ *)
+
+let regen_mcscale () =
+  section "MCSCALE: Monte Carlo campaign throughput, 1 -> N domains";
+  (* The reference grid: one safe and one attacked cell, full-protocol
+     trials, shard size 1 so the work queue has enough grain to spread.
+     Identical results at every jobs value is part of the engine's
+     contract, so the same spec is reused and checked across rows. *)
+  let spec =
+    {
+      Campaign.Spec.default with
+      Campaign.Spec.ps = [ 0.005 ];
+      ns = [ 40 ];
+      deltas = [ 4 ];
+      nus = [ 0.25; 0.4 ];
+      trials_per_cell = 12;
+      rounds = 1_000;
+      seed = 11L;
+      shard_size = 1;
+    }
+  in
+  let cores = Domain.recommended_domain_count () in
+  let trials = Campaign.Spec.trial_count spec in
+  let reference = ref None in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "reference grid: %d full-protocol trials x %d rounds (host \
+            reports %d core(s))"
+           trials spec.Campaign.Spec.rounds cores)
+      ~columns:[ "jobs"; "seconds"; "trials/s"; "speedup vs 1"; "identical" ]
+  in
+  let base_rate = ref 0. in
+  List.iter
+    (fun jobs ->
+      let outcome = Campaign.Campaign.run ~jobs spec in
+      let dt = outcome.Campaign.Campaign.elapsed in
+      let rate = if dt > 0. then float_of_int trials /. dt else infinity in
+      if jobs = 1 then base_rate := rate;
+      let fingerprint =
+        Array.map
+          (fun (r : Campaign.Campaign.cell_result) ->
+            Campaign.Aggregate.snapshot r.Campaign.Campaign.aggregate)
+          outcome.Campaign.Campaign.cells
+      in
+      let identical =
+        match !reference with
+        | None ->
+          reference := Some fingerprint;
+          "(ref)"
+        | Some r -> string_of_bool (r = fingerprint)
+      in
+      Table.add_row t
+        [
+          Table.Int jobs; Table.Float dt; Table.Float rate;
+          Table.Float (if !base_rate > 0. then rate /. !base_rate else nan);
+          Table.Text identical;
+        ])
+    [ 1; 2; 4 ];
+  print_table t;
+  if cores < 4 then
+    Printf.printf
+      "(host has %d core(s): speedup > 2x at 4 domains requires >= 4 cores; \
+       rows above still verify bit-identical results at every jobs value)\n"
+      cores
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing benches                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -856,6 +926,7 @@ let () =
   regen_conf ();
   regen_cont ();
   regen_abl ();
+  regen_mcscale ();
   run_bechamel ();
   print_newline ();
   print_endline

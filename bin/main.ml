@@ -8,6 +8,7 @@
 open Cmdliner
 module Core = Nakamoto_core
 module Sim = Nakamoto_sim
+module Campaign = Nakamoto_campaign
 
 (* Shared argument definitions. *)
 
@@ -393,6 +394,134 @@ let confirm_cmd =
        ~doc:"Compute a safe confirmation depth from the paper's rates.")
     term
 
+(* campaign *)
+
+let campaign_cmd =
+  let run ps ns deltas nus trials rounds mode strategy jobs seed resume out
+      shard_size progress_interval =
+    let strategy =
+      match strategy with
+      | "idle" -> Ok Sim.Adversary.Idle
+      | "private" -> Ok (Sim.Adversary.Private_chain { reorg_target = 12 })
+      | "balance" -> Ok (Sim.Adversary.Balance { group_boundary = 15 })
+      | "selfish" -> Ok Sim.Adversary.Selfish_mining
+      | other -> Error (Printf.sprintf "unknown strategy %S" other)
+    in
+    let mode =
+      match mode with
+      | "full" -> Ok Campaign.Spec.Full_protocol
+      | "state" -> Ok Campaign.Spec.State_process
+      | other -> Error (Printf.sprintf "unknown mode %S" other)
+    in
+    match (strategy, mode) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok strategy, Ok mode -> (
+      let spec =
+        {
+          Campaign.Spec.ps;
+          ns;
+          deltas;
+          nus;
+          trials_per_cell = trials;
+          rounds;
+          mode;
+          strategy;
+          truncate = Campaign.Spec.default.Campaign.Spec.truncate;
+          seed;
+          shard_size;
+        }
+      in
+      let jobs = if jobs = 0 then None else Some jobs in
+      match
+        Campaign.Campaign.run ?jobs ?journal_path:out ~resume
+          ~progress_interval spec
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Failure msg -> `Error (false, msg)
+      | outcome ->
+        print_string
+          (Nakamoto_numerics.Table.render
+             (Campaign.Campaign.summary_table outcome));
+        (match out with
+        | Some path -> Printf.printf "(journal: %s)\n" path
+        | None -> ());
+        `Ok ())
+  in
+  let list_of names cv ~default ~doc =
+    Arg.(value & opt (list cv) default & info names ~docv:"LIST" ~doc)
+  in
+  let ps_arg =
+    list_of [ "p"; "ps" ] Arg.float ~default:[ 0.005 ]
+      ~doc:"Comma-separated per-query success probabilities."
+  in
+  let ns_arg =
+    list_of [ "n"; "miners" ] Arg.int ~default:[ 40 ]
+      ~doc:"Comma-separated miner counts."
+  in
+  let deltas_arg =
+    list_of [ "delta" ] Arg.int ~default:[ 4 ]
+      ~doc:"Comma-separated delay bounds (rounds)."
+  in
+  let nus_arg =
+    list_of [ "nu" ] Arg.float ~default:[ 0.1; 0.25; 0.4 ]
+      ~doc:"Comma-separated adversarial fractions."
+  in
+  let trials_arg =
+    Arg.(value & opt int 8
+         & info [ "trials" ] ~docv:"K" ~doc:"Independent trials per grid cell.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 1500
+         & info [ "rounds" ] ~docv:"R" ~doc:"Rounds simulated per trial.")
+  in
+  let mode_arg =
+    Arg.(value & opt string "full"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"full (protocol + consistency audit) | state (fast \
+                   binomial state process).")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "private"
+         & info [ "strategy" ] ~docv:"S"
+             ~doc:"Adversary for full mode: idle | private | balance | selfish.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "jobs" ] ~docv:"J"
+             ~doc:"Worker domains; 0 = recommended_domain_count - 1.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Skip cells already present in the journal at --out.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH" ~doc:"JSONL journal path.")
+  in
+  let shard_arg =
+    Arg.(value & opt int 2
+         & info [ "shard-size" ] ~docv:"T" ~doc:"Trials per work-queue shard.")
+  in
+  let progress_arg =
+    Arg.(value & opt float 5.
+         & info [ "progress-interval" ] ~docv:"SEC"
+             ~doc:"Seconds between progress reports on stderr; 0 disables.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ ps_arg $ ns_arg $ deltas_arg $ nus_arg $ trials_arg
+        $ rounds_arg $ mode_arg $ strategy_arg $ jobs_arg $ seed_arg
+        $ resume_arg $ out_arg $ shard_arg $ progress_arg))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a parallel Monte Carlo campaign over a (p, n, Delta, nu) grid \
+          and compare observed violation rates with the analytic regions.")
+    term
+
 (* verify *)
 
 let verify_cmd =
@@ -434,8 +563,8 @@ let () =
     Cmd.group info
       [
         bound_cmd; numax_cmd; figure1_cmd; figure2_cmd; table1_cmd; remark1_cmd;
-        simulate_cmd; montecarlo_cmd; verify_cmd; confirm_cmd; trace_cmd;
-        sweep_cmd; assess_cmd;
+        simulate_cmd; montecarlo_cmd; campaign_cmd; verify_cmd; confirm_cmd;
+        trace_cmd; sweep_cmd; assess_cmd;
       ]
   in
   exit (Cmd.eval group)

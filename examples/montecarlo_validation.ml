@@ -4,12 +4,15 @@
    abar^(2 Delta) alpha1 (Eq. 44):
      1. the closed form;
      2. the stationary distribution of the explicitly built C_{F||P} chain;
-     3. the empirical rate over a long simulated state process,
+     3. the empirical rate over simulated state-process trials — run
+        through the campaign engine, which shards the trials across
+        domains and derives every trial's RNG from (seed, cell, trial),
    plus the adversary block rate p nu n (Eq. 27) and the per-round state
    frequencies alpha / alpha1 (Eqs. 7, 9). *)
 
 module Sim = Nakamoto_sim
 module Markov = Nakamoto_markov
+module Campaign = Nakamoto_campaign
 open Nakamoto_core
 
 let () =
@@ -28,39 +31,51 @@ let () =
     pi.(explicit.convergence_state)
     (Markov.Chain.size explicit.chain);
 
-  (* 3. Simulation. *)
-  let rng = Nakamoto_prob.Rng.create ~seed:2024L in
-  let cfg =
-    { Sim.State_process.honest = 40; adversarial = 10; p; delta }
+  (* 3. Simulation, as a one-cell campaign: 8 state-process trials of
+     500k rounds each, sharded over however many domains the host
+     recommends.  The pooled counts are reproducible bit-for-bit at any
+     worker count because each trial's stream is addressed by its
+     (seed, cell, trial) path. *)
+  let spec =
+    {
+      Campaign.Spec.default with
+      Campaign.Spec.ps = [ p ];
+      ns = [ 50 ];
+      deltas = [ delta ];
+      nus = [ nu ];
+      trials_per_cell = 8;
+      rounds = 500_000;
+      mode = Campaign.Spec.State_process;
+      seed = 2024L;
+      shard_size = 1;
+    }
   in
-  let rounds = 4_000_000 in
-  let r = Sim.State_process.run ~rng cfg ~rounds in
-  let t = float_of_int rounds in
-  let rate = float_of_int r.convergence_opportunities /. t in
+  let outcome = Campaign.Campaign.run spec in
+  let agg = (outcome.Campaign.Campaign.cells.(0)).Campaign.Campaign.aggregate in
+  let rounds = Campaign.Aggregate.total_rounds agg in
+  let conv = Campaign.Aggregate.convergence_opportunities agg in
+  let rate = Campaign.Aggregate.convergence_rate agg in
   Printf.printf "simulated        C/T             = %.8f  (%d rounds)\n" rate
     rounds;
-  let lo, hi =
-    Nakamoto_prob.Stats.wilson_interval ~hits:r.convergence_opportunities
-      ~trials:rounds
-  in
+  let lo, hi = Nakamoto_prob.Stats.wilson_interval ~hits:conv ~trials:rounds in
   Printf.printf "                 95%% interval    = [%.8f, %.8f] -> theory %s\n"
     lo hi
     (if closed >= lo && closed <= hi then "INSIDE" else "outside");
 
   Printf.printf "\nadversary rate:  empirical %.6f vs p nu n = %.6f\n"
-    (float_of_int r.adversary_blocks /. t)
+    (Campaign.Aggregate.adversary_rate agg)
     (Params.adversary_rate params);
   Printf.printf "H rounds:        empirical %.6f vs alpha   = %.6f\n"
-    (float_of_int r.h_rounds /. t)
+    (Campaign.Aggregate.h_rate agg)
     (Params.alpha params);
   Printf.printf "H1 rounds:       empirical %.6f vs alpha1  = %.6f\n"
-    (float_of_int r.h1_rounds /. t)
+    (Campaign.Aggregate.h1_rate agg)
     (Params.alpha1 params);
 
   (* Expectation identities Eqs. (26)-(27) over the window. *)
   Printf.printf "\nE[C] over T:     %.1f (measured %d)\n"
     (Conv_chain.expected_convergence_count params ~horizon:rounds)
-    r.convergence_opportunities;
+    conv;
   Printf.printf "E[A] over T:     %.1f (measured %d)\n"
     (Conv_chain.expected_adversary_blocks params ~horizon:rounds)
-    r.adversary_blocks
+    (Campaign.Aggregate.adversary_blocks agg)

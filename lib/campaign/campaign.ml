@@ -1,0 +1,233 @@
+module Sim = Nakamoto_sim
+module Core = Nakamoto_core
+module Table = Nakamoto_numerics.Table
+
+type cell_result = {
+  cell : Spec.cell;
+  aggregate : Aggregate.t;
+  from_journal : bool;
+}
+
+type outcome = {
+  spec : Spec.t;
+  cells : cell_result array;
+  fresh_trials : int;
+  resumed_cells : int;
+  jobs : int;
+  elapsed : float;
+}
+
+let run_shard spec cells (sh : Shard.t) =
+  let cell = cells.(sh.Shard.cell_index) in
+  let agg = Aggregate.create () in
+  for trial = sh.Shard.trial_start to sh.Shard.trial_stop - 1 do
+    let obs =
+      match spec.Spec.mode with
+      | Spec.Full_protocol ->
+        let cfg = Spec.config_of_cell spec cell ~trial in
+        Aggregate.of_execution (Sim.Execution.run cfg)
+      | Spec.State_process ->
+        let rng = Spec.trial_rng spec cell ~trial in
+        Aggregate.of_state_run
+          (Sim.State_process.run ~rng
+             (Spec.state_config_of_cell cell)
+             ~rounds:spec.Spec.rounds)
+    in
+    Aggregate.observe agg obs
+  done;
+  agg
+
+let run ?jobs ?journal_path ?(resume = false) ?(progress_interval = 0.)
+    ?(progress_out = stderr) spec =
+  Spec.validate spec;
+  let jobs =
+    match jobs with
+    | None -> Worker_pool.default_jobs ()
+    | Some j ->
+      if j < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+      j
+  in
+  let started = Unix.gettimeofday () in
+  let cells = Spec.cells spec in
+  let ncells = Array.length cells in
+  let completed : Aggregate.t option array = Array.make ncells None in
+  let from_journal = Array.make ncells false in
+  let written = Array.make ncells false in
+  (* Journal setup: load on resume (after a fingerprint check), start
+     fresh otherwise. *)
+  (match journal_path with
+  | None -> ()
+  | Some path ->
+    let fresh_header () =
+      if Sys.file_exists path then Sys.remove path;
+      Journal.append ~path (Journal.Header (Journal.header_of_spec spec))
+    in
+    if not resume then fresh_header ()
+    else begin
+      match Journal.load ~path with
+      | None -> fresh_header ()
+      | Some (header, entries) ->
+        if header.Journal.fingerprint <> Spec.fingerprint spec then
+          invalid_arg
+            "Campaign.run: journal fingerprint does not match the spec \
+             (resume must reuse the exact grid, seed and trial counts)";
+        List.iter
+          (fun ((cell : Spec.cell), snap) ->
+            if cell.Spec.index < 0 || cell.Spec.index >= ncells then
+              failwith "Campaign.run: journal cell index out of range";
+            completed.(cell.Spec.index) <- Some (Aggregate.of_snapshot snap);
+            from_journal.(cell.Spec.index) <- true;
+            written.(cell.Spec.index) <- true)
+          entries
+    end);
+  let resumed_cells =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 from_journal
+  in
+  let plan =
+    Shard.plan ~cells:ncells ~trials_per_cell:spec.Spec.trials_per_cell
+      ~shard_size:spec.Spec.shard_size
+      ~skip:(fun i -> completed.(i) <> None)
+  in
+  let fresh_trials = Array.fold_left (fun acc sh -> acc + Shard.trials sh) 0 plan in
+  let progress =
+    if progress_interval > 0. then
+      Progress.create ~out:progress_out ~interval:progress_interval
+        ~total_trials:fresh_trials ()
+    else Progress.silent
+  in
+  let slots =
+    Shard.per_cell ~trials_per_cell:spec.Spec.trials_per_cell
+      ~shard_size:spec.Spec.shard_size
+  in
+  let shard_results = Array.init ncells (fun _ -> Array.make slots None) in
+  let shards_done = Array.make ncells 0 in
+  let trials_done = ref 0 in
+  (* Journal lines go out strictly in cell order: a cell that finishes
+     early waits here until every lower-indexed cell has been flushed.
+     This is what makes journals byte-identical across worker counts. *)
+  let next_flush = ref 0 in
+  let flush_prefix () =
+    match journal_path with
+    | None -> ()
+    | Some path ->
+      while !next_flush < ncells && completed.(!next_flush) <> None do
+        let i = !next_flush in
+        if not written.(i) then begin
+          (match completed.(i) with
+          | Some agg ->
+            Journal.append ~path
+              (Journal.Cell (cells.(i), Aggregate.snapshot agg))
+          | None -> assert false);
+          written.(i) <- true
+        end;
+        incr next_flush
+      done
+  in
+  flush_prefix ();
+  let on_result task_index agg =
+    let sh = plan.(task_index) in
+    let ci = sh.Shard.cell_index in
+    shard_results.(ci).(sh.Shard.slot) <- Some agg;
+    shards_done.(ci) <- shards_done.(ci) + 1;
+    trials_done := !trials_done + Shard.trials sh;
+    if shards_done.(ci) = slots then begin
+      (* Merge in slot order — never completion order. *)
+      let merged =
+        Array.fold_left
+          (fun acc slot ->
+            match (acc, slot) with
+            | None, Some a -> Some a
+            | Some m, Some a -> Some (Aggregate.merge m a)
+            | _, None -> assert false)
+          None shard_results.(ci)
+      in
+      completed.(ci) <- merged;
+      flush_prefix ()
+    end;
+    Progress.note progress ~trials_done:!trials_done
+  in
+  ignore (Worker_pool.run ~jobs ~on_result (run_shard spec cells) plan);
+  Progress.finish progress ~trials_done:!trials_done;
+  let results =
+    Array.mapi
+      (fun i cell ->
+        match completed.(i) with
+        | Some aggregate -> { cell; aggregate; from_journal = from_journal.(i) }
+        | None -> assert false (* the pool drained every shard *))
+      cells
+  in
+  {
+    spec;
+    cells = results;
+    fresh_trials;
+    resumed_cells;
+    jobs;
+    elapsed = Unix.gettimeofday () -. started;
+  }
+
+let region (cell : Spec.cell) =
+  if cell.Spec.nu <= 0. then "SAFE"
+  else begin
+    let c = Spec.c_of_cell cell in
+    if c > Core.Bounds.neat_c_min ~nu:cell.Spec.nu then "SAFE"
+    else if cell.Spec.nu > Core.Bounds.pss_attack_nu ~c then "ATTACK"
+    else "GAP"
+  end
+
+let totals outcome =
+  Array.fold_left
+    (fun acc r -> Aggregate.merge acc r.aggregate)
+    (Aggregate.create ()) outcome.cells
+
+let summary_table outcome =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "campaign: %d cells x %d trials x %d rounds (seed %Ld, %d fresh \
+            trials, %d resumed cells, %.1fs at %d jobs)"
+           (Array.length outcome.cells) outcome.spec.Spec.trials_per_cell
+           outcome.spec.Spec.rounds outcome.spec.Spec.seed
+           outcome.fresh_trials outcome.resumed_cells outcome.elapsed
+           outcome.jobs)
+      ~columns:
+        [ "cell"; "p"; "n"; "Delta"; "nu"; "c"; "viol"; "rate"; "95% lo";
+          "95% hi"; "max reorg"; "growth"; "quality"; "region"; "agrees" ]
+  in
+  Array.iter
+    (fun { cell; aggregate = a; _ } ->
+      let reg = region cell in
+      let audited = Aggregate.audited_trials a > 0 in
+      let lo, hi =
+        match Aggregate.wilson_interval a with
+        | Some (lo, hi) -> (lo, hi)
+        | None -> (nan, nan)
+      in
+      let agrees =
+        if not audited then "-"
+        else
+          match reg with
+          | "SAFE" -> if Aggregate.violations a = 0 then "yes" else "NO"
+          | "ATTACK" -> if Aggregate.violations a > 0 then "yes" else "weak"
+          | _ -> "-"
+      in
+      let mean_or_nan s =
+        if Nakamoto_prob.Stats.Summary.count s = 0 then nan
+        else Nakamoto_prob.Stats.Summary.mean s
+      in
+      Table.add_row t
+        [
+          Table.Int cell.Spec.index; Table.Sci cell.Spec.p;
+          Table.Int cell.Spec.n; Table.Int cell.Spec.delta;
+          Table.Float cell.Spec.nu; Table.Float (Spec.c_of_cell cell);
+          Table.Text
+            (Printf.sprintf "%d/%d" (Aggregate.violations a)
+               (Aggregate.audited_trials a));
+          Table.Float (Aggregate.violation_rate a); Table.Float lo;
+          Table.Float hi; Table.Int (Aggregate.max_reorg_depth a);
+          Table.Float (mean_or_nan (Aggregate.growth_summary a));
+          Table.Float (mean_or_nan (Aggregate.quality_summary a));
+          Table.Text reg; Table.Text agrees;
+        ])
+    outcome.cells;
+  t

@@ -1,0 +1,68 @@
+(** The campaign engine: a parameter grid, executed in parallel,
+    aggregated deterministically, journaled for resume.
+
+    Determinism contract: for a fixed spec, the outcome — including the
+    journal bytes — is identical for every [jobs] value.  Three
+    mechanisms combine to give this: (1) every trial's RNG is derived
+    from [(seed, cell_index, trial_index)] alone
+    ({!Nakamoto_prob.Rng.of_path}); (2) workers return per-shard
+    aggregates that are merged in plan order, never in completion order;
+    (3) journal lines are flushed in cell order, a completed
+    out-of-order cell waiting for its predecessors.  Killing a campaign
+    loses at most the unflushed suffix; rerunning with [resume] skips
+    every journaled cell and recomputes only the rest. *)
+
+type cell_result = {
+  cell : Spec.cell;
+  aggregate : Aggregate.t;
+  from_journal : bool;  (** recovered from the journal, not recomputed *)
+}
+
+type outcome = {
+  spec : Spec.t;
+  cells : cell_result array;  (** in cell order, one per grid cell *)
+  fresh_trials : int;  (** trials actually executed by this run *)
+  resumed_cells : int;  (** cells recovered from the journal *)
+  jobs : int;  (** worker domains used *)
+  elapsed : float;  (** wall-clock seconds for this run *)
+}
+
+val run :
+  ?jobs:int ->
+  ?journal_path:string ->
+  ?resume:bool ->
+  ?progress_interval:float ->
+  ?progress_out:out_channel ->
+  Spec.t ->
+  outcome
+(** [run spec] executes the campaign.
+
+    [jobs] defaults to {!Worker_pool.default_jobs}.  When
+    [journal_path] is given, a header plus one line per completed cell
+    is streamed to it; with [resume] also set and the file present, its
+    cells are loaded instead of recomputed — after checking that the
+    journal's {!Spec.fingerprint} matches, so a resume against an edited
+    spec fails loudly.  Without [resume], an existing journal at that
+    path is overwritten.  [progress_interval] (seconds, default [0.] =
+    silent) enables the {!Progress} reporter on [progress_out] (default
+    [stderr]).
+
+    @raise Invalid_argument on an invalid spec, [jobs < 1], or a
+    fingerprint mismatch.
+    @raise Failure on a corrupt journal file. *)
+
+val region : Spec.cell -> string
+(** ["SAFE"] when [c] clears the neat bound [2mu/ln(mu/nu)], ["ATTACK"]
+    when [nu] exceeds the PSS attack threshold at this [c], ["GAP"] for
+    the open region in between. *)
+
+val totals : outcome -> Aggregate.t
+(** All cells merged (in cell order) — the campaign-wide pool. *)
+
+val summary_table : outcome -> Nakamoto_numerics.Table.t
+(** Per-cell table: parameters, [c], violation rate with Wilson 95%
+    interval, reorg depths, growth, quality, the analytic {!region}
+    verdict, and whether the observations agree with it (SAFE cells must
+    show zero violations; ATTACK cells are expected to show some within
+    the simulated horizon; the GAP is the paper's open question and gets
+    ["-"]). *)

@@ -1,0 +1,319 @@
+module Stats = Nakamoto_prob.Stats
+
+type header = {
+  version : int;
+  fingerprint : int64;
+  cells : int;
+  trials_per_cell : int;
+  seed : int64;
+}
+
+type line = Header of header | Cell of Spec.cell * Aggregate.snapshot
+
+let version = 1
+
+let header_of_spec (spec : Spec.t) =
+  {
+    version;
+    fingerprint = Spec.fingerprint spec;
+    cells = Spec.cell_count spec;
+    trials_per_cell = spec.Spec.trials_per_cell;
+    seed = spec.Spec.seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips every finite double; OCaml's float_of_string reads
+   the inf/-inf/nan tokens back natively. *)
+let float_str f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.17g" f
+
+let summary_str (r : Stats.Summary.raw) =
+  Printf.sprintf "[%d,%s,%s,%s,%s]" r.Stats.Summary.n
+    (float_str r.Stats.Summary.mu)
+    (float_str r.Stats.Summary.m2s)
+    (float_str r.Stats.Summary.lo)
+    (float_str r.Stats.Summary.hi)
+
+let int_array_str a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let render = function
+  | Header h ->
+    Printf.sprintf
+      "{\"journal\":\"nakamoto-campaign\",\"version\":%d,\"fingerprint\":\"%Ld\",\"cells\":%d,\"trials_per_cell\":%d,\"seed\":\"%Ld\"}"
+      h.version h.fingerprint h.cells h.trials_per_cell h.seed
+  | Cell (cell, s) ->
+    Printf.sprintf
+      "{\"cell\":%d,\"p\":%s,\"n\":%d,\"delta\":%d,\"nu\":%s,\"trials\":%d,\"rounds\":%d,\"audited\":%d,\"violations\":%d,\"conv\":%d,\"adv\":%d,\"honest\":%d,\"h\":%d,\"h1\":%d,\"max_reorg\":%d,\"hist\":%s,\"growth\":%s,\"quality\":%s,\"reorg\":%s}"
+      cell.Spec.index (float_str cell.Spec.p) cell.Spec.n cell.Spec.delta
+      (float_str cell.Spec.nu) s.Aggregate.s_trials s.Aggregate.s_total_rounds
+      s.Aggregate.s_audited_trials s.Aggregate.s_violations
+      s.Aggregate.s_convergence_opportunities s.Aggregate.s_adversary_blocks
+      s.Aggregate.s_honest_blocks s.Aggregate.s_h_rounds
+      s.Aggregate.s_h1_rounds s.Aggregate.s_max_reorg_depth
+      (int_array_str s.Aggregate.s_reorg_hist)
+      (summary_str s.Aggregate.s_growth)
+      (summary_str s.Aggregate.s_quality)
+      (summary_str s.Aggregate.s_reorg)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the JSON subset we emit              *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnum of string  (** unconverted token: caller picks int/float/int64 *)
+  | Jstr of string
+  | Jbool of bool
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Malformed of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | _ -> fail "unsupported escape");
+        go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let is_num_char c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    (* the letters of inf / nan *)
+    || c = 'i' || c = 'n' || c = 'f' || c = 'a'
+  in
+  let parse_number () =
+    let start = !pos in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    Jnum (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Jarr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Jarr (elements [])
+      end
+    | Some 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
+      pos := !pos + 4;
+      Jbool true
+    | Some 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
+      pos := !pos + 5;
+      Jbool false
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* Field accessors. *)
+
+let field obj key =
+  match obj with
+  | Jobj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> raise (Malformed ("missing field " ^ key)))
+  | _ -> raise (Malformed "expected an object")
+
+let as_int = function
+  | Jnum tok -> (
+    try int_of_string tok
+    with _ -> raise (Malformed ("not an int: " ^ tok)))
+  | _ -> raise (Malformed "expected an int")
+
+let as_float = function
+  | Jnum tok -> (
+    try float_of_string tok
+    with _ -> raise (Malformed ("not a float: " ^ tok)))
+  | _ -> raise (Malformed "expected a float")
+
+let as_int64_str = function
+  | Jstr tok -> (
+    try Int64.of_string tok
+    with _ -> raise (Malformed ("not an int64: " ^ tok)))
+  | _ -> raise (Malformed "expected a quoted int64")
+
+let as_summary = function
+  | Jarr [ n; mu; m2s; lo; hi ] ->
+    {
+      Stats.Summary.n = as_int n;
+      mu = as_float mu;
+      m2s = as_float m2s;
+      lo = as_float lo;
+      hi = as_float hi;
+    }
+  | _ -> raise (Malformed "expected a 5-element summary array")
+
+let as_int_array = function
+  | Jarr xs -> Array.of_list (List.map as_int xs)
+  | _ -> raise (Malformed "expected an int array")
+
+let parse text =
+  try
+    let j = parse_json text in
+    match j with
+    | Jobj kvs when List.mem_assoc "journal" kvs ->
+      (match field j "journal" with
+      | Jstr "nakamoto-campaign" -> ()
+      | _ -> raise (Malformed "not a nakamoto-campaign journal"));
+      Header
+        {
+          version = as_int (field j "version");
+          fingerprint = as_int64_str (field j "fingerprint");
+          cells = as_int (field j "cells");
+          trials_per_cell = as_int (field j "trials_per_cell");
+          seed = as_int64_str (field j "seed");
+        }
+    | Jobj _ ->
+      let cell =
+        {
+          Spec.index = as_int (field j "cell");
+          p = as_float (field j "p");
+          n = as_int (field j "n");
+          delta = as_int (field j "delta");
+          nu = as_float (field j "nu");
+        }
+      in
+      let snapshot =
+        {
+          Aggregate.s_trials = as_int (field j "trials");
+          s_total_rounds = as_int (field j "rounds");
+          s_audited_trials = as_int (field j "audited");
+          s_violations = as_int (field j "violations");
+          s_convergence_opportunities = as_int (field j "conv");
+          s_adversary_blocks = as_int (field j "adv");
+          s_honest_blocks = as_int (field j "honest");
+          s_h_rounds = as_int (field j "h");
+          s_h1_rounds = as_int (field j "h1");
+          s_max_reorg_depth = as_int (field j "max_reorg");
+          s_reorg_hist = as_int_array (field j "hist");
+          s_growth = as_summary (field j "growth");
+          s_quality = as_summary (field j "quality");
+          s_reorg = as_summary (field j "reorg");
+        }
+      in
+      Cell (cell, snapshot)
+    | _ -> raise (Malformed "journal lines are JSON objects")
+  with Malformed msg -> failwith ("Journal.parse: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* File operations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let append ~path line =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (render line);
+      output_char oc '\n';
+      flush oc)
+
+let load ~path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    match lines with
+    | [] -> failwith "Journal.load: empty journal file"
+    | first :: rest ->
+      let header =
+        match parse first with
+        | Header h -> h
+        | Cell _ -> failwith "Journal.load: journal does not start with a header"
+      in
+      let entries =
+        List.map
+          (fun l ->
+            match parse l with
+            | Cell (c, s) -> (c, s)
+            | Header _ -> failwith "Journal.load: duplicate header line")
+          rest
+      in
+      Some (header, entries)
+  end

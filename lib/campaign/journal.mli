@@ -1,0 +1,42 @@
+(** Crash-safe JSONL campaign journal.
+
+    Line 1 is a header binding the file to a spec {!Spec.fingerprint};
+    every further line is one completed cell with its exact aggregate
+    state.  The writer emits keys in a fixed order and floats with
+    [%.17g] (round-trip precise), so two campaigns that compute the same
+    aggregates produce byte-identical journals — the determinism test
+    and the golden smoke file rely on this.  Parsing is hand-rolled
+    recursive descent over a small JSON subset (objects, arrays, numbers
+    including [inf]/[-inf]/[nan], strings, booleans); no external
+    dependency.  64-bit values that a double cannot carry exactly
+    (seeds, fingerprints) travel as decimal strings. *)
+
+type header = {
+  version : int;
+  fingerprint : int64;
+  cells : int;  (** grid size, for progress accounting on resume *)
+  trials_per_cell : int;
+  seed : int64;
+}
+
+type line =
+  | Header of header
+  | Cell of Spec.cell * Aggregate.snapshot
+
+val header_of_spec : Spec.t -> header
+
+val render : line -> string
+(** One JSON object, no trailing newline. *)
+
+val parse : string -> line
+(** @raise Failure on malformed input. *)
+
+val append : path:string -> line -> unit
+(** Append [render line] and a newline, fsync-free but flushed and
+    closed before returning. *)
+
+val load : path:string -> (header * (Spec.cell * Aggregate.snapshot) list) option
+(** [load ~path] is [None] when the file does not exist; otherwise the
+    parsed header and cell lines in file order.
+    @raise Failure when the file exists but is empty, starts with a
+    non-header line, or contains a malformed line. *)

@@ -1,0 +1,46 @@
+type t = {
+  out : out_channel;
+  interval : float;
+  total_trials : int;
+  started : float;
+  mutable last_report : float;
+}
+
+let create ?(out = stderr) ?(interval = 5.) ~total_trials () =
+  let now = Unix.gettimeofday () in
+  { out; interval; total_trials; started = now; last_report = now }
+
+let silent = { out = stderr; interval = 0.; total_trials = 0; started = 0.; last_report = 0. }
+
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let rate t ~trials_done ~now =
+  let dt = now -. t.started in
+  if dt <= 0. then 0. else float_of_int trials_done /. dt
+
+let print_line t ~trials_done ~now ~final =
+  let r = rate t ~trials_done ~now in
+  let eta =
+    if r <= 0. || trials_done >= t.total_trials then 0.
+    else float_of_int (t.total_trials - trials_done) /. r
+  in
+  if final then
+    Printf.fprintf t.out "campaign: %d trials in %.1fs (%.2f trials/s)\n%!"
+      trials_done (now -. t.started) r
+  else
+    Printf.fprintf t.out
+      "campaign: %d/%d trials (%.2f trials/s, eta %.0fs)\n%!" trials_done
+      t.total_trials r eta
+
+let note t ~trials_done =
+  if t.interval > 0. then begin
+    let now = Unix.gettimeofday () in
+    if now -. t.last_report >= t.interval then begin
+      t.last_report <- now;
+      print_line t ~trials_done ~now ~final:false
+    end
+  end
+
+let finish t ~trials_done =
+  if t.interval > 0. then
+    print_line t ~trials_done ~now:(Unix.gettimeofday ()) ~final:true

@@ -1,0 +1,30 @@
+(** Throughput and ETA reporting for long campaigns.
+
+    The reporter is fed trial-completion counts from inside the worker
+    pool's serialized [on_result] callback, and rate-limits its own
+    output to a configurable cadence.  It writes to [stderr] by default
+    so journals and summary tables on [stdout] stay machine-readable.
+    A cadence of [0.] disables output entirely (the mode used by tests
+    and the golden smoke run). *)
+
+type t
+
+val create :
+  ?out:out_channel -> ?interval:float -> total_trials:int -> unit -> t
+(** [create ~total_trials ()] starts the clock now.  [interval] is the
+    minimum seconds between reports (default [5.]; [0.] silences the
+    reporter). *)
+
+val silent : t
+(** Never prints; safe to share. *)
+
+val note : t -> trials_done:int -> unit
+(** Record that [trials_done] trials have completed in total (monotone,
+    not incremental); prints a [trials/s] + ETA line when the cadence
+    allows.  Call under the pool mutex. *)
+
+val finish : t -> trials_done:int -> unit
+(** Print the final throughput line (unless silenced). *)
+
+val elapsed : t -> float
+(** Seconds since [create]. *)

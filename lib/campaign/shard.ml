@@ -1,0 +1,30 @@
+type t = {
+  id : int;
+  cell_index : int;
+  trial_start : int;
+  trial_stop : int;
+  slot : int;
+}
+
+let trials t = t.trial_stop - t.trial_start
+
+let per_cell ~trials_per_cell ~shard_size =
+  if trials_per_cell < 1 then invalid_arg "Shard.per_cell: trials_per_cell < 1";
+  if shard_size < 1 then invalid_arg "Shard.per_cell: shard_size < 1";
+  (trials_per_cell + shard_size - 1) / shard_size
+
+let plan ~cells ~trials_per_cell ~shard_size ~skip =
+  if cells < 0 then invalid_arg "Shard.plan: negative cell count";
+  let slots = per_cell ~trials_per_cell ~shard_size in
+  let acc = ref [] in
+  let id = ref 0 in
+  for cell_index = 0 to cells - 1 do
+    if not (skip cell_index) then
+      for slot = 0 to slots - 1 do
+        let trial_start = slot * shard_size in
+        let trial_stop = min trials_per_cell (trial_start + shard_size) in
+        acc := { id = !id; cell_index; trial_start; trial_stop; slot } :: !acc;
+        incr id
+      done
+  done;
+  Array.of_list (List.rev !acc)

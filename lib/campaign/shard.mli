@@ -1,0 +1,36 @@
+(** Deterministic decomposition of a campaign into work-queue units.
+
+    A shard is a contiguous run of trials of one cell.  The plan — which
+    shards exist and in what order — is a pure function of the grid shape
+    and the shard size, never of worker count or scheduling.  Workers may
+    finish shards in any order; because every shard knows its position,
+    per-cell aggregates are always merged back in plan order, which is
+    what makes campaign results bit-identical across [--jobs] settings. *)
+
+type t = {
+  id : int;  (** position in the plan *)
+  cell_index : int;
+  trial_start : int;  (** first trial index, inclusive *)
+  trial_stop : int;  (** last trial index, exclusive *)
+  slot : int;  (** position among the shards of the same cell *)
+}
+
+val trials : t -> int
+
+val per_cell : trials_per_cell:int -> shard_size:int -> int
+(** Number of shards each cell decomposes into ([ceil (trials/size)]).
+    @raise Invalid_argument unless both arguments are positive. *)
+
+val plan :
+  cells:int ->
+  trials_per_cell:int ->
+  shard_size:int ->
+  skip:(int -> bool) ->
+  t array
+(** [plan ~cells ~trials_per_cell ~shard_size ~skip] enumerates the
+    shards of every cell whose index fails [skip], in (cell, slot) order.
+    [skip] is how a resumed campaign excises already-journaled cells
+    without renumbering anything: surviving shards keep the cell indices
+    and trial ranges they would have had in a fresh run.
+    @raise Invalid_argument on a negative cell count or nonpositive
+    [trials_per_cell] or [shard_size]. *)

@@ -1,0 +1,151 @@
+module Sim = Nakamoto_sim
+module Rng = Nakamoto_prob.Rng
+
+type mode = Full_protocol | State_process
+
+type t = {
+  ps : float list;
+  ns : int list;
+  deltas : int list;
+  nus : float list;
+  trials_per_cell : int;
+  rounds : int;
+  mode : mode;
+  strategy : Sim.Adversary.strategy;
+  truncate : int;
+  seed : int64;
+  shard_size : int;
+}
+
+type cell = { index : int; p : float; n : int; delta : int; nu : float }
+
+let default =
+  {
+    ps = [ 0.005 ];
+    ns = [ 40 ];
+    deltas = [ 4 ];
+    nus = [ 0.1; 0.25; 0.4 ];
+    trials_per_cell = 8;
+    rounds = 1_500;
+    mode = Full_protocol;
+    strategy = Sim.Adversary.Private_chain { reorg_target = 12 };
+    truncate = 6;
+    seed = 42L;
+    shard_size = 2;
+  }
+
+let validate t =
+  let nonempty name = function
+    | [] -> invalid_arg (Printf.sprintf "Spec: %s axis is empty" name)
+    | _ -> ()
+  in
+  nonempty "p" t.ps;
+  nonempty "n" t.ns;
+  nonempty "delta" t.deltas;
+  nonempty "nu" t.nus;
+  List.iter
+    (fun p ->
+      if not (p > 0. && p < 1.) then invalid_arg "Spec: p must lie in (0, 1)")
+    t.ps;
+  List.iter (fun n -> if n < 4 then invalid_arg "Spec: n must be >= 4") t.ns;
+  List.iter
+    (fun d -> if d < 1 then invalid_arg "Spec: delta must be >= 1")
+    t.deltas;
+  List.iter
+    (fun nu ->
+      if not (nu >= 0. && nu < 0.5) then
+        invalid_arg "Spec: nu must lie in [0, 1/2)")
+    t.nus;
+  if t.trials_per_cell < 1 then invalid_arg "Spec: trials_per_cell must be >= 1";
+  if t.rounds < 1 then invalid_arg "Spec: rounds must be >= 1";
+  if t.truncate < 0 then invalid_arg "Spec: truncate must be nonnegative";
+  if t.shard_size < 1 then invalid_arg "Spec: shard_size must be >= 1"
+
+let cells t =
+  let acc = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun delta ->
+              List.iter
+                (fun nu ->
+                  acc := { index = !index; p; n; delta; nu } :: !acc;
+                  incr index)
+                t.nus)
+            t.deltas)
+        t.ns)
+    t.ps;
+  Array.of_list (List.rev !acc)
+
+let cell_count t =
+  List.length t.ps * List.length t.ns * List.length t.deltas
+  * List.length t.nus
+
+let trial_count t = cell_count t * t.trials_per_cell
+let c_of_cell cell = 1. /. (cell.p *. float_of_int (cell.n * cell.delta))
+
+(* Snapshots feed the consistency audit; scale their cadence with the
+   horizon so short trials still collect a handful of audit points. *)
+let snapshot_interval_for rounds = max 1 (min 200 (rounds / 20))
+
+let config_of_cell t cell ~trial =
+  if trial < 0 || trial >= t.trials_per_cell then
+    invalid_arg "Spec.config_of_cell: trial outside [0, trials_per_cell)";
+  {
+    Sim.Config.default with
+    n = cell.n;
+    nu = cell.nu;
+    p = cell.p;
+    delta = cell.delta;
+    rounds = t.rounds;
+    seed = Rng.seed_of_path ~seed:t.seed [ cell.index; trial ];
+    strategy = t.strategy;
+    snapshot_interval = snapshot_interval_for t.rounds;
+    truncate = t.truncate;
+  }
+
+let state_config_of_cell cell =
+  let adversarial = int_of_float (cell.nu *. float_of_int cell.n) in
+  {
+    Sim.State_process.honest = cell.n - adversarial;
+    adversarial;
+    p = cell.p;
+    delta = cell.delta;
+  }
+
+let trial_rng t cell ~trial =
+  if trial < 0 || trial >= t.trials_per_cell then
+    invalid_arg "Spec.trial_rng: trial outside [0, trials_per_cell)";
+  Rng.of_path ~seed:t.seed [ cell.index; trial ]
+
+(* Fold every field through the SplitMix64 finalizer.  Structural rather
+   than cryptographic: its only job is to make accidental spec drift
+   across a resume loudly detectable. *)
+let fingerprint t =
+  let mix acc x = Rng.splitmix64 (Int64.add acc x) in
+  let mix_int acc i = mix acc (Int64.of_int i) in
+  let mix_float acc f = mix acc (Int64.bits_of_float f) in
+  let mix_floats acc fs = List.fold_left mix_float (mix_int acc 0x5F) fs in
+  let mix_ints acc is = List.fold_left mix_int (mix_int acc 0x5B) is in
+  let strategy_tag =
+    match t.strategy with
+    | Sim.Adversary.Idle -> (1, 0)
+    | Sim.Adversary.Private_chain { reorg_target } -> (2, reorg_target)
+    | Sim.Adversary.Balance { group_boundary } -> (3, group_boundary)
+    | Sim.Adversary.Selfish_mining -> (4, 0)
+  in
+  let acc = mix 0x6E616B616D6F746FL t.seed in
+  let acc = mix_floats acc t.ps in
+  let acc = mix_ints acc t.ns in
+  let acc = mix_ints acc t.deltas in
+  let acc = mix_floats acc t.nus in
+  let acc = mix_int acc t.trials_per_cell in
+  let acc = mix_int acc t.rounds in
+  let acc = mix_int acc (match t.mode with Full_protocol -> 1 | State_process -> 2) in
+  let acc = mix_int acc (fst strategy_tag) in
+  let acc = mix_int acc (snd strategy_tag) in
+  let acc = mix_int acc t.truncate in
+  mix_int acc t.shard_size

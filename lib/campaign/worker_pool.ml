@@ -1,0 +1,47 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run ~jobs ?on_result f tasks =
+  if jobs < 1 then invalid_arg "Worker_pool.run: jobs must be >= 1";
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let jobs = min jobs n in
+    let results = Array.make n None in
+    let next = ref 0 in
+    let failure = ref None in
+    let lock = Mutex.create () in
+    let record_failure e =
+      if !failure = None then failure := Some e
+    in
+    let rec worker () =
+      Mutex.lock lock;
+      if !next >= n || !failure <> None then Mutex.unlock lock
+      else begin
+        let i = !next in
+        incr next;
+        Mutex.unlock lock;
+        (match f tasks.(i) with
+        | r ->
+          Mutex.lock lock;
+          results.(i) <- Some r;
+          (match on_result with
+          | None -> ()
+          | Some g -> ( try g i r with e -> record_failure e));
+          Mutex.unlock lock
+        | exception e ->
+          Mutex.lock lock;
+          record_failure e;
+          Mutex.unlock lock);
+        worker ()
+      end
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match !failure with
+    | Some e -> raise e
+    | None ->
+      Array.map
+        (function Some r -> r | None -> assert false (* every slot filled *))
+        results
+  end

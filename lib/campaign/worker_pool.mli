@@ -1,0 +1,30 @@
+(** A [Domain]-based worker pool over a mutex-protected work queue.
+
+    [jobs] domains (the calling domain plus [jobs - 1] spawned ones) pull
+    task indices from a shared cursor and write each result into its own
+    slot, so the output array is in task order no matter which domain
+    computed what.  The task function must not touch shared mutable state
+    — campaign trials satisfy this because every trial derives a private
+    RNG from its path and the simulator keeps all state per-run. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
+    leave one core for the aggregating/journaling main thread on big
+    machines, degrade to sequential on small ones. *)
+
+val run :
+  jobs:int ->
+  ?on_result:(int -> 'b -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [run ~jobs f tasks] computes [f] over every task and returns the
+    results in task order.  [on_result i r] is invoked once per task as
+    it completes, from the completing worker but serialized under the
+    pool mutex — safe for journaling, aggregation and progress output.
+    Completion order is scheduling-dependent; anything that must be
+    deterministic belongs after the call (or must reorder internally, as
+    the campaign journal does).  If [f] or [on_result] raises, the pool
+    stops issuing new tasks, joins every domain, and re-raises the first
+    exception.  [jobs] is clamped to [[1, Array.length tasks]].
+    @raise Invalid_argument if [jobs < 1]. *)

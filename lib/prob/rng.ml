@@ -39,6 +39,19 @@ let split t =
   let seed = bits64 t in
   create ~seed
 
+let seed_of_path ~seed path =
+  (* Hash-chain the seed through the indices: each step finalizes
+     (state + golden * (index+1)) with SplitMix64.  The +1 keeps index 0
+     from being a no-op, and the multiply keeps [1;0] and [0;1] apart. *)
+  List.fold_left
+    (fun acc i ->
+      if i < 0 then invalid_arg "Rng.seed_of_path: negative index";
+      splitmix64
+        (Int64.add acc (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (i + 1)))))
+    (splitmix64 seed) path
+
+let of_path ~seed path = create ~seed:(seed_of_path ~seed path)
+
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let float t =

@@ -21,6 +21,20 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the state; the copy evolves independently. *)
 
+val seed_of_path : seed:int64 -> int list -> int64
+(** [seed_of_path ~seed path] hash-chains [seed] through the indices of
+    [path] with SplitMix64.  Distinct paths (including prefixes of one
+    another and permutations) yield decorrelated seeds; identical paths
+    yield identical seeds.  The single audited entry point for deriving
+    per-trial seeds from [(campaign_seed, cell_index, trial_index)].
+    @raise Invalid_argument on a negative index. *)
+
+val of_path : seed:int64 -> int list -> t
+(** [of_path ~seed path] is [create ~seed:(seed_of_path ~seed path)]: an
+    independent stream addressed by [path].  Because derivation depends
+    only on the path, streams are reproducible no matter which domain or
+    schedule runs them. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 

@@ -31,6 +31,14 @@ module Summary = struct
     let half = 1.96 *. stddev t /. sqrt (float_of_int t.count) in
     (mean t -. half, mean t +. half)
 
+  type raw = { n : int; mu : float; m2s : float; lo : float; hi : float }
+
+  let raw t = { n = t.count; mu = t.mean; m2s = t.m2; lo = t.min_v; hi = t.max_v }
+
+  let of_raw { n; mu; m2s; lo; hi } =
+    if n < 0 then invalid_arg "Stats.Summary.of_raw: negative count";
+    { count = n; mean = mu; m2 = m2s; min_v = lo; max_v = hi }
+
   let merge a b =
     if a.count = 0 then { b with count = b.count }
     else if b.count = 0 then { a with count = a.count }

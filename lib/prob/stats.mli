@@ -30,6 +30,18 @@ module Summary : sig
   val merge : t -> t -> t
   (** [merge a b] combines two summaries as if all observations had been
       added to one (parallel Welford merge); inputs are unchanged. *)
+
+  type raw = { n : int; mu : float; m2s : float; lo : float; hi : float }
+  (** The exact internal state: count, running mean, sum of squared
+      deviations, min, max. *)
+
+  val raw : t -> raw
+  (** [raw t] exposes the internal state for exact serialization (the
+      campaign journal persists summaries across interrupted runs). *)
+
+  val of_raw : raw -> t
+  (** [of_raw r] rebuilds a summary from {!raw} output, bit-identically.
+      @raise Invalid_argument on a negative count. *)
 end
 
 module Histogram : sig

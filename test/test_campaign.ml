@@ -1,0 +1,414 @@
+open Helpers
+module Campaign = Nakamoto_campaign
+module Spec = Campaign.Spec
+module Shard = Campaign.Shard
+module Worker_pool = Campaign.Worker_pool
+module Aggregate = Campaign.Aggregate
+module Journal = Campaign.Journal
+module Stats = Nakamoto_prob.Stats
+
+(* A tiny full-protocol grid: 2 cells x 4 trials of 120 rounds each,
+   small enough for the determinism and resume tests to rerun it several
+   times. *)
+let tiny_spec =
+  {
+    Spec.default with
+    Spec.ps = [ 0.02 ];
+    ns = [ 8 ];
+    deltas = [ 2 ];
+    nus = [ 0.1; 0.3 ];
+    trials_per_cell = 4;
+    rounds = 120;
+    seed = 77L;
+    shard_size = 1;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let temp_journal tag =
+  let path = Filename.temp_file ("campaign_" ^ tag) ".jsonl" in
+  Sys.remove path;
+  path
+
+let cleanup path = if Sys.file_exists path then Sys.remove path
+
+(* --- Spec ---------------------------------------------------------- *)
+
+let test_spec_cells_enumeration () =
+  let spec =
+    {
+      tiny_spec with
+      Spec.ps = [ 0.01; 0.02 ];
+      deltas = [ 2; 4 ];
+      nus = [ 0.1; 0.3 ];
+    }
+  in
+  let cells = Spec.cells spec in
+  check_int "cell count" 8 (Array.length cells);
+  check_int "cell_count agrees" 8 (Spec.cell_count spec);
+  check_int "trial_count" 32 (Spec.trial_count spec);
+  Array.iteri
+    (fun i (c : Spec.cell) -> check_int "indices are positions" i c.index)
+    cells;
+  (* Row-major: p outermost, nu innermost. *)
+  check_true "first cell" (cells.(0).p = 0.01 && cells.(0).delta = 2 && cells.(0).nu = 0.1);
+  check_true "nu varies fastest" (cells.(1).nu = 0.3 && cells.(1).delta = 2);
+  check_true "then delta" (cells.(2).delta = 4 && cells.(2).p = 0.01);
+  check_true "p varies slowest" (cells.(4).p = 0.02 && cells.(4).delta = 2 && cells.(4).nu = 0.1);
+  close "c = 1/(p n Delta)"
+    (1. /. (0.01 *. 8. *. 2.))
+    (Spec.c_of_cell cells.(0))
+
+let test_spec_validation () =
+  Spec.validate tiny_spec;
+  check_raises_invalid "empty axis" (fun () ->
+      Spec.validate { tiny_spec with Spec.nus = [] });
+  check_raises_invalid "bad p" (fun () ->
+      Spec.validate { tiny_spec with Spec.ps = [ 0. ] });
+  check_raises_invalid "nu >= 1/2" (fun () ->
+      Spec.validate { tiny_spec with Spec.nus = [ 0.5 ] });
+  check_raises_invalid "no trials" (fun () ->
+      Spec.validate { tiny_spec with Spec.trials_per_cell = 0 });
+  check_raises_invalid "bad shard size" (fun () ->
+      Spec.validate { tiny_spec with Spec.shard_size = 0 })
+
+let test_spec_fingerprint () =
+  let fp = Spec.fingerprint tiny_spec in
+  check_true "stable" (Int64.equal fp (Spec.fingerprint tiny_spec));
+  let differs s = not (Int64.equal fp (Spec.fingerprint s)) in
+  check_true "seed matters" (differs { tiny_spec with Spec.seed = 78L });
+  check_true "trials matter"
+    (differs { tiny_spec with Spec.trials_per_cell = 5 });
+  check_true "axis matters" (differs { tiny_spec with Spec.nus = [ 0.1 ] });
+  check_true "strategy matters"
+    (differs { tiny_spec with Spec.strategy = Nakamoto_sim.Adversary.Idle })
+
+(* --- Shard plan ---------------------------------------------------- *)
+
+let test_shard_plan () =
+  check_int "ceil division" 3 (Shard.per_cell ~trials_per_cell:5 ~shard_size:2);
+  let plan =
+    Shard.plan ~cells:3 ~trials_per_cell:5 ~shard_size:2 ~skip:(fun _ -> false)
+  in
+  check_int "shards" 9 (Array.length plan);
+  Array.iteri (fun i (s : Shard.t) -> check_int "plan ids" i s.id) plan;
+  (* Within a cell: contiguous trial ranges covering [0, 5). *)
+  let covered = Array.make 5 false in
+  Array.iter
+    (fun (s : Shard.t) ->
+      if s.cell_index = 1 then
+        for t = s.trial_start to s.trial_stop - 1 do
+          check_false "no trial twice" covered.(t);
+          covered.(t) <- true
+        done)
+    plan;
+  Array.iter (fun c -> check_true "all trials covered" c) covered;
+  check_int "last shard is the remainder" 1
+    (Shard.trials plan.(Array.length plan - 1));
+  (* skip excises cells without renumbering the survivors. *)
+  let resumed =
+    Shard.plan ~cells:3 ~trials_per_cell:5 ~shard_size:2 ~skip:(fun i -> i = 1)
+  in
+  check_int "skipped cell's shards gone" 6 (Array.length resumed);
+  Array.iter
+    (fun (s : Shard.t) ->
+      check_true "cell 1 excised" (s.cell_index <> 1))
+    resumed;
+  check_raises_invalid "bad shard size" (fun () ->
+      ignore (Shard.plan ~cells:1 ~trials_per_cell:1 ~shard_size:0 ~skip:(fun _ -> false)))
+
+(* --- Worker pool --------------------------------------------------- *)
+
+let test_worker_pool_order_and_draining () =
+  check_int "empty input" 0
+    (Array.length (Worker_pool.run ~jobs:4 (fun x -> x) [||]));
+  let tasks = Array.init 23 (fun i -> i) in
+  let seen = ref 0 in
+  let results =
+    Worker_pool.run ~jobs:4
+      ~on_result:(fun _ _ -> incr seen)
+      (fun i -> i * i)
+      tasks
+  in
+  check_int "on_result once per task" 23 !seen;
+  Array.iteri (fun i r -> check_int "results in task order" (i * i) r) results;
+  (* More workers than tasks: pool clamps and still drains. *)
+  let one = Worker_pool.run ~jobs:16 (fun i -> i + 1) [| 41 |] in
+  check_int "jobs > tasks" 42 one.(0);
+  check_raises_invalid "jobs < 1" (fun () ->
+      ignore (Worker_pool.run ~jobs:0 (fun x -> x) [| 1 |]))
+
+let test_worker_pool_exception_propagates () =
+  match
+    Worker_pool.run ~jobs:3
+      (fun i -> if i = 5 then failwith "task 5 exploded" else i)
+      (Array.init 12 (fun i -> i))
+  with
+  | exception Failure msg -> check_true "first failure re-raised" (msg = "task 5 exploded")
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+
+(* --- Aggregate ----------------------------------------------------- *)
+
+let obs ?(violated = false) ?(depth = 0) growth quality =
+  {
+    Aggregate.rounds = 100;
+    convergence_opportunities = 7;
+    adversary_blocks = 2;
+    honest_blocks = 11;
+    h_rounds = 20;
+    h1_rounds = 15;
+    full = true;
+    violated;
+    max_reorg_depth = depth;
+    growth_rate = growth;
+    chain_quality = quality;
+  }
+
+let test_aggregate_closed_form () =
+  let t = Aggregate.create () in
+  List.iter (Aggregate.observe t)
+    [
+      obs ~violated:true ~depth:3 0.10 0.9;
+      obs 0.20 0.8;
+      obs ~violated:true ~depth:40 0.30 0.7;
+      obs 0.40 0.6;
+    ];
+  check_int "trials" 4 (Aggregate.trials t);
+  check_int "rounds pooled" 400 (Aggregate.total_rounds t);
+  check_int "violations" 2 (Aggregate.violations t);
+  close "violation rate" 0.5 (Aggregate.violation_rate t);
+  close "convergence rate" (28. /. 400.) (Aggregate.convergence_rate t);
+  (* Welford matches the closed form on the fixed data. *)
+  let g = Aggregate.growth_summary t in
+  close "mean" 0.25 (Stats.Summary.mean g);
+  close "sample variance" (0.05 /. 3.) (Stats.Summary.variance g);
+  (* Wilson interval is exactly the library's closed form. *)
+  (match Aggregate.wilson_interval t with
+  | None -> Alcotest.fail "expected an interval"
+  | Some (lo, hi) ->
+    let elo, ehi = Stats.wilson_interval ~hits:2 ~trials:4 in
+    check_true "wilson = closed form" (lo = elo && hi = ehi));
+  (* Histogram: depth 40 saturates into the last bin. *)
+  let hist = Aggregate.reorg_histogram t in
+  check_int "hist length" Aggregate.hist_depths (Array.length hist);
+  check_int "depth 0 bin" 2 hist.(0);
+  check_int "depth 3 bin" 1 hist.(3);
+  check_int "saturating bin" 1 hist.(Aggregate.hist_depths - 1);
+  check_int "max depth kept exact" 40 (Aggregate.max_reorg_depth t);
+  (* Nothing audited -> rate is nan, interval absent. *)
+  let empty = Aggregate.create () in
+  check_true "nan when unaudited" (Float.is_nan (Aggregate.violation_rate empty));
+  check_true "no interval when unaudited" (Aggregate.wilson_interval empty = None)
+
+let test_aggregate_merge_and_snapshot () =
+  let all = Aggregate.create () and a = Aggregate.create () and b = Aggregate.create () in
+  let stream =
+    [
+      obs ~depth:1 0.11 0.91; obs 0.22 0.82; obs ~violated:true ~depth:5 0.33 0.73;
+      obs 0.44 0.64; obs ~depth:2 0.55 0.55;
+    ]
+  in
+  List.iteri
+    (fun i o ->
+      Aggregate.observe all o;
+      Aggregate.observe (if i < 2 then a else b) o)
+    stream;
+  let merged = Aggregate.merge a b in
+  (* Integer tallies merge exactly.  The Welford floats combine by the
+     parallel-merge formula, which is algebraically but not bitwise equal
+     to one sequential stream — cross-jobs bit-identity instead comes
+     from the campaign always merging the same shard tree. *)
+  let ints (s : Aggregate.snapshot) =
+    ( s.Aggregate.s_trials, s.Aggregate.s_total_rounds,
+      s.Aggregate.s_audited_trials, s.Aggregate.s_violations,
+      s.Aggregate.s_convergence_opportunities, s.Aggregate.s_h_rounds,
+      s.Aggregate.s_max_reorg_depth, s.Aggregate.s_reorg_hist )
+  in
+  check_true "integer tallies merge exactly"
+    (ints (Aggregate.snapshot merged) = ints (Aggregate.snapshot all));
+  close "merged mean = sequential mean"
+    (Stats.Summary.mean (Aggregate.growth_summary all))
+    (Stats.Summary.mean (Aggregate.growth_summary merged));
+  close "merged variance = sequential variance"
+    (Stats.Summary.variance (Aggregate.growth_summary all))
+    (Stats.Summary.variance (Aggregate.growth_summary merged));
+  let snap = Aggregate.snapshot all in
+  check_true "snapshot round-trips bit-identically"
+    (compare (Aggregate.snapshot (Aggregate.of_snapshot snap)) snap = 0);
+  check_raises_invalid "short histogram rejected" (fun () ->
+      ignore (Aggregate.of_snapshot { snap with Aggregate.s_reorg_hist = [| 0 |] }));
+  check_raises_invalid "negative count rejected" (fun () ->
+      ignore (Aggregate.of_snapshot { snap with Aggregate.s_trials = -1 }))
+
+(* --- Journal ------------------------------------------------------- *)
+
+let test_journal_round_trip () =
+  let header = Journal.header_of_spec tiny_spec in
+  check_true "header fingerprint" (Int64.equal header.Journal.fingerprint (Spec.fingerprint tiny_spec));
+  let parsed = Journal.parse (Journal.render (Journal.Header header)) in
+  check_true "header round-trips" (compare parsed (Journal.Header header) = 0);
+  let t = Aggregate.create () in
+  List.iter (Aggregate.observe t)
+    [ obs ~violated:true ~depth:2 0.125 0.875; obs (1. /. 3.) 0.5 ];
+  let cell = (Spec.cells tiny_spec).(1) in
+  let line = Journal.Cell (cell, Aggregate.snapshot t) in
+  check_true "cell line round-trips (17g floats, int64 strings)"
+    (compare (Journal.parse (Journal.render line)) line = 0);
+  (match Journal.parse (Journal.render line) with
+  | Journal.Cell (c, s) ->
+    check_int "cell index survives" cell.Spec.index c.Spec.index;
+    check_int "welford count survives" 2 s.Aggregate.s_growth.Stats.Summary.n
+  | Journal.Header _ -> Alcotest.fail "expected a cell line");
+  check_true "load on a missing path is None"
+    (Journal.load ~path:"/nonexistent/campaign.jsonl" = None);
+  (match Journal.parse "{\"oops\": tru" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed line should fail")
+
+(* --- Campaign: determinism, resume, draining ----------------------- *)
+
+let outcome_snapshots (o : Campaign.Campaign.outcome) =
+  Array.map
+    (fun (r : Campaign.Campaign.cell_result) ->
+      Aggregate.snapshot r.Campaign.Campaign.aggregate)
+    o.Campaign.Campaign.cells
+
+let test_jobs_determinism () =
+  let j1 = temp_journal "j1" and j4 = temp_journal "j4" in
+  Fun.protect
+    ~finally:(fun () -> cleanup j1; cleanup j4)
+    (fun () ->
+      let o1 = Campaign.Campaign.run ~jobs:1 ~journal_path:j1 tiny_spec in
+      let o4 = Campaign.Campaign.run ~jobs:4 ~journal_path:j4 tiny_spec in
+      check_true "aggregates bit-identical across jobs"
+        (compare (outcome_snapshots o1) (outcome_snapshots o4) = 0);
+      check_true "journal files byte-identical across jobs"
+        (read_file j1 = read_file j4);
+      check_int "all trials fresh" (Spec.trial_count tiny_spec)
+        o1.Campaign.Campaign.fresh_trials;
+      (* Trial RNG is addressed by (seed, cell, trial): a different master
+         seed shifts every stream. *)
+      let o' = Campaign.Campaign.run ~jobs:1 { tiny_spec with Spec.seed = 78L } in
+      check_true "seed changes results"
+        (compare (outcome_snapshots o1) (outcome_snapshots o') <> 0))
+
+let test_resume_skips_completed_cells () =
+  let full = temp_journal "full" and part = temp_journal "part" in
+  Fun.protect
+    ~finally:(fun () -> cleanup full; cleanup part)
+    (fun () ->
+      let o = Campaign.Campaign.run ~jobs:2 ~journal_path:full tiny_spec in
+      check_int "two cells" 2 (Array.length o.Campaign.Campaign.cells);
+      (* Simulate a crash after the first cell was flushed: keep the
+         header and the first cell line only. *)
+      let lines = String.split_on_char '\n' (read_file full) in
+      let oc = open_out_bin part in
+      output_string oc (List.nth lines 0);
+      output_char oc '\n';
+      output_string oc (List.nth lines 1);
+      output_char oc '\n';
+      close_out oc;
+      let r =
+        Campaign.Campaign.run ~jobs:2 ~journal_path:part ~resume:true tiny_spec
+      in
+      check_int "one cell recovered" 1 r.Campaign.Campaign.resumed_cells;
+      check_int "only the missing cell recomputed"
+        tiny_spec.Spec.trials_per_cell r.Campaign.Campaign.fresh_trials;
+      check_true "cell 0 came from the journal"
+        r.Campaign.Campaign.cells.(0).Campaign.Campaign.from_journal;
+      check_false "cell 1 was recomputed"
+        r.Campaign.Campaign.cells.(1).Campaign.Campaign.from_journal;
+      check_true "resumed outcome equals the uninterrupted one"
+        (compare (outcome_snapshots r) (outcome_snapshots o) = 0);
+      check_true "completed journal byte-identical to uninterrupted"
+        (read_file part = read_file full);
+      (* Resuming a complete journal computes nothing. *)
+      let done_ =
+        Campaign.Campaign.run ~jobs:2 ~journal_path:full ~resume:true tiny_spec
+      in
+      check_int "nothing left to do" 0 done_.Campaign.Campaign.fresh_trials;
+      check_int "both cells recovered" 2 done_.Campaign.Campaign.resumed_cells)
+
+let test_resume_rejects_other_spec () =
+  let path = temp_journal "fp" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      ignore (Campaign.Campaign.run ~jobs:1 ~journal_path:path tiny_spec);
+      check_raises_invalid "fingerprint mismatch" (fun () ->
+          ignore
+            (Campaign.Campaign.run ~jobs:1 ~journal_path:path ~resume:true
+               { tiny_spec with Spec.trials_per_cell = 8 })))
+
+let test_single_cell_grid_drains () =
+  (* One cell, more workers than shards: the pool must clamp and drain. *)
+  let spec =
+    { tiny_spec with Spec.nus = [ 0.25 ]; trials_per_cell = 3; shard_size = 2 }
+  in
+  let o = Campaign.Campaign.run ~jobs:8 spec in
+  check_int "one cell" 1 (Array.length o.Campaign.Campaign.cells);
+  check_int "fresh trials" 3 o.Campaign.Campaign.fresh_trials;
+  let agg = o.Campaign.Campaign.cells.(0).Campaign.Campaign.aggregate in
+  check_int "all trials aggregated" 3 (Aggregate.trials agg);
+  check_int "rounds pooled" (3 * spec.Spec.rounds) (Aggregate.total_rounds agg);
+  check_true "audited" (Aggregate.audited_trials agg = 3)
+
+let test_state_mode_matches_direct_runs () =
+  (* The campaign in State_process mode pools exactly the counts of the
+     manually-run trials with the same (seed, cell, trial) streams. *)
+  let spec =
+    {
+      tiny_spec with
+      Spec.mode = Spec.State_process;
+      nus = [ 0.2 ];
+      trials_per_cell = 3;
+      rounds = 500;
+    }
+  in
+  let o = Campaign.Campaign.run ~jobs:2 spec in
+  let agg = o.Campaign.Campaign.cells.(0).Campaign.Campaign.aggregate in
+  let cell = (Spec.cells spec).(0) in
+  let expect = ref 0 in
+  for trial = 0 to 2 do
+    let rng = Spec.trial_rng spec cell ~trial in
+    let r =
+      Nakamoto_sim.State_process.run ~rng
+        (Spec.state_config_of_cell cell)
+        ~rounds:spec.Spec.rounds
+    in
+    expect := !expect + r.Nakamoto_sim.State_process.convergence_opportunities
+  done;
+  check_int "pooled C matches per-trial streams" !expect
+    (Aggregate.convergence_opportunities agg)
+
+let test_region_verdicts () =
+  let cell ~p ~n ~delta ~nu = { Spec.index = 0; p; n; delta; nu } in
+  (* Large c, tiny nu: comfortably past the neat bound. *)
+  check_true "safe region"
+    (Campaign.Campaign.region (cell ~p:0.001 ~n:10 ~delta:2 ~nu:0.01) = "SAFE");
+  (* c < 1 with a strong adversary: PSS attack applies. *)
+  check_true "attack region"
+    (Campaign.Campaign.region (cell ~p:0.05 ~n:40 ~delta:4 ~nu:0.45) = "ATTACK")
+
+let suite =
+  [
+    case "spec cell enumeration" test_spec_cells_enumeration;
+    case "spec validation" test_spec_validation;
+    case "spec fingerprint" test_spec_fingerprint;
+    case "shard plan" test_shard_plan;
+    case "worker pool order and draining" test_worker_pool_order_and_draining;
+    case "worker pool exception propagation" test_worker_pool_exception_propagates;
+    case "aggregate closed forms" test_aggregate_closed_form;
+    case "aggregate merge and snapshot" test_aggregate_merge_and_snapshot;
+    case "journal round trip" test_journal_round_trip;
+    case "jobs determinism" test_jobs_determinism;
+    case "resume skips completed cells" test_resume_skips_completed_cells;
+    case "resume rejects a different spec" test_resume_rejects_other_spec;
+    case "single-cell grid drains" test_single_cell_grid_drains;
+    case "state mode matches direct runs" test_state_mode_matches_direct_runs;
+    case "region verdicts" test_region_verdicts;
+  ]

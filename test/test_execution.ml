@@ -137,6 +137,41 @@ let test_delay_override () =
   (* Blocks still all arrive: no orphans, full consistency machinery ran. *)
   check_int "no orphans under maximal delays" 0 slow.orphans_remaining
 
+let test_concurrent_domains_match_sequential () =
+  (* The execution keeps every piece of mutable state per-run (rng, oracle,
+     network, miners, adversary) — nothing module-level.  Two executions
+     racing in two domains must therefore reproduce the sequential results
+     exactly; this is what lets the campaign engine run trials in
+     parallel.  *)
+  let cfg_a = quick_config ~rounds:400 () in
+  let cfg_b =
+    {
+      (quick_config ~rounds:400
+         ~strategy:(Sim.Adversary.Private_chain { reorg_target = 4 })
+         ())
+      with
+      seed = 9L;
+    }
+  in
+  let summary (r : Sim.Execution.result) =
+    ( r.honest_blocks,
+      r.adversary_blocks,
+      r.convergence_opportunities,
+      r.max_reorg_depth,
+      r.messages_sent,
+      Array.map
+        (fun (b : Block.t) -> (b.Block.height, Nakamoto_chain.Hash.to_int64 b.Block.hash))
+        r.final_tips )
+  in
+  let seq_a = summary (Sim.Execution.run cfg_a) in
+  let seq_b = summary (Sim.Execution.run cfg_b) in
+  let da = Domain.spawn (fun () -> summary (Sim.Execution.run cfg_a)) in
+  let db = Domain.spawn (fun () -> summary (Sim.Execution.run cfg_b)) in
+  let par_a = Domain.join da in
+  let par_b = Domain.join db in
+  check_true "domain A reproduces the sequential run" (par_a = seq_a);
+  check_true "domain B reproduces the sequential run" (par_b = seq_b)
+
 let test_invalid_config_rejected_by_run () =
   check_raises_invalid "run validates" (fun () ->
       ignore (Sim.Execution.run { (quick_config ()) with n = 2 }))
@@ -153,5 +188,6 @@ let suite =
     case "snapshot cadence" test_snapshots_cadence;
     case "counters follow the state law" test_counters_against_state_law;
     case "delay override" test_delay_override;
+    case "concurrent domains match sequential" test_concurrent_domains_match_sequential;
     case "run validates config" test_invalid_config_rejected_by_run;
   ]

@@ -106,9 +106,64 @@ let test_shuffle () =
   Rng.shuffle g y;
   check_true "shuffles differ" (x <> y)
 
+let test_of_path () =
+  (* Identical paths give identical streams. *)
+  let a = Rng.of_path ~seed:42L [ 3; 17 ] and b = Rng.of_path ~seed:42L [ 3; 17 ] in
+  for _ = 1 to 64 do
+    check_true "identical paths, identical stream" (Rng.bits64 a = Rng.bits64 b)
+  done;
+  (* Distinct paths give decorrelated streams: no collisions in 64 draws,
+     and roughly half the bits differ on the first draw. *)
+  let decorrelated p q =
+    let a = Rng.of_path ~seed:42L p and b = Rng.of_path ~seed:42L q in
+    let collisions = ref 0 in
+    for _ = 1 to 64 do
+      if Rng.bits64 a = Rng.bits64 b then incr collisions
+    done;
+    check_int "no collisions between distinct paths" 0 !collisions
+  in
+  decorrelated [ 3; 17 ] [ 3; 18 ];
+  decorrelated [ 3; 17 ] [ 4; 17 ];
+  decorrelated [ 3; 17 ] [ 17; 3 ];
+  (* order matters *)
+  decorrelated [ 3 ] [ 3; 0 ];
+  (* prefixes differ from extensions *)
+  decorrelated [] [ 0 ];
+  (* Seed sensitivity at identical paths. *)
+  check_true "seeds separate the same path"
+    (Rng.seed_of_path ~seed:1L [ 5; 5 ] <> Rng.seed_of_path ~seed:2L [ 5; 5 ]);
+  (* of_path is create over seed_of_path. *)
+  let direct = Rng.create ~seed:(Rng.seed_of_path ~seed:9L [ 1; 2; 3 ]) in
+  let pathed = Rng.of_path ~seed:9L [ 1; 2; 3 ] in
+  check_true "of_path = create . seed_of_path"
+    (Rng.bits64 direct = Rng.bits64 pathed);
+  check_raises_invalid "negative index" (fun () ->
+      ignore (Rng.seed_of_path ~seed:0L [ 1; -2 ]))
+
+let test_of_path_statistical_independence () =
+  (* Sibling trial streams must look jointly uniform: correlate the float
+     outputs of adjacent paths. *)
+  let n = 20_000 in
+  let a = Rng.of_path ~seed:7L [ 0; 0 ] and b = Rng.of_path ~seed:7L [ 0; 1 ] in
+  let sum_ab = ref 0. and sum_a = ref 0. and sum_b = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.float a and y = Rng.float b in
+    sum_ab := !sum_ab +. (x *. y);
+    sum_a := !sum_a +. x;
+    sum_b := !sum_b +. y
+  done;
+  let fn = float_of_int n in
+  let cov = (!sum_ab /. fn) -. (!sum_a /. fn *. (!sum_b /. fn)) in
+  (* Var of the sample covariance of independent U[0,1) is ~ (1/12)^2/n. *)
+  check_true
+    (Printf.sprintf "covariance near zero (%.2e)" cov)
+    (Float.abs cov < 5. /. 12. /. sqrt fn)
+
 let suite =
   [
     case "determinism" test_determinism;
+    case "path derivation" test_of_path;
+    case "path stream independence" test_of_path_statistical_independence;
     case "copy independence" test_copy_independent;
     case "split streams differ" test_split_streams_differ;
     case "float range" test_float_range;
