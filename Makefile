@@ -16,7 +16,13 @@ campaign-smoke:
 	cmp _campaign_smoke.jsonl test/golden/campaign_smoke.jsonl
 	rm -f _campaign_smoke.jsonl
 
-check: all test campaign-smoke
+# Tiny EXECSCALE run: asserts the aggregate executor out-runs exact mode
+# at n = 10^4 and that Binomial.sample cost is flat in the trial count at
+# fixed mean.  Emits BENCH_EXECSCALE.json with the measured cells.
+bench-exec-smoke:
+	dune exec bench/main.exe -- --execscale-smoke
+
+check: all test campaign-smoke bench-exec-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -28,4 +34,4 @@ artifacts:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-.PHONY: all test bench examples artifacts campaign-smoke check
+.PHONY: all test bench examples artifacts campaign-smoke bench-exec-smoke check

@@ -806,6 +806,153 @@ let regen_mcscale () =
       cores
 
 (* ------------------------------------------------------------------ *)
+(* EXECSCALE: full-execution throughput at paper-scale n               *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per (n, mining mode): rounds/second of Execution.run under a
+   Fixed-delay policy with c held at 2.5 (so p scales as 1/n and the block
+   rate per round is constant across n).  Exact mode walks every miner
+   every round — O(n) — while Aggregate draws per-round counts and rides
+   the Δ-ring, so its row should stay flat as n grows. *)
+
+let execscale_config ~n ~rounds ~mode =
+  Sim.Config.with_c
+    {
+      Sim.Config.default with
+      n;
+      nu = 0.25;
+      delta = 4;
+      rounds;
+      seed = 17L;
+      snapshot_interval = max 1 rounds;
+      delay_override = Some (Nakamoto_net.Network.Fixed 2);
+      mining_mode = mode;
+    }
+    ~c:2.5
+
+let time_run cfg =
+  let t0 = Unix.gettimeofday () in
+  let r = Sim.Execution.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  (r, dt)
+
+(* Measured cells, also serialized to BENCH_EXECSCALE.json. *)
+let execscale_cells ~sizes =
+  List.concat_map
+    (fun n ->
+      (* Equal-work horizon for the exact rows, floor of 50 rounds so the
+         aggregate timer has something to chew on. *)
+      let rounds = max 50 (200_000 / n) in
+      List.map
+        (fun mode ->
+          let cfg = execscale_config ~n ~rounds ~mode in
+          let r, dt = time_run cfg in
+          let rate =
+            if dt > 0. then float_of_int rounds /. dt else infinity
+          in
+          (n, mode, rounds, dt, rate, r.Sim.Execution.honest_blocks))
+        [ Sim.Config.Exact; Sim.Config.Aggregate ])
+    sizes
+
+let execscale_json cells ~path =
+  let oc = open_out path in
+  let row (n, mode, rounds, dt, rate, blocks) =
+    Printf.sprintf
+      "  {\"n\": %d, \"mode\": \"%s\", \"rounds\": %d, \"seconds\": %.6f, \
+       \"rounds_per_sec\": %.1f, \"honest_blocks\": %d}"
+      n
+      (match mode with Sim.Config.Exact -> "exact" | Sim.Config.Aggregate -> "aggregate")
+      rounds dt rate blocks
+  in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row cells));
+  close_out oc;
+  Printf.printf "(json: %s)\n" path
+
+let regen_execscale () =
+  section "EXECSCALE: executor rounds/sec, Exact vs Aggregate (Fixed delay)";
+  let cells = execscale_cells ~sizes:[ 100; 1_000; 10_000; 100_000 ] in
+  let t =
+    Table.create
+      ~title:"c = 2.5, nu = 0.25, Delta = 4, Fixed-2 delays; p scales as 1/n"
+      ~columns:
+        [ "n"; "mode"; "rounds"; "seconds"; "rounds/s"; "speedup vs exact" ]
+  in
+  let exact_rate = Hashtbl.create 8 in
+  List.iter
+    (fun (n, mode, rounds, dt, rate, _) ->
+      (match mode with
+      | Sim.Config.Exact -> Hashtbl.replace exact_rate n rate
+      | Sim.Config.Aggregate -> ());
+      let speedup =
+        match mode with
+        | Sim.Config.Exact -> Table.Text "1.0"
+        | Sim.Config.Aggregate ->
+          Table.Float (rate /. Hashtbl.find exact_rate n)
+      in
+      Table.add_row t
+        [
+          Table.Int n;
+          Table.Text
+            (match mode with
+            | Sim.Config.Exact -> "exact"
+            | Sim.Config.Aggregate -> "aggregate");
+          Table.Int rounds;
+          Table.Float dt;
+          Table.Float rate;
+          speedup;
+        ])
+    cells;
+  print_table t;
+  execscale_json cells ~path:"BENCH_EXECSCALE.json"
+
+(* Smoke mode (`--execscale-smoke`, wired into `make check`): a tiny
+   EXECSCALE cell plus a sampler-scaling probe, with hard assertions —
+   exits nonzero if the fast path stopped being fast. *)
+let execscale_smoke () =
+  section "EXECSCALE (smoke): aggregate must out-run exact at n = 10^4";
+  let cells = execscale_cells ~sizes:[ 10_000 ] in
+  execscale_json cells ~path:"BENCH_EXECSCALE.json";
+  let rate mode =
+    List.find_map
+      (fun (_, m, _, _, r, _) -> if m = mode then Some r else None)
+      cells
+    |> Option.get
+  in
+  let exact = rate Sim.Config.Exact and agg = rate Sim.Config.Aggregate in
+  Printf.printf "exact: %.1f rounds/s, aggregate: %.1f rounds/s (%.0fx)\n"
+    exact agg (agg /. exact);
+  if not (agg >= exact) then begin
+    print_endline "FAIL: aggregate mode slower than exact at n = 10^4";
+    exit 1
+  end;
+  (* Binomial.sample must not be linear in trials: two BTPE draws at equal
+     mean (10^3) but 10x apart in trials should cost about the same.  A
+     per-trial sampler would show a ~10x ratio; allow 5x for noise. *)
+  let time_sampler ~trials ~p =
+    let d = Prob.Binomial.create ~trials ~p in
+    let g = Prob.Rng.create ~seed:23L in
+    let reps = 200_000 in
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    for _ = 1 to reps do
+      acc := !acc + Prob.Binomial.sample g d
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "sample(trials=%d, p=%g): %.0f ns/draw (mean draw %.1f)\n" trials p
+      (dt /. float_of_int reps *. 1e9)
+      (float_of_int !acc /. float_of_int reps);
+    dt
+  in
+  let small = time_sampler ~trials:10_000 ~p:0.1 in
+  let large = time_sampler ~trials:100_000 ~p:0.01 in
+  if large > 5. *. small then begin
+    print_endline "FAIL: Binomial.sample cost grows with trials at fixed mean";
+    exit 1
+  end;
+  print_endline "execscale smoke OK"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing benches                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,6 +1054,10 @@ let run_bechamel () =
   print_table t
 
 let () =
+  if Array.exists (String.equal "--execscale-smoke") Sys.argv then begin
+    execscale_smoke ();
+    exit 0
+  end;
   regen_fig1 ();
   regen_fig2 ();
   regen_tab1 ();
@@ -927,6 +1078,7 @@ let () =
   regen_cont ();
   regen_abl ();
   regen_mcscale ();
+  regen_execscale ();
   run_bechamel ();
   print_newline ();
   print_endline

@@ -51,6 +51,16 @@ let verify t proof =
   Hash.equal recomputed proof.digest
   && unsigned_less (Hash.to_int64 recomputed) t.threshold
 
+let successes t ~parent ~miner ~round ~queries =
+  if round < 0 then invalid_arg "Pow.successes: negative round";
+  if miner < -1 then invalid_arg "Pow.successes: bad miner id";
+  let count = ref 0 in
+  for query_index = 0 to queries - 1 do
+    let digest = digest_of t ~parent ~miner ~round ~query_index in
+    if unsigned_less (Hash.to_int64 digest) t.threshold then incr count
+  done;
+  !count
+
 let success_count t ~parent ~miner ~round ~queries =
   let rec go i acc =
     if i >= queries then List.rev acc

@@ -52,6 +52,14 @@ val verify : t -> proof -> bool
 (** [verify t proof] is [H.ver]: recompute the digest and check it beats
     the target.  Free (the model charges only for [H]). *)
 
+val successes : t -> parent:Hash.t -> miner:int -> round:int ->
+  queries:int -> int
+(** [successes t ~parent ~miner ~round ~queries] is
+    [List.length (success_count t ...)] without building the proofs: the
+    allocation-free counting loop for callers (the executor's adversary
+    phase) that only need how many of the [queries] sequential H-queries
+    won.  @raise Invalid_argument like {!query}. *)
+
 val success_count : t -> parent:Hash.t -> miner:int -> round:int ->
   queries:int -> proof list
 (** [success_count t ~parent ~miner ~round ~queries] runs [queries]

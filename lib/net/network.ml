@@ -11,12 +11,24 @@ type delay_policy =
   | Maximal
   | Per_recipient of (recipient:int -> message -> int)
 
+(* The Δ-ring broadcast lane: one shared bucket per due round, recycled
+   modulo delta + 1.  A broadcast under a recipient-independent policy is
+   one list-cons here instead of players - 1 heap pushes; the executor
+   drains each round's bucket once and routes it to every live view.
+   Buckets hold messages in reverse send order (cons), reversed on drain. *)
+type ring = {
+  buckets : message list array;  (* indexed by due round mod (delta + 1) *)
+  mutable drained_through : int;  (* every round <= this has been drained *)
+  mutable ring_pending : int;  (* undelivered deliveries, recipient-weighted *)
+}
+
 type t = {
   delta : int;
   players : int;
   policy : delay_policy;
   rng : Nakamoto_prob.Rng.t;
   inboxes : message Event_queue.t array;
+  mutable ring : ring option;
   mutable sent : int;
 }
 
@@ -29,10 +41,29 @@ let create ~delta ~players ~policy ~rng =
     policy;
     rng;
     inboxes = Array.init players (fun _ -> Event_queue.create ());
+    ring = None;
     sent = 0;
   }
 
 let delta t = t.delta
+
+let shared_policy = function
+  | Immediate | Fixed _ | Maximal -> true
+  | Uniform_random | Per_recipient _ -> false
+
+let enable_ring t =
+  if t.ring <> None then invalid_arg "Network.enable_ring: already enabled";
+  if t.sent > 0 then
+    invalid_arg "Network.enable_ring: messages already in flight";
+  t.ring <-
+    Some
+      {
+        buckets = Array.make (t.delta + 1) [];
+        drained_through = 0;
+        ring_pending = 0;
+      }
+
+let ring_enabled t = t.ring <> None
 
 let clamp_delay t d = max 1 (min t.delta d)
 
@@ -51,11 +82,45 @@ let enqueue t ~recipient ~delay msg =
   Event_queue.push t.inboxes.(recipient) ~time:(msg.sent_round + delay) msg;
   t.sent <- t.sent + 1
 
+(* A shared enqueue stands for one delivery per player, minus the sender's
+   own copy when the sender is a player (it skips its own message at drain
+   time).  A non-player sender (the adversary, id -1) reaches everyone. *)
+let ring_fanout t msg =
+  if msg.sender >= 0 && msg.sender < t.players then t.players - 1
+  else t.players
+
+(* [sent] advances by the same amount as the queue lane would, so the
+   metric stays comparable across lanes. *)
+let ring_push t ring ~delay msg =
+  let due = msg.sent_round + delay in
+  if due <= ring.drained_through then
+    invalid_arg "Network: ring broadcast due in an already-drained round";
+  if due > ring.drained_through + t.delta + 1 then
+    invalid_arg "Network: ring broadcast due beyond the ring horizon";
+  let slot = due mod (t.delta + 1) in
+  ring.buckets.(slot) <- msg :: ring.buckets.(slot);
+  let fanout = ring_fanout t msg in
+  ring.ring_pending <- ring.ring_pending + fanout;
+  t.sent <- t.sent + fanout
+
 let broadcast t msg =
-  for recipient = 0 to t.players - 1 do
-    if recipient <> msg.sender then
-      enqueue t ~recipient ~delay:(chosen_delay t ~recipient msg) msg
-  done
+  match t.ring with
+  | Some ring when shared_policy t.policy ->
+    ring_push t ring ~delay:(chosen_delay t ~recipient:(-1) msg) msg
+  | Some _ | None ->
+    for recipient = 0 to t.players - 1 do
+      if recipient <> msg.sender then
+        enqueue t ~recipient ~delay:(chosen_delay t ~recipient msg) msg
+    done
+
+let broadcast_all t ~delay msg =
+  let delay = clamp_delay t delay in
+  match t.ring with
+  | Some ring -> ring_push t ring ~delay msg
+  | None ->
+    for recipient = 0 to t.players - 1 do
+      if recipient <> msg.sender then enqueue t ~recipient ~delay msg
+    done
 
 let send_direct t ~recipient ~delay msg =
   if recipient < 0 || recipient >= t.players then
@@ -65,7 +130,35 @@ let send_direct t ~recipient ~delay msg =
 let deliver t ~recipient ~round =
   Event_queue.pop_due t.inboxes.(recipient) ~now:round
 
+let deliver_shared t ~round =
+  match t.ring with
+  | None -> []
+  | Some ring ->
+    if round <= ring.drained_through then []
+    else begin
+      (* Drain every round up to [round] in order; buckets only ever hold
+         rounds within delta + 1 of the drain frontier, so a skipped-ahead
+         caller still sees each message exactly once and in due order. *)
+      let acc = ref [] in
+      for r = ring.drained_through + 1 to round do
+        let slot = r mod (t.delta + 1) in
+        let due = List.rev ring.buckets.(slot) in
+        ring.buckets.(slot) <- [];
+        ring.ring_pending <-
+          List.fold_left
+            (fun p msg -> p - ring_fanout t msg)
+            ring.ring_pending due;
+        acc := List.rev_append due !acc
+      done;
+      ring.drained_through <- round;
+      List.rev !acc
+    end
+
 let pending t =
-  Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.inboxes
+  let ring_pending =
+    match t.ring with None -> 0 | Some ring -> ring.ring_pending
+  in
+  ring_pending
+  + Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.inboxes
 
 let messages_sent t = t.sent

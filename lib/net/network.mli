@@ -32,10 +32,33 @@ val create : delta:int -> players:int -> policy:delay_policy ->
 
 val delta : t -> int
 
+val enable_ring : t -> unit
+(** [enable_ring t] switches on the Δ-ring broadcast lane: a shared ring
+    of [delta + 1] per-round buckets.  Afterwards, a {!broadcast} under a
+    recipient-independent policy ([Immediate], [Fixed], [Maximal]) and any
+    {!broadcast_all} cost O(1) — one shared enqueue standing for
+    [players - 1] deliveries — and are read back with {!deliver_shared}.
+    [Uniform_random] and [Per_recipient] broadcasts and {!send_direct}
+    keep using the per-recipient event queues regardless.  The executor's
+    aggregate mode turns this on; the exact mode never does, so its
+    per-recipient delivery order is untouched.
+    @raise Invalid_argument if already enabled or after a send. *)
+
+val ring_enabled : t -> bool
+
 val broadcast : t -> message -> unit
-(** [broadcast t msg] enqueues [msg] to every player except the sender,
-    with per-recipient delays chosen by the policy (clamped to
-    [[1, delta]]). *)
+(** [broadcast t msg] sends [msg] to every player except the sender, with
+    per-recipient delays chosen by the policy (clamped to [[1, delta]]).
+    With the ring enabled and a recipient-independent policy this is one
+    ring insertion; otherwise [players - 1] queue enqueues. *)
+
+val broadcast_all : t -> delay:int -> message -> unit
+(** [broadcast_all t ~delay msg] sends to every player except the sender
+    at one explicit delay (clamped to [[1, delta]]) — the adversary's
+    release-to-everyone, which is a broadcast in all but name.  Uses the
+    ring when enabled (even under a queue-lane policy: the ring is keyed
+    by absolute due round, so mixed delays coexist), per-recipient queues
+    otherwise. *)
 
 val send_direct : t -> recipient:int -> delay:int -> message -> unit
 (** [send_direct t ~recipient ~delay msg] enqueues with an explicit delay
@@ -44,11 +67,24 @@ val send_direct : t -> recipient:int -> delay:int -> message -> unit
     @raise Invalid_argument if [recipient] is out of range. *)
 
 val deliver : t -> recipient:int -> round:int -> message list
-(** [deliver t ~recipient ~round] removes and returns the messages due at
-    or before [round] for [recipient], in due order. *)
+(** [deliver t ~recipient ~round] removes and returns the queue-lane
+    messages due at or before [round] for [recipient], in due order.
+    Ring-lane messages are not included — aggregate-mode consumers read
+    those once via {!deliver_shared} and fan them out themselves. *)
+
+val deliver_shared : t -> round:int -> message list
+(** [deliver_shared t ~round] drains the ring buckets for every round up
+    to and including [round] (in due order, send-stable within a round)
+    and returns their messages.  Each message is returned exactly once;
+    the caller routes it to every player except its sender.  Returns [[]]
+    when the ring is disabled or [round] was already drained. *)
 
 val pending : t -> int
-(** [pending t] counts undelivered messages across all recipients. *)
+(** [pending t] counts undelivered per-recipient deliveries: queued
+    messages plus the fan-out of each undrained ring message
+    ([players - 1] for a player sender, [players] for the adversary). *)
 
 val messages_sent : t -> int
-(** [messages_sent t] is the cumulative per-recipient enqueue count. *)
+(** [messages_sent t] is the cumulative per-recipient delivery count —
+    a ring broadcast counts its full fan-out, same as the queue lane
+    would have enqueued. *)

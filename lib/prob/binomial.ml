@@ -22,29 +22,56 @@ let log_pmf { trials; p } k =
 
 let pmf d k = exp (log_pmf d k)
 
+(* pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p): one log-gamma evaluation at
+   an anchor, then O(1) per step.  The anchor is the mode (or the interval
+   endpoint nearest it) so the walk starts at the largest term of the sum
+   and every subsequent term shrinks — once a term underflows to 0 the
+   rest of that direction's tail is 0 and the walk stops early. *)
+let mode { trials; p } = min trials (int_of_float (float_of_int (trials + 1) *. p))
+
+(* Sum pmf over [lo, hi] (assumed within [0, trials], lo <= hi). *)
+let sum_pmf d ~lo ~hi =
+  let ratio = d.p /. (1. -. d.p) in
+  let up k pk = pk *. ratio *. float_of_int (d.trials - k) /. float_of_int (k + 1) in
+  let down k pk = pk /. ratio *. float_of_int k /. float_of_int (d.trials - k + 1) in
+  let anchor = max lo (min hi (mode d)) in
+  let acc = ref (pmf d anchor) in
+  (* descend anchor-1 .. lo *)
+  let pk = ref !acc in
+  (try
+     for k = anchor downto lo + 1 do
+       pk := down k !pk;
+       if !pk = 0. then raise Exit;
+       acc := !acc +. !pk
+     done
+   with Exit -> ());
+  (* ascend anchor+1 .. hi *)
+  pk := pmf d anchor;
+  (try
+     for k = anchor to hi - 1 do
+       pk := up k !pk;
+       if !pk = 0. then raise Exit;
+       acc := !acc +. !pk
+     done
+   with Exit -> ());
+  !acc
+
 let cdf d k =
   if k < 0 then 0.
   else if k >= d.trials then 1.
-  else begin
-    let acc = ref 0. in
-    for i = 0 to k do
-      acc := !acc +. pmf d i
-    done;
-    Special.clamp ~lo:0. ~hi:1. !acc
-  end
+  else if d.p = 0. then 1.
+  else if d.p = 1. then 0. (* k < trials *)
+  else Special.clamp ~lo:0. ~hi:1. (sum_pmf d ~lo:0 ~hi:k)
 
 let survival d k =
   if k < 0 then 1.
   else if k >= d.trials then 0.
-  else begin
+  else if d.p = 0. then 0.
+  else if d.p = 1. then 1.
+  else
     (* Sum the (typically tiny) upper tail directly rather than via
        1 - cdf, preserving relative accuracy. *)
-    let acc = ref 0. in
-    for i = d.trials downto k + 1 do
-      acc := !acc +. pmf d i
-    done;
-    Special.clamp ~lo:0. ~hi:1. !acc
-  end
+    Special.clamp ~lo:0. ~hi:1. (sum_pmf d ~lo:(k + 1) ~hi:d.trials)
 
 let log_prob_zero { trials; p } =
   if p = 1. && trials > 0 then neg_infinity
@@ -62,7 +89,7 @@ let log_prob_one { trials; p } =
 
 let prob_one d = exp (log_prob_one d)
 
-(* Sequential inversion: walk the pmf from k = 0 using the recurrence
+(* Sequential inversion (BINV): walk the pmf from k = 0 using the recurrence
    pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p).  Expected work O(1 + np). *)
 let sample_by_inversion rng d =
   let u = Rng.float rng in
@@ -75,15 +102,117 @@ let sample_by_inversion rng d =
   in
   walk 0 (prob_zero d) 0.
 
-let sample_by_trials rng d =
-  let count = ref 0 in
-  for _ = 1 to d.trials do
-    if Rng.bernoulli rng ~p:d.p then incr count
-  done;
-  !count
+(* BTPE (Kachitvichyanukul & Schmeiser 1988): exact accept/reject with a
+   triangle/parallelogram/exponential-tail envelope around the scaled pmf
+   and a squeeze that avoids most explicit pmf evaluations.  O(1) expected
+   draws per sample, independent of trials.  Requires p <= 1/2 (callers
+   reflect) and trials * p large enough that the mode m >= 1 (we route
+   here only when the mean exceeds the inversion cutoff). *)
+let sample_btpe rng d =
+  let n = float_of_int d.trials in
+  let r = d.p in
+  let q = 1. -. r in
+  let fm = (n *. r) +. r in
+  let m = int_of_float fm in
+  let nrq = n *. r *. q in
+  let p1 = Float.of_int (int_of_float ((2.195 *. sqrt nrq) -. (4.6 *. q))) +. 0.5 in
+  let xm = float_of_int m +. 0.5 in
+  let xl = xm -. p1 in
+  let xr = xm +. p1 in
+  let c = 0.134 +. (20.5 /. (15.3 +. float_of_int m)) in
+  let a = (fm -. xl) /. (fm -. (xl *. r)) in
+  let laml = a *. (1. +. (a /. 2.)) in
+  let a = (xr -. fm) /. (xr *. q) in
+  let lamr = a *. (1. +. (a /. 2.)) in
+  let p2 = p1 *. (1. +. (2. *. c)) in
+  let p3 = p2 +. (c /. laml) in
+  let p4 = p3 +. (c /. lamr) in
+  (* Stirling-series correction used by the final acceptance test. *)
+  let stirling x =
+    let x2 = x *. x in
+    (13680. -. ((462. -. ((132. -. ((99. -. (140. /. x2)) /. x2)) /. x2)) /. x2))
+    /. x /. 166320.
+  in
+  let rec draw () =
+    let u = Rng.float rng *. p4 in
+    let v = Rng.float rng in
+    if u <= p1 then
+      (* Triangular central region: accept immediately. *)
+      int_of_float (xm -. (p1 *. v) +. u)
+    else begin
+      let region =
+        if u <= p2 then begin
+          (* Parallelogram. *)
+          let x = xl +. ((u -. p1) /. c) in
+          let v = (v *. c) +. 1. -. (Float.abs (x -. xm) /. p1) in
+          if v > 1. || v <= 0. then None else Some (int_of_float x, v)
+        end
+        else if u <= p3 then begin
+          (* Left exponential tail ([Float.floor]: the argument can be
+             negative, where truncation would round the wrong way). *)
+          let y = int_of_float (Float.floor (xl +. (log v /. laml))) in
+          if y < 0 then None else Some (y, v *. (u -. p2) *. laml)
+        end
+        else begin
+          (* Right exponential tail. *)
+          let y = int_of_float (xr -. (log v /. lamr)) in
+          if y > d.trials then None else Some (y, v *. (u -. p3) *. lamr)
+        end
+      in
+      match region with
+      | None -> draw ()
+      | Some (y, v) ->
+        let k = abs (y - m) in
+        if k <= 20 || float_of_int k >= (nrq /. 2.) -. 1. then begin
+          (* Explicit ratio-walk evaluation of pmf(y)/pmf(m). *)
+          let s = r /. q in
+          let aa = s *. (n +. 1.) in
+          let f = ref 1. in
+          if m < y then
+            for i = m + 1 to y do
+              f := !f *. ((aa /. float_of_int i) -. s)
+            done
+          else if m > y then
+            for i = y + 1 to m do
+              f := !f /. ((aa /. float_of_int i) -. s)
+            done;
+          if v > !f then draw () else y
+        end
+        else begin
+          (* Squeeze: log v against quadratic bounds on log(pmf(y)/pmf(m)). *)
+          let kf = float_of_int k in
+          let rho =
+            kf /. nrq *. ((((kf *. ((kf /. 3.) +. 0.625)) +. (1. /. 6.)) /. nrq) +. 0.5)
+          in
+          let t = -.(kf *. kf) /. (2. *. nrq) in
+          let lv = log v in
+          if lv < t -. rho then y
+          else if lv > t +. rho then draw ()
+          else begin
+            (* Full acceptance test via Stirling on log(pmf(y)/pmf(m)). *)
+            let x1 = float_of_int (y + 1) in
+            let f1 = float_of_int (m + 1) in
+            let z = n +. 1. -. float_of_int m in
+            let w = n -. float_of_int y +. 1. in
+            let bound =
+              (xm *. log (f1 /. x1))
+              +. ((n -. float_of_int m +. 0.5) *. log (z /. w))
+              +. (float_of_int (y - m) *. log (w *. r /. (x1 *. q)))
+              +. stirling f1 +. stirling z +. stirling x1 +. stirling w
+            in
+            if lv > bound then draw () else y
+          end
+        end
+    end
+  in
+  draw ()
 
-let sample rng d =
+let rec sample rng d =
   if d.trials = 0 || d.p = 0. then 0
   else if d.p = 1. then d.trials
+  else if d.p > 0.5 then
+    (* Reflect so the walk/envelope works on the small-probability side
+       (and inversion cannot underflow its starting mass). *)
+    d.trials - sample rng { trials = d.trials; p = 1. -. d.p }
   else if mean d <= 64. || d.trials <= 256 then sample_by_inversion rng d
-  else sample_by_trials rng d
+  else sample_btpe rng d

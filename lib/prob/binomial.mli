@@ -26,10 +26,13 @@ val pmf : t -> int -> float
 (** [pmf d k] is [P(X = k)]. *)
 
 val cdf : t -> int -> float
-(** [cdf d k] is [P(X <= k)] by direct summation (clamped to [[0, 1]]). *)
+(** [cdf d k] is [P(X <= k)] by summation (clamped to [[0, 1]]): one
+    [log_pmf] evaluation at the mode, then the pmf ratio recurrence at
+    O(1) per term, stopping early once a tail underflows. *)
 
 val survival : t -> int -> float
-(** [survival d k] is [P(X > k)], summed from the tail for accuracy. *)
+(** [survival d k] is [P(X > k)], summed over the upper tail the same way
+    (never via [1 - cdf], preserving relative accuracy when tiny). *)
 
 val log_prob_zero : t -> float
 (** [log_prob_zero d] is [log P(X = 0) = trials * log1p (-p)] — the paper's
@@ -50,7 +53,17 @@ val prob_one : t -> float
 (** [prob_one d] is [P(X = 1)] — the paper's [alpha1]. *)
 
 val sample : Rng.t -> t -> int
-(** [sample rng d] draws from the distribution.  Uses sequential inversion
-    from [k = 0] (expected [O(1 + mean)] work — the simulator's [p] is
-    tiny, so this is effectively constant time), falling back to explicit
-    Bernoulli summation when inversion would be slow. *)
+(** [sample rng d] draws from the distribution in O(1) expected time for
+    every parameter regime — it never walks the [trials] Bernoullis:
+
+    - small mean (the simulator's regime, [mean <= 64] or
+      [trials <= 256]): sequential inversion from [k = 0] (BINV), expected
+      [O(1 + mean)] work, bit-compatible with every earlier release;
+    - large mean: the exact BTPE accept/reject envelope of
+      Kachitvichyanukul–Schmeiser (1988), O(1) expected draws independent
+      of [trials];
+    - [p > 1/2]: sampled as [trials - sample (trials, 1 - p)], so both
+      paths always walk the small-probability side (this also fixes the
+      old underflow of inversion's starting mass at [p] near 1).
+
+    Every path is exact (no normal approximation). *)

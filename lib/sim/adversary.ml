@@ -1,7 +1,8 @@
 module Block = Nakamoto_chain.Block
 module Block_tree = Nakamoto_chain.Block_tree
 
-type release = { recipients : int list; delay : int; blocks : Block.t list }
+type audience = All_honest | Only of int list
+type release = { audience : audience; delay : int; blocks : Block.t list }
 
 type strategy =
   | Idle
@@ -73,8 +74,6 @@ let observe t blocks =
       | Idle | Private_chain _ | Selfish_mining -> ())
     blocks
 
-let all_honest t = List.init t.honest_count Fun.id
-
 let mine_on t parent ~round =
   t.nonce <- t.nonce + 1;
   let b =
@@ -116,7 +115,7 @@ let act_private t ~round ~successes ~reorg_target =
     t.withheld <- [];
     t.fork_base <- t.private_tip;
     t.reorgs <- t.reorgs + 1;
-    [ { recipients = all_honest t; delay = 1; blocks } ]
+    [ { audience = All_honest; delay = 1; blocks } ]
   end
   else []
 
@@ -134,8 +133,8 @@ let act_balance t ~round ~successes ~group_boundary =
     if target_a then t.branch_a <- b else t.branch_b <- b;
     let near, far = if target_a then (group_a, group_b) else (group_b, group_a) in
     releases :=
-      { recipients = far; delay = max_int; blocks = [ b ] }
-      :: { recipients = near; delay = 1; blocks = [ b ] }
+      { audience = Only far; delay = max_int; blocks = [ b ] }
+      :: { audience = Only near; delay = 1; blocks = [ b ] }
       :: !releases
   done;
   List.rev !releases
@@ -161,7 +160,7 @@ let act_selfish t ~round ~successes =
       t.withheld <- [];
       t.fork_base <- t.private_tip;
       t.reorgs <- t.reorgs + 1;
-      [ { recipients = all_honest t; delay = 1; blocks } ]
+      [ { audience = All_honest; delay = 1; blocks } ]
   in
   (* React to honest progress since the last round. *)
   let public_best = Block_tree.best_tip t.public in

@@ -6,8 +6,15 @@
     what to mine on and what to release to whom, with per-recipient delays
     up to [Delta] (enforced by {!Nakamoto_net.Network}). *)
 
+type audience =
+  | All_honest
+      (** every honest miner — a broadcast in all but name, which the
+          aggregate executor routes through the O(1) Δ-ring lane instead
+          of one enqueue per recipient *)
+  | Only of int list  (** the listed honest miner indices *)
+
 type release = {
-  recipients : int list;  (** honest miner indices *)
+  audience : audience;
   delay : int;  (** requested delay; the network clamps to [1, Delta] *)
   blocks : Nakamoto_chain.Block.t list;
 }

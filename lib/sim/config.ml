@@ -1,3 +1,5 @@
+type mining_mode = Exact | Aggregate
+
 type t = {
   n : int;
   nu : float;
@@ -10,6 +12,7 @@ type t = {
   truncate : int;
   delay_override : Nakamoto_net.Network.delay_policy option;
   tie_break : Nakamoto_chain.Block_tree.tie_break;
+  mining_mode : mining_mode;
 }
 
 let adversary_count t = int_of_float (t.nu *. float_of_int t.n)
@@ -63,6 +66,7 @@ let default =
       truncate = 8;
       delay_override = None;
       tie_break = Nakamoto_chain.Block_tree.Prefer_honest;
+      mining_mode = Exact;
     }
   in
   with_c base ~c:2.5

@@ -5,6 +5,22 @@
     worst case (the adversary always at its cap, Section III) is the only
     case simulated. *)
 
+type mining_mode =
+  | Exact
+      (** one H-query per honest miner per round and [nu n] sequential
+          adversary queries, every message enqueued per recipient —
+          bit-for-bit the historical executor, and the default *)
+  | Aggregate
+      (** the paper-scale fast path: per-round block counts are drawn
+          from the same binomial laws the queries realize (honest
+          winners chosen by partial Fisher–Yates, so the round outcome
+          is distribution-identical), broadcasts ride the shared Δ-ring
+          lane, and only miners whose view ever diverges from the crowd
+          (winners and direct-send recipients) are materialized.  Round
+          cost is O(blocks mined + messages due) instead of O(n).
+          Requires a recipient-independent delay policy ([Immediate],
+          [Fixed] or [Maximal]) *)
+
 type t = {
   n : int;  (** total miners; the paper requires [n >= 4] *)
   nu : float;  (** adversarial fraction; the paper requires [0 <= nu < 1/2] *)
@@ -24,6 +40,8 @@ type t = {
           [Prefer_honest] realizes the Eyal-Sirer gamma = 0 regime,
           [First_seen] gives a withholding attacker the races its releases
           reach first (gamma > 0) *)
+  mining_mode : mining_mode;
+      (** executor fast-path selection; [Exact] unless asked otherwise *)
 }
 
 val validate : t -> unit
@@ -53,4 +71,4 @@ val state_process_config : t -> State_process.config
 
 val default : t
 (** A small, fast baseline: [n = 40], [nu = 0.25], [delta = 4],
-    [c = 2.5], 4000 rounds, idle adversary, seed 42. *)
+    [c = 2.5], 4000 rounds, idle adversary, seed 42, [Exact] mining. *)

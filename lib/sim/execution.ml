@@ -2,6 +2,7 @@ module Block = Nakamoto_chain.Block
 module Block_tree = Nakamoto_chain.Block_tree
 module Network = Nakamoto_net.Network
 module Rng = Nakamoto_prob.Rng
+module Binomial = Nakamoto_prob.Binomial
 module Pow = Nakamoto_chain.Pow
 
 let log_src = Logs.Src.create "nakamoto.sim" ~doc:"Delta-delay protocol execution"
@@ -35,8 +36,13 @@ type round_report = {
   reorg_depth : int;
 }
 
-let run ?on_round config =
-  Config.validate config;
+(* ------------------------------------------------------------------ *)
+(* Exact mode: one H-query per honest miner per round, nu n sequential
+   adversary queries, every message enqueued per recipient.  This path is
+   bit-for-bit the historical executor.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_exact ?on_round config =
   let honest_n = Config.honest_count config in
   let adv_n = Config.adversary_count config in
   let rng = Rng.create ~seed:config.seed in
@@ -125,10 +131,9 @@ let run ?on_round config =
     (* Phase 3: the adversary's q = nu n sequential H-queries on its
        strategy-chosen tip, then releases. *)
     let successes =
-      List.length
-        (Pow.success_count oracle
-           ~parent:(Adversary.private_tip adversary).Block.hash ~miner:(-1)
-           ~round ~queries:adv_n)
+      Pow.successes oracle
+        ~parent:(Adversary.private_tip adversary).Block.hash ~miner:(-1)
+        ~round ~queries:adv_n
     in
     adversary_blocks := !adversary_blocks + successes;
     let releases = Adversary.act adversary ~round ~successes in
@@ -137,12 +142,17 @@ let run ?on_round config =
           m "round %d: adversary issued %d release(s) (%d successes this round)"
             round (List.length releases) successes);
     List.iter
-      (fun { Adversary.recipients; delay; blocks } ->
-        List.iter
-          (fun recipient ->
-            Network.send_direct network ~recipient ~delay
-              { Network.sender = -1; sent_round = round; blocks })
-          recipients)
+      (fun { Adversary.audience; delay; blocks } ->
+        let send recipient =
+          Network.send_direct network ~recipient ~delay
+            { Network.sender = -1; sent_round = round; blocks }
+        in
+        match audience with
+        | Adversary.All_honest ->
+          for recipient = 0 to honest_n - 1 do
+            send recipient
+          done
+        | Adversary.Only recipients -> List.iter send recipients)
       releases;
     (match on_round with
     | None -> ()
@@ -187,3 +197,228 @@ let run ?on_round config =
     orphans_remaining =
       Array.fold_left (fun acc m -> acc + Miner.orphan_count m) 0 miners;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate mode: the paper-scale fast path.
+
+   Per-round cost is O(blocks mined + messages due) instead of O(n):
+
+   - The number of honest winners is drawn from binom(mu n, p) (the exact
+     law realized by mu n independent H-queries) and *which* miners won is
+     a partial Fisher-Yates draw over the honest ids — round outcomes are
+     distribution-identical to exact mode, though not bit-identical.
+   - The adversary's nu n sequential queries collapse to one
+     binom(nu n, p) draw (their count is all Adversary.act consumes).
+   - Broadcasts ride the network's shared Δ-ring lane (O(1) per
+     broadcast); every miner whose view never diverges from that shared
+     stream is represented by one "crowd" view.  A miner is materialized
+     (cloned from the crowd) the first time it wins a block or is targeted
+     by a direct send, and from then on consumes the ring plus its own
+     event queue every round.
+
+   Untouched miners are exact replicas of the crowd by construction (they
+   received exactly the shared stream and mined nothing), so snapshots and
+   final tips fill their slots with the crowd tip.  [orphans_remaining]
+   counts the crowd view once, not once per untouched miner. *)
+(* ------------------------------------------------------------------ *)
+
+let run_aggregate ?on_round config =
+  let honest_n = Config.honest_count config in
+  let adv_n = Config.adversary_count config in
+  let rng = Rng.create ~seed:config.seed in
+  (* Keep the stream layout of exact mode (oracle seed, then the network
+     split) so the two modes draw from decorrelated streams per seed. *)
+  let _oracle_seed = Rng.bits64 rng in
+  let net_rng = Rng.split rng in
+  let adversary = Adversary.create ~strategy:config.strategy ~honest_count:honest_n in
+  let policy =
+    match config.delay_override with
+    | Some policy -> policy
+    | None ->
+      Adversary.delay_policy_for config.strategy ~delta:config.delta
+        ~honest_count:honest_n
+  in
+  (match policy with
+  | Network.Immediate | Network.Fixed _ | Network.Maximal -> ()
+  | Network.Uniform_random | Network.Per_recipient _ ->
+    invalid_arg
+      "Execution.run: Aggregate mining requires a recipient-independent \
+       delay policy (Immediate, Fixed or Maximal)");
+  let network =
+    Network.create ~delta:config.delta ~players:honest_n ~policy ~rng:net_rng
+  in
+  Network.enable_ring network;
+  let honest_dist = Binomial.create ~trials:honest_n ~p:config.p in
+  let adv_dist = Binomial.create ~trials:adv_n ~p:config.p in
+  (* The crowd: the one view shared by every miner never touched
+     individually.  Its id is never a message sender, so it consumes the
+     whole shared stream. *)
+  let crowd = Miner.create ~tie_break:config.tie_break ~id:(-1) () in
+  let materialized : (int, Miner.t) Hashtbl.t = Hashtbl.create 64 in
+  (* Winner-selection pool: a persistent permutation of the honest ids.
+     Each round's partial Fisher-Yates prefix is uniform over k-subsets
+     regardless of the permutation it starts from. *)
+  let pool = Array.init honest_n Fun.id in
+  let pattern = Pattern.create ~delta:config.delta in
+  let god = Adversary.view adversary in
+  let snapshots = ref [] in
+  let honest_blocks = ref 0 in
+  let adversary_blocks = ref 0 in
+  let h_rounds = ref 0 in
+  let h1_rounds = ref 0 in
+  let max_reorg = ref 0 in
+  let receive_tracked miner blocks ~round ~track_round_reorg =
+    if blocks <> [] then begin
+      let old_tip = Miner.best_tip miner in
+      Miner.receive miner blocks;
+      let new_tip = Miner.best_tip miner in
+      if not (Block.equal old_tip new_tip) then begin
+        let meet = Block_tree.common_prefix_height god old_tip new_tip in
+        let rolled_back = old_tip.Block.height - meet in
+        (match track_round_reorg with
+        | Some cell -> if rolled_back > !cell then cell := rolled_back
+        | None -> ());
+        if rolled_back > 2 then
+          Log.debug (fun m ->
+              m "round %d: miner %d rolled back %d blocks (%d -> %d)" round
+                (Miner.id miner) rolled_back old_tip.Block.height
+                new_tip.Block.height);
+        if rolled_back > !max_reorg then max_reorg := rolled_back
+      end
+    end
+  in
+  let deliver_round round ~track_round_reorg =
+    let shared = Network.deliver_shared network ~round in
+    let shared_blocks =
+      List.concat_map (fun (m : Network.message) -> m.blocks) shared
+    in
+    receive_tracked crowd shared_blocks ~round ~track_round_reorg;
+    Hashtbl.iter
+      (fun id miner ->
+        let own_filtered =
+          if shared = [] then []
+          else
+            List.concat_map
+              (fun (m : Network.message) ->
+                if m.sender = id then [] else m.blocks)
+              shared
+        in
+        let direct = Network.deliver network ~recipient:id ~round in
+        let blocks =
+          own_filtered
+          @ List.concat_map (fun (m : Network.message) -> m.blocks) direct
+        in
+        receive_tracked miner blocks ~round ~track_round_reorg)
+      materialized
+  in
+  let materialize id =
+    match Hashtbl.find_opt materialized id with
+    | Some miner -> miner
+    | None ->
+      let miner = Miner.clone crowd ~id in
+      Hashtbl.add materialized id miner;
+      miner
+  in
+  let tip_of id =
+    match Hashtbl.find_opt materialized id with
+    | Some miner -> Miner.best_tip miner
+    | None -> Miner.best_tip crowd
+  in
+  let take_snapshot round =
+    snapshots := { round; tips = Array.init honest_n tip_of } :: !snapshots
+  in
+  for round = 1 to config.rounds do
+    let round_reorg = ref 0 in
+    (* Phase 1: delivery — the shared ring stream to the crowd and every
+       materialized miner, plus per-miner direct queues. *)
+    deliver_round round ~track_round_reorg:(Some round_reorg);
+    (* Phase 2: honest mining — one binomial draw for how many of the mu n
+       parallel H-queries won, a partial Fisher-Yates draw for which. *)
+    let h = Binomial.sample rng honest_dist in
+    let mined_this_round = ref [] in
+    for i = 0 to h - 1 do
+      let j = i + Rng.int rng ~bound:(honest_n - i) in
+      let winner = pool.(j) in
+      pool.(j) <- pool.(i);
+      pool.(i) <- winner;
+      let miner = materialize winner in
+      let block = Miner.extend_tip miner ~round ~nonce:winner in
+      mined_this_round := block :: !mined_this_round;
+      Network.broadcast network
+        { Network.sender = winner; sent_round = round; blocks = [ block ] }
+    done;
+    honest_blocks := !honest_blocks + h;
+    if h > 0 then incr h_rounds;
+    if h = 1 then incr h1_rounds;
+    Pattern.observe pattern (Round_state.of_block_count h);
+    Adversary.observe adversary !mined_this_round;
+    (* Phase 3: the adversary's nu n sequential queries, as one binomial
+       draw (only the count reaches the strategy), then releases. *)
+    let successes = Binomial.sample rng adv_dist in
+    adversary_blocks := !adversary_blocks + successes;
+    let releases = Adversary.act adversary ~round ~successes in
+    if releases <> [] then
+      Log.debug (fun m ->
+          m "round %d: adversary issued %d release(s) (%d successes this round)"
+            round (List.length releases) successes);
+    List.iter
+      (fun { Adversary.audience; delay; blocks } ->
+        let msg = { Network.sender = -1; sent_round = round; blocks } in
+        match audience with
+        | Adversary.All_honest -> Network.broadcast_all network ~delay msg
+        | Adversary.Only recipients ->
+          List.iter
+            (fun recipient ->
+              ignore (materialize recipient);
+              Network.send_direct network ~recipient ~delay msg)
+            recipients)
+      releases;
+    (match on_round with
+    | None -> ()
+    | Some report ->
+      let best_height =
+        Hashtbl.fold
+          (fun _ m acc -> max acc (Miner.chain_length m))
+          materialized
+          (Miner.chain_length crowd)
+      in
+      report
+        {
+          round_number = round;
+          honest_mined = h;
+          adversary_successes = successes;
+          releases_issued = List.length releases;
+          best_height;
+          reorg_depth = !round_reorg;
+        });
+    if round mod config.snapshot_interval = 0 || round = config.rounds then
+      take_snapshot round
+  done;
+  for round = config.rounds + 1 to config.rounds + config.delta do
+    deliver_round round ~track_round_reorg:None
+  done;
+  {
+    config;
+    snapshots = List.rev !snapshots;
+    god_view = god;
+    final_tips = Array.init honest_n tip_of;
+    convergence_opportunities = Pattern.count pattern;
+    adversary_blocks = !adversary_blocks;
+    honest_blocks = !honest_blocks;
+    h_rounds = !h_rounds;
+    h1_rounds = !h1_rounds;
+    max_reorg_depth = !max_reorg;
+    adversary_releases = Adversary.reorgs_caused adversary;
+    messages_sent = Network.messages_sent network;
+    orphans_remaining =
+      Hashtbl.fold
+        (fun _ m acc -> acc + Miner.orphan_count m)
+        materialized
+        (Miner.orphan_count crowd);
+  }
+
+let run ?on_round config =
+  Config.validate config;
+  match config.mining_mode with
+  | Config.Exact -> run_exact ?on_round config
+  | Config.Aggregate -> run_aggregate ?on_round config

@@ -7,7 +7,22 @@
     who saw everything instantly, spends its [binom(nu*n, p)] sequential
     queries and releases whatever its strategy dictates.  Per-miner best
     tips are snapshotted on a configurable cadence for the consistency
-    audit in {!Metrics}. *)
+    audit in {!Metrics}.
+
+    Two executors implement the same round semantics
+    (see {!Config.mining_mode}):
+
+    - [Exact] walks every honest miner and every sequential adversary
+      query individually — O(n) per round, bit-for-bit the historical
+      executor, and the mode behind the committed campaign goldens.
+    - [Aggregate] draws per-round success {e counts} from the exact
+      binomial law, selects winners by partial Fisher–Yates, routes
+      broadcasts through the network's shared Δ-ring lane, and keeps one
+      shared "crowd" view for every miner never individually touched —
+      O(blocks mined + messages due) per round.  Distribution-identical
+      to [Exact] (same law for every statistic in {!result}), not
+      bit-identical, and restricted to recipient-independent delay
+      policies ([Immediate], [Fixed], [Maximal]). *)
 
 type snapshot = {
   round : int;
@@ -49,4 +64,6 @@ val run : ?on_round:(round_report -> unit) -> Config.t -> result
     describe a settled network.  [on_round], if given, is called once per
     mining round (not the quiescence rounds) after the adversary has
     acted — the hook behind {!Trace.capture}.
-    @raise Invalid_argument when the configuration is invalid. *)
+    @raise Invalid_argument when the configuration is invalid, or when
+    [config.mining_mode] is [Aggregate] and the effective delay policy
+    depends on the recipient ([Uniform_random] or [Per_recipient]). *)

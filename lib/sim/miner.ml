@@ -18,6 +18,14 @@ let create ?tie_break ~id () =
 
 let id t = t.id
 
+let clone t ~id =
+  {
+    id;
+    tree = Block_tree.copy t.tree;
+    orphans = t.orphans;
+    best = t.best;
+  }
+
 let refresh_best t = t.best <- Block_tree.best_tip t.tree
 
 (* Repeatedly retry orphans until a fixed point: a delivered batch may

@@ -15,6 +15,12 @@ val create : ?tie_break:Nakamoto_chain.Block_tree.tie_break -> id:int -> unit ->
 
 val id : t -> int
 
+val clone : t -> id:int -> t
+(** [clone t ~id] is an independent miner with [t]'s exact view (tree,
+    orphan buffer and best tip) under a new identity.  The aggregate
+    executor materializes a miner from the shared crowd view the first
+    time it wins a block or is targeted by a direct send. *)
+
 val receive : t -> Nakamoto_chain.Block.t list -> unit
 (** [receive t blocks] adds blocks to the view, draining any orphans that
     became connectable. *)

@@ -48,8 +48,8 @@ let test_private_chain_withholds_until_lead () =
   check_true "still quiet" (Adversary.act a ~round:2 ~successes:1 = []);
   Adversary.observe a [ h2 ];
   match Adversary.act a ~round:3 ~successes:1 with
-  | [ { Adversary.recipients; delay; blocks } ] ->
-    check_int "release to all honest" 3 (List.length recipients);
+  | [ { Adversary.audience; delay; blocks } ] ->
+    check_true "release to all honest" (audience = Adversary.All_honest);
     check_int "immediate release" 1 delay;
     check_int "whole private chain" 4 (List.length blocks);
     check_int "one reorg" 1 (Adversary.reorgs_caused a)
@@ -83,8 +83,12 @@ let test_balance_releases_to_both_groups () =
   let near = List.nth releases 0 and far = List.nth releases 1 in
   check_int "near group immediate" 1 near.Adversary.delay;
   check_true "far group delayed" (far.Adversary.delay > 1);
-  check_int "near + far = all honest" 4
-    (List.length near.Adversary.recipients + List.length far.Adversary.recipients)
+  let audience_size r =
+    match r.Adversary.audience with
+    | Adversary.Only l -> List.length l
+    | Adversary.All_honest -> Alcotest.fail "balance releases target one group"
+  in
+  check_int "near + far = all honest" 4 (audience_size near + audience_size far)
 
 let test_balance_targets_shorter_branch () =
   let a =
@@ -100,7 +104,9 @@ let test_balance_targets_shorter_branch () =
   | first :: _ ->
     (* The mined block must go to group B (recipients 2, 3). *)
     check_true "released to group B"
-      (List.sort compare first.Adversary.recipients = [ 2; 3 ])
+      (match first.Adversary.audience with
+      | Adversary.Only l -> List.sort compare l = [ 2; 3 ]
+      | Adversary.All_honest -> false)
   | [] -> Alcotest.fail "expected releases");
   check_int "one adversarial block" 1 (Adversary.blocks_mined a)
 
@@ -137,9 +143,9 @@ let test_selfish_withholds_then_banks () =
   let h1 = honest_block ~parent:Block.genesis ~miner:0 ~round:2 in
   Adversary.observe a [ h1 ];
   (match Adversary.act a ~round:3 ~successes:0 with
-  | [ { Adversary.blocks; recipients; delay } ] ->
+  | [ { Adversary.blocks; audience; delay } ] ->
     check_int "banks both blocks" 2 (List.length blocks);
-    check_int "to everyone" 3 (List.length recipients);
+    check_true "to everyone" (audience = Adversary.All_honest);
     check_int "instantly" 1 delay
   | _ -> Alcotest.fail "expected the branch to be published");
   check_int "one reorg event" 1 (Adversary.reorgs_caused a)

@@ -83,13 +83,95 @@ let test_sampling_moments () =
   check_dist 10 0.5;
   check_dist 50 0.02;
   check_dist 1000 0.001;
-  check_dist 5000 0.02 (* exercises the per-trial fallback path *)
+  check_dist 5000 0.02 (* mean 100 > 64: exercises the BTPE path *)
 
 let test_sampling_degenerate () =
   let g = rng () in
   check_int "p=0" 0 (Binomial.sample g (Binomial.create ~trials:10 ~p:0.));
   check_int "p=1" 10 (Binomial.sample g (Binomial.create ~trials:10 ~p:1.));
   check_int "0 trials" 0 (Binomial.sample g (Binomial.create ~trials:0 ~p:0.5))
+
+(* Pearson chi-square goodness of fit of the sampler against the exact
+   pmf.  Bins with expected count < 5 are pooled into their neighbours
+   (standard practice), and the acceptance threshold is a generous upper
+   quantile of chi2(df): df + 4*sqrt(2 df) + 10 sits past the 99.99th
+   percentile for every df used here, so a correct sampler essentially
+   never fails while a biased envelope or mis-set squeeze fails loudly. *)
+let chi_square_gof ~name ~trials ~p ~draws g =
+  let d = Binomial.create ~trials ~p in
+  let counts = Array.make (trials + 1) 0 in
+  for _ = 1 to draws do
+    let x = Binomial.sample g d in
+    check_true (name ^ ": sample in range") (x >= 0 && x <= trials);
+    counts.(x) <- counts.(x) + 1
+  done;
+  let n = float_of_int draws in
+  (* Pool consecutive k into bins until each holds >= 5 expected. *)
+  let chi2 = ref 0. and df = ref (-1) in
+  let acc_obs = ref 0. and acc_exp = ref 0. in
+  for k = 0 to trials do
+    acc_obs := !acc_obs +. float_of_int counts.(k);
+    acc_exp := !acc_exp +. (n *. Binomial.pmf d k);
+    if !acc_exp >= 5. || k = trials then begin
+      if !acc_exp > 0. then begin
+        let diff = !acc_obs -. !acc_exp in
+        chi2 := !chi2 +. (diff *. diff /. !acc_exp);
+        incr df
+      end;
+      acc_obs := 0.;
+      acc_exp := 0.
+    end
+  done;
+  let df = float_of_int (max 1 !df) in
+  let threshold = df +. (4. *. sqrt (2. *. df)) +. 10. in
+  check_true
+    (Printf.sprintf "%s: chi2 %.1f under threshold %.1f (df %.0f)" name !chi2
+       threshold df)
+    (!chi2 < threshold)
+
+let test_sampler_goodness_of_fit () =
+  let g = rng () in
+  (* Small mean: the BINV inversion path. *)
+  chi_square_gof ~name:"binv small mean" ~trials:30 ~p:0.1 ~draws:20_000 g;
+  chi_square_gof ~name:"binv moderate" ~trials:200 ~p:0.25 ~draws:20_000 g;
+  (* Large mean: the BTPE accept/reject path. *)
+  chi_square_gof ~name:"btpe large mean" ~trials:5_000 ~p:0.1 ~draws:20_000 g;
+  chi_square_gof ~name:"btpe paper scale" ~trials:100_000 ~p:0.01 ~draws:10_000 g;
+  (* p > 1/2: the reflection wrapper (previously an underflow hazard). *)
+  chi_square_gof ~name:"reflected btpe" ~trials:2_000 ~p:0.7 ~draws:20_000 g;
+  chi_square_gof ~name:"reflected binv" ~trials:40 ~p:0.9 ~draws:20_000 g
+
+let test_binv_btpe_boundary () =
+  (* trials = 1000 straddling the mean <= 64 dispatch boundary: just below
+     goes through BINV inversion, just above through BTPE.  Both sides must
+     be deterministic per seed and statistically sound. *)
+  let below = Binomial.create ~trials:1000 ~p:0.0639 in
+  let above = Binomial.create ~trials:1000 ~p:0.0641 in
+  let draw_seq d seed =
+    let g = Nakamoto_prob.Rng.create ~seed in
+    List.init 200 (fun _ -> Binomial.sample g d)
+  in
+  check_true "below boundary deterministic"
+    (draw_seq below 123L = draw_seq below 123L);
+  check_true "above boundary deterministic"
+    (draw_seq above 123L = draw_seq above 123L);
+  let mean_of l =
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  let tol d =
+    4. *. sqrt (Binomial.variance d /. 200.)
+  in
+  check_true "below boundary mean sane"
+    (Float.abs (mean_of (draw_seq below 5L) -. Binomial.mean below) < tol below);
+  check_true "above boundary mean sane"
+    (Float.abs (mean_of (draw_seq above 5L) -. Binomial.mean above) < tol above);
+  (* The dispatch also depends on trials: small trial counts stay on BINV
+     even at high mean-per-trial. *)
+  let small = Binomial.create ~trials:256 ~p:0.5 in
+  check_true "small-trials deterministic"
+    (draw_seq small 77L = draw_seq small 77L);
+  check_true "small-trials mean sane"
+    (Float.abs (mean_of (draw_seq small 5L) -. Binomial.mean small) < tol small)
 
 let props =
   let gen_dist =
@@ -135,5 +217,7 @@ let suite =
     case "paper quantities (Eqs. 7-9)" test_paper_quantities;
     case "sampling moments" test_sampling_moments;
     case "sampling degenerate" test_sampling_degenerate;
+    case "sampler goodness of fit (chi-square)" test_sampler_goodness_of_fit;
+    case "BINV/BTPE dispatch boundary" test_binv_btpe_boundary;
   ]
   @ props

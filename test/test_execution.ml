@@ -176,6 +176,174 @@ let test_invalid_config_rejected_by_run () =
   check_raises_invalid "run validates" (fun () ->
       ignore (Sim.Execution.run { (quick_config ()) with n = 2 }))
 
+(* ------------------------------------------------------------------ *)
+(* Exact-mode regression pins: these exact values were produced by the
+   executor before the aggregate fast path landed.  They freeze the
+   bit-level behaviour of the default (Exact) mode — any drift here means
+   the rng stream layout, oracle consumption order, or release routing
+   changed, which would also invalidate the committed campaign goldens. *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_mode_regression_pins () =
+  let r = Sim.Execution.run (quick_config ()) in
+  check_int "idle honest blocks" 65 r.honest_blocks;
+  check_int "idle adversary blocks" 19 r.adversary_blocks;
+  check_int "idle convergence opportunities" 38 r.convergence_opportunities;
+  check_int "idle max reorg" 0 r.max_reorg_depth;
+  check_int "idle messages" 1885 r.messages_sent;
+  check_int "idle h rounds" 65 r.h_rounds;
+  check_int "idle h1 rounds" 65 r.h1_rounds;
+  let r2 =
+    Sim.Execution.run
+      {
+        (quick_config ~strategy:(Sim.Adversary.Private_chain { reorg_target = 4 }) ())
+        with
+        seed = 9L;
+      }
+  in
+  check_int "attack honest blocks" 70 r2.honest_blocks;
+  check_int "attack adversary blocks" 19 r2.adversary_blocks;
+  check_int "attack convergence opportunities" 39 r2.convergence_opportunities;
+  check_int "attack max reorg" 1 r2.max_reorg_depth;
+  check_int "attack messages" 2030 r2.messages_sent
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate-mode tests: the fast path must match Exact in distribution
+   (same law for every statistic), be deterministic per seed, run the
+   attack strategies, and leave no orphans.                             *)
+(* ------------------------------------------------------------------ *)
+
+let aggregate_config ?(nu = 0.25) ?(rounds = 800) ?(strategy = Sim.Adversary.Idle)
+    ?(seed = 7L) () =
+  {
+    Sim.Config.default with
+    nu;
+    rounds;
+    strategy;
+    seed;
+    snapshot_interval = 50;
+    mining_mode = Sim.Config.Aggregate;
+  }
+
+let test_aggregate_determinism () =
+  let summary (r : Sim.Execution.result) =
+    ( r.honest_blocks,
+      r.adversary_blocks,
+      r.convergence_opportunities,
+      r.max_reorg_depth,
+      r.messages_sent,
+      Array.map
+        (fun (b : Block.t) -> Nakamoto_chain.Hash.to_int64 b.Block.hash)
+        r.final_tips )
+  in
+  let cfg =
+    aggregate_config ~strategy:(Sim.Adversary.Private_chain { reorg_target = 4 })
+      ()
+  in
+  check_true "aggregate deterministic per seed"
+    (summary (Sim.Execution.run cfg) = summary (Sim.Execution.run cfg))
+
+let test_aggregate_rejects_recipient_dependent_policies () =
+  check_raises_invalid "balance default policy is per-recipient" (fun () ->
+      ignore
+        (Sim.Execution.run
+           (aggregate_config ~strategy:(Sim.Adversary.Balance { group_boundary = 10 })
+              ())));
+  check_raises_invalid "uniform-random override" (fun () ->
+      ignore
+        (Sim.Execution.run
+           {
+             (aggregate_config ()) with
+             delay_override = Some Nakamoto_net.Network.Uniform_random;
+           }))
+
+let test_aggregate_matches_exact_in_distribution () =
+  (* Same configuration, long horizon, different executors: every counter
+     is an iid-sum statistic, so the two runs must agree within a few
+     standard deviations.  Bounds are ~4 sigma of the difference of two
+     independent runs (sigma_diff = sqrt 2 * sigma_run), so a correct
+     implementation fails with probability < 1e-4 per check. *)
+  let rounds = 20_000 in
+  let exact =
+    Sim.Execution.run { (quick_config ~rounds ()) with seed = 11L }
+  in
+  let agg = Sim.Execution.run (aggregate_config ~rounds ~seed:12L ()) in
+  let per_round x = float_of_int x /. float_of_int rounds in
+  (* honest mean/round = 30 * 0.0025 = 0.075, sd/run ~ 38.7 blocks. *)
+  check_true
+    (Printf.sprintf "honest blocks close (%d vs %d)" exact.honest_blocks
+       agg.honest_blocks)
+    (abs (exact.honest_blocks - agg.honest_blocks) < 250);
+  (* adversary mean/round = 10 * 0.0025 = 0.025, sd/run ~ 22 blocks. *)
+  check_true
+    (Printf.sprintf "adversary blocks close (%d vs %d)" exact.adversary_blocks
+       agg.adversary_blocks)
+    (abs (exact.adversary_blocks - agg.adversary_blocks) < 150);
+  check_true
+    (Printf.sprintf "h-round rate close (%.4f vs %.4f)" (per_round exact.h_rounds)
+       (per_round agg.h_rounds))
+    (Float.abs (per_round exact.h_rounds -. per_round agg.h_rounds) < 0.012);
+  check_true
+    (Printf.sprintf "h1-round rate close (%.4f vs %.4f)"
+       (per_round exact.h1_rounds) (per_round agg.h1_rounds))
+    (Float.abs (per_round exact.h1_rounds -. per_round agg.h1_rounds) < 0.012);
+  check_true
+    (Printf.sprintf "convergence-opportunity rate close (%.4f vs %.4f)"
+       (per_round exact.convergence_opportunities)
+       (per_round agg.convergence_opportunities))
+    (Float.abs
+       (per_round exact.convergence_opportunities
+       -. per_round agg.convergence_opportunities)
+    < 0.012)
+
+let test_aggregate_invariants () =
+  let r = Sim.Execution.run (aggregate_config ()) in
+  check_int "no orphans (idle)" 0 r.orphans_remaining;
+  check_int "tips array sized n_honest" 30 (Array.length r.final_tips);
+  Array.iter
+    (fun (tip : Block.t) ->
+      check_true "final tip in god view" (Block_tree.mem r.god_view tip.hash))
+    r.final_tips;
+  List.iter
+    (fun (snap : Sim.Execution.snapshot) ->
+      check_int "snapshot sized n_honest" 30 (Array.length snap.tips);
+      Array.iter
+        (fun (tip : Block.t) ->
+          check_true "snapshot tip in god view" (Block_tree.mem r.god_view tip.hash))
+        snap.tips)
+    r.snapshots;
+  (* Honest block conservation through the crowd + materialized views. *)
+  let counted = ref 0 in
+  Block_tree.iter_blocks r.god_view (fun b ->
+      if (not (Block.is_genesis b)) && b.Block.miner_class = Block.Honest then
+        incr counted);
+  check_int "honest block conservation" r.honest_blocks !counted
+
+let test_aggregate_attack_runs () =
+  (* Private-chain attack under Maximal delays (recipient-independent, so
+     the aggregate path applies): reorgs happen, nothing is stranded. *)
+  let r =
+    Sim.Execution.run
+      (aggregate_config ~rounds:4_000 ~nu:0.4
+         ~strategy:(Sim.Adversary.Private_chain { reorg_target = 2 })
+         ())
+  in
+  check_true "adversary mined" (r.adversary_blocks > 0);
+  check_true "releases happened" (r.adversary_releases > 0);
+  check_true "reorgs witnessed" (r.max_reorg_depth >= 2);
+  check_int "no orphans" 0 r.orphans_remaining
+
+let test_aggregate_honest_convergence () =
+  (* Idle adversary, immediate delivery: like the exact-mode convergence
+     test, every view (crowd and materialized alike) settles within one
+     block of the frontier. *)
+  let r = Sim.Execution.run (aggregate_config ~rounds:2_000 ()) in
+  let heights = Array.map (fun (b : Block.t) -> b.height) r.final_tips in
+  let min_h = Array.fold_left min max_int heights in
+  let max_h = Array.fold_left max 0 heights in
+  check_true "tips within one block of each other" (max_h - min_h <= 1);
+  check_true "chain grew" (max_h > 50)
+
 let suite =
   [
     case "config validation" test_config_validation;
@@ -190,4 +358,13 @@ let suite =
     case "delay override" test_delay_override;
     case "concurrent domains match sequential" test_concurrent_domains_match_sequential;
     case "run validates config" test_invalid_config_rejected_by_run;
+    case "exact-mode regression pins" test_exact_mode_regression_pins;
+    case "aggregate determinism" test_aggregate_determinism;
+    case "aggregate rejects recipient-dependent policies"
+      test_aggregate_rejects_recipient_dependent_policies;
+    case "aggregate matches exact in distribution"
+      test_aggregate_matches_exact_in_distribution;
+    case "aggregate invariants" test_aggregate_invariants;
+    case "aggregate attack runs" test_aggregate_attack_runs;
+    case "aggregate honest convergence" test_aggregate_honest_convergence;
   ]

@@ -111,6 +111,98 @@ let test_messages_never_lost () =
     (Network.messages_sent n) !total;
   check_int "nothing pending" 0 (Network.pending n)
 
+(* ------------------------------------------------------------------ *)
+(* Δ-ring broadcast lane                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_enable_rules () =
+  let n = make () in
+  check_false "off by default" (Network.ring_enabled n);
+  Network.enable_ring n;
+  check_true "enabled" (Network.ring_enabled n);
+  check_raises_invalid "double enable" (fun () -> Network.enable_ring n);
+  let late = make () in
+  Network.broadcast late (msg ~round:1 ());
+  check_raises_invalid "enable after a send" (fun () ->
+      Network.enable_ring late)
+
+let test_ring_broadcast_and_drain () =
+  let n = make ~delta:4 ~players:5 ~policy:(Network.Fixed 2) () in
+  Network.enable_ring n;
+  Network.broadcast n (msg ~sender:1 ~round:3 ());
+  (* One ring insertion stands for players - 1 = 4 deliveries. *)
+  check_int "fan-out counted" 4 (Network.messages_sent n);
+  check_int "fan-out pending" 4 (Network.pending n);
+  (* The queue lane stays empty; the shared lane delivers at round 5. *)
+  check_true "queues untouched" (Network.deliver n ~recipient:0 ~round:10 = []);
+  check_true "not due yet" (Network.deliver_shared n ~round:4 = []);
+  (match Network.deliver_shared n ~round:5 with
+  | [ m ] -> check_int "the broadcast message" 1 m.Network.sender
+  | _ -> Alcotest.fail "expected exactly one shared message");
+  check_true "drained once" (Network.deliver_shared n ~round:5 = []);
+  check_int "nothing pending" 0 (Network.pending n)
+
+let test_ring_order_and_skipped_rounds () =
+  let n = make ~delta:4 ~players:3 ~policy:Network.Immediate () in
+  Network.enable_ring n;
+  (* Mixed delays via broadcast_all, plus policy broadcasts; drain with a
+     jump over several rounds: due order, send-stable within a round. *)
+  Network.broadcast_all n ~delay:3
+    { Network.sender = -1; sent_round = 1; blocks = [] };
+  Network.broadcast n (msg ~sender:0 ~round:1 ());  (* due 2 *)
+  Network.broadcast n (msg ~sender:2 ~round:1 ());  (* due 2 *)
+  (match Network.deliver_shared n ~round:6 with
+  | [ a; b; c ] ->
+    check_int "due-2 first (send order)" 0 a.Network.sender;
+    check_int "due-2 second" 2 b.Network.sender;
+    check_int "due-4 last" (-1) c.Network.sender
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 messages, got %d" (List.length l)));
+  (* Ring slots recycle after draining: a later broadcast lands cleanly. *)
+  Network.broadcast n (msg ~sender:1 ~round:7 ());
+  check_int "recycled slot delivers" 1
+    (List.length (Network.deliver_shared n ~round:8))
+
+let test_ring_adversary_fanout () =
+  (* A sender outside the player set (the adversary) reaches everyone:
+     fan-out players, not players - 1. *)
+  let n = make ~delta:4 ~players:3 ~policy:Network.Maximal () in
+  Network.enable_ring n;
+  Network.broadcast_all n ~delay:1
+    { Network.sender = -1; sent_round = 1; blocks = [] };
+  check_int "full fan-out counted" 3 (Network.messages_sent n);
+  check_int "full fan-out pending" 3 (Network.pending n);
+  ignore (Network.deliver_shared n ~round:2);
+  check_int "drained" 0 (Network.pending n)
+
+let test_ring_direct_sends_stay_queued () =
+  (* send_direct keeps using the per-recipient queues even with the ring
+     on — the two lanes coexist. *)
+  let n = make ~delta:4 ~players:3 ~policy:Network.Immediate () in
+  Network.enable_ring n;
+  Network.send_direct n ~recipient:2 ~delay:2 (msg ~sender:(-1) ~round:1 ());
+  Network.broadcast n (msg ~sender:0 ~round:1 ());
+  check_int "queued + ring pending" 3 (Network.pending n);
+  check_int "direct delivery via queue" 1
+    (List.length (Network.deliver n ~recipient:2 ~round:3));
+  check_int "shared delivery via ring" 1
+    (List.length (Network.deliver_shared n ~round:3));
+  check_int "nothing left" 0 (Network.pending n)
+
+let test_ring_recipient_dependent_policy_stays_queued () =
+  (* Under Uniform_random the ring cannot represent per-recipient delays:
+     broadcast falls back to the queue lane even with the ring enabled. *)
+  let n = make ~delta:3 ~players:4 ~policy:Network.Uniform_random () in
+  Network.enable_ring n;
+  Network.broadcast n (msg ~sender:0 ~round:1 ());
+  check_true "ring lane empty" (Network.deliver_shared n ~round:10 = []);
+  let got = ref 0 in
+  for recipient = 1 to 3 do
+    for r = 1 to 10 do
+      got := !got + List.length (Network.deliver n ~recipient ~round:r)
+    done
+  done;
+  check_int "all copies through the queues" 3 !got
+
 let suite =
   [
     case "create validation" test_create_validation;
@@ -123,4 +215,11 @@ let suite =
     case "send_direct" test_send_direct;
     case "same-round delivery order" test_delivery_order;
     case "messages never lost (capability 1)" test_messages_never_lost;
+    case "ring enable rules" test_ring_enable_rules;
+    case "ring broadcast and drain" test_ring_broadcast_and_drain;
+    case "ring order and skipped rounds" test_ring_order_and_skipped_rounds;
+    case "ring adversary fan-out" test_ring_adversary_fanout;
+    case "ring and queue lanes coexist" test_ring_direct_sends_stay_queued;
+    case "ring ignores recipient-dependent broadcasts"
+      test_ring_recipient_dependent_policy_stays_queued;
   ]

@@ -96,6 +96,23 @@ let test_success_count_binomial_law () =
     (Printf.sprintf "mean successes %.3f near 1.0" mean)
     (Float.abs (mean -. 1.0) < 0.05)
 
+let test_successes_matches_success_count () =
+  (* The allocation-free counter must agree with the proof-collecting
+     variant query for query, across rounds and query batch sizes. *)
+  let o = oracle ~p:0.1 () in
+  for round = 0 to 200 do
+    let queries = 1 + (round mod 17) in
+    check_int
+      (Printf.sprintf "round %d" round)
+      (List.length
+         (Pow.success_count o ~parent:Hash.zero ~miner:(-1) ~round ~queries))
+      (Pow.successes o ~parent:Hash.zero ~miner:(-1) ~round ~queries)
+  done;
+  check_int "zero queries" 0
+    (Pow.successes o ~parent:Hash.zero ~miner:(-1) ~round:0 ~queries:0);
+  check_raises_invalid "negative round" (fun () ->
+      ignore (Pow.successes o ~parent:Hash.zero ~miner:0 ~round:(-1) ~queries:1))
+
 let test_execution_uses_oracle_rates () =
   (* End-to-end: with the oracle wired in, execution block rates still
      follow the analytic law. *)
@@ -127,5 +144,6 @@ let suite =
     case "verify (H.ver)" test_verify;
     case "field independence" test_independence_across_fields;
     case "sequential queries follow binomial law" test_success_count_binomial_law;
+    case "successes matches success_count" test_successes_matches_success_count;
     case "execution rates with the oracle" test_execution_uses_oracle_rates;
   ]
