@@ -22,7 +22,21 @@ campaign-smoke:
 bench-exec-smoke:
 	dune exec bench/main.exe -- --execscale-smoke
 
-check: all test campaign-smoke bench-exec-smoke
+# The property tier's oracle-focused run: the differential oracle (50
+# generated scenarios through Exact / Aggregate / state-process lanes),
+# the stationary cross-checks, and the Δ-ring vs queue-lane equivalence.
+# Failures print a PROPTEST_SEED / PROPTEST_REPLAY one-liner; see
+# DESIGN.md §8.
+proptest-smoke:
+	dune exec test/prop/prop_main.exe -- test oracle
+
+# Opt-in statistical soak: every property rerun with PROPTEST_TRIALS=500
+# via the @soak alias.  Not part of `check` — run before releases or when
+# touching an executor or sampler.
+soak:
+	dune build @soak
+
+check: all test campaign-smoke bench-exec-smoke proptest-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -34,4 +48,5 @@ artifacts:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-.PHONY: all test bench examples artifacts campaign-smoke bench-exec-smoke check
+.PHONY: all test bench examples artifacts campaign-smoke bench-exec-smoke \
+  proptest-smoke soak check

@@ -108,3 +108,21 @@ let product_stationary ~delta (p : Params.t) ~index =
          ~log_abar:(Params.log_abar p) ~state:suffix)
   in
   List.fold_left (fun acc d -> acc *. detailed_probability p d) pi_f window
+
+type cross_check = {
+  closed_form : float;
+  product_form : float;
+  linear_solve : float;
+  power_iteration : float;
+}
+
+let stationary_cross_check ~delta p =
+  let e = build_explicit ~delta p in
+  let pi_solve = Chain.stationary_linear_solve e.chain in
+  let pi_power = Chain.stationary_power_iteration e.chain in
+  {
+    closed_form = convergence_rate p;
+    product_form = product_stationary ~delta p ~index:e.convergence_state;
+    linear_solve = pi_solve.(e.convergence_state);
+    power_iteration = pi_power.(e.convergence_state);
+  }

@@ -48,6 +48,20 @@ val product_stationary : delta:int -> Params.t -> index:int -> float
     evaluated for the state numbered [index] in {!build_explicit}'s
     encoding. *)
 
+type cross_check = {
+  closed_form : float;  (** Eq. (44): [abar^(2 delta) * alpha1] *)
+  product_form : float;  (** Eq. (40) evaluated at the target state *)
+  linear_solve : float;  (** explicit chain, direct solve of [pi P = pi] *)
+  power_iteration : float;  (** explicit chain, iterated pushforward *)
+}
+
+val stationary_cross_check : delta:int -> Params.t -> cross_check
+(** [stationary_cross_check ~delta p] computes the stationary probability
+    of the convergence-opportunity state [HN^{>=Δ} || H1 N^Δ] four
+    independent ways — the differential oracle's construction-vs-theory
+    agreement check.  All four must coincide up to solver tolerance.
+    @raise Invalid_argument as in {!build_explicit}. *)
+
 val index_of : delta:int -> Suffix_chain.state -> detailed list -> int
 (** State encoding: suffix class and window (oldest first; must have
     length [delta + 1]).

@@ -76,6 +76,14 @@ val occupancy :
     satisfying [target] along a fresh [steps]-step trajectory — the
     Monte-Carlo counterpart of [T * pi(target)]. *)
 
+val visit_counts :
+  rng:Nakamoto_prob.Rng.t -> t -> start:int -> steps:int -> int array
+(** [visit_counts ~rng t ~start ~steps] samples a fresh [steps]-step
+    trajectory from [start] and returns per-state visit counts (summing to
+    [steps]) — the empirical occupancy a chi-square test compares against
+    [steps * pi] (streaming: O(size) memory regardless of [steps]).
+    @raise Invalid_argument if [start] is out of range or [steps < 0]. *)
+
 val restrict_support : t -> (int -> int list)
 (** [restrict_support t] is the successor function of the support graph,
     for reuse with {!Structure}. *)

@@ -49,6 +49,26 @@ val log_factorial : int -> float
 (** [log_factorial n] is [log n!]; table-driven for [n <= 256], Stirling
     series beyond.  @raise Invalid_argument on negative [n]. *)
 
+val log_gamma : float -> float
+(** [log_gamma x] is [log (Gamma x)] for [x > 0]: table-exact at the
+    integers covered by {!log_factorial}, Stirling series elsewhere
+    (recursing upward for small [x]).
+    @raise Invalid_argument unless [x > 0.]. *)
+
+val regularized_gamma_lower : a:float -> x:float -> float
+(** [regularized_gamma_lower ~a ~x] is [P(a, x) = gamma(a, x) / Gamma(a)],
+    the regularized lower incomplete gamma function — the CDF of a
+    Gamma(a, 1) variable, hence of chi-square via
+    [P(df/2, stat/2)].  Power series below [x < a + 1], Lentz continued
+    fraction beyond; each branch computes its side directly so tiny tail
+    values keep relative accuracy.
+    @raise Invalid_argument unless [a > 0.] and [x >= 0.]. *)
+
+val regularized_gamma_upper : a:float -> x:float -> float
+(** [regularized_gamma_upper ~a ~x] is [Q(a, x) = 1 - P(a, x)] — the
+    chi-square survival function via [Q(df/2, stat/2)].
+    @raise Invalid_argument under the same conditions. *)
+
 val approx_equal : ?rtol:float -> ?atol:float -> float -> float -> bool
 (** [approx_equal ?rtol ?atol a b] holds when
     [abs (a -. b) <= atol +. rtol *. max (abs a) (abs b)].

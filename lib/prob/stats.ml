@@ -100,6 +100,185 @@ let empirical_rate ~hits ~trials =
     invalid_arg "Stats.empirical_rate: hits outside [0, trials]";
   float_of_int hits /. float_of_int trials
 
+module Special = Nakamoto_numerics.Special
+
+type test = { statistic : float; df : float; p_value : float }
+
+let chi_square_survival ~df x =
+  if df <= 0 then invalid_arg "Stats.chi_square_survival: df must be positive";
+  if x < 0. then invalid_arg "Stats.chi_square_survival: negative statistic";
+  Special.regularized_gamma_upper ~a:(float_of_int df /. 2.) ~x:(x /. 2.)
+
+(* Pool adjacent cells until every pooled cell's expected mass reaches
+   [min_expected] — the classical validity condition for the chi-square
+   approximation, and the reason these tests hold their nominal level on
+   skewed distributions instead of flaking.  Returns pooled
+   (observed, expected) pairs; a trailing underweight cell is merged
+   backwards into its predecessor. *)
+let pool_cells ~min_expected ~observed ~expected =
+  let k = Array.length observed in
+  let pooled = ref [] in
+  let obs_acc = ref 0. and exp_acc = ref 0. in
+  for i = 0 to k - 1 do
+    obs_acc := !obs_acc +. observed.(i);
+    exp_acc := !exp_acc +. expected.(i);
+    if !exp_acc >= min_expected then begin
+      pooled := (!obs_acc, !exp_acc) :: !pooled;
+      obs_acc := 0.;
+      exp_acc := 0.
+    end
+  done;
+  (match (!pooled, !exp_acc > 0. || !obs_acc > 0.) with
+  | (o, e) :: rest, true -> pooled := (o +. !obs_acc, e +. !exp_acc) :: rest
+  | [], true -> pooled := [ (!obs_acc, !exp_acc) ]
+  | _, false -> ());
+  List.rev !pooled
+
+let chi_square_gof ?(min_expected = 5.) ~observed ~expected () =
+  let k = Array.length observed in
+  if k = 0 || k <> Array.length expected then
+    invalid_arg "Stats.chi_square_gof: length mismatch or empty";
+  Array.iter
+    (fun e ->
+      if not (Float.is_finite e) || e < 0. then
+        invalid_arg "Stats.chi_square_gof: expected counts must be >= 0")
+    expected;
+  let observed = Array.map float_of_int observed in
+  let cells = pool_cells ~min_expected ~observed ~expected in
+  let df = List.length cells - 1 in
+  if df < 1 then { statistic = 0.; df = 0.; p_value = 1. }
+  else begin
+    let stat =
+      List.fold_left
+        (fun acc (o, e) ->
+          if e = 0. then acc else acc +. ((o -. e) *. (o -. e) /. e))
+        0. cells
+    in
+    {
+      statistic = stat;
+      df = float_of_int df;
+      p_value = chi_square_survival ~df stat;
+    }
+  end
+
+let chi_square_homogeneity ?(min_expected = 5.) a b () =
+  let k = Array.length a in
+  if k = 0 || k <> Array.length b then
+    invalid_arg "Stats.chi_square_homogeneity: length mismatch or empty";
+  Array.iter
+    (fun x -> if x < 0 then invalid_arg "Stats.chi_square_homogeneity: negative count")
+    a;
+  Array.iter
+    (fun x -> if x < 0 then invalid_arg "Stats.chi_square_homogeneity: negative count")
+    b;
+  let ta = float_of_int (Array.fold_left ( + ) 0 a) in
+  let tb = float_of_int (Array.fold_left ( + ) 0 b) in
+  if ta = 0. || tb = 0. then
+    invalid_arg "Stats.chi_square_homogeneity: a sample is empty";
+  (* 2 x k contingency test; expected cell mass under homogeneity is the
+     column total split by row totals.  Pool columns (jointly, preserving
+     alignment) until the smaller row's expected mass reaches
+     [min_expected]. *)
+  let total = ta +. tb in
+  let pooled = ref [] in
+  let acc_a = ref 0. and acc_b = ref 0. in
+  for i = 0 to k - 1 do
+    acc_a := !acc_a +. float_of_int a.(i);
+    acc_b := !acc_b +. float_of_int b.(i);
+    let col = !acc_a +. !acc_b in
+    let min_row_expected = col *. Float.min ta tb /. total in
+    if min_row_expected >= min_expected then begin
+      pooled := (!acc_a, !acc_b) :: !pooled;
+      acc_a := 0.;
+      acc_b := 0.
+    end
+  done;
+  (match (!pooled, !acc_a +. !acc_b > 0.) with
+  | (pa, pb) :: rest, true -> pooled := (pa +. !acc_a, pb +. !acc_b) :: rest
+  | [], true -> pooled := [ (!acc_a, !acc_b) ]
+  | _, false -> ());
+  let cells = List.rev !pooled in
+  let df = List.length cells - 1 in
+  if df < 1 then { statistic = 0.; df = 0.; p_value = 1. }
+  else begin
+    let stat =
+      List.fold_left
+        (fun acc (oa, ob) ->
+          let col = oa +. ob in
+          let ea = col *. ta /. total and eb = col *. tb /. total in
+          acc
+          +. ((oa -. ea) *. (oa -. ea) /. ea)
+          +. ((ob -. eb) *. (ob -. eb) /. eb))
+        0. cells
+    in
+    {
+      statistic = stat;
+      df = float_of_int df;
+      p_value = chi_square_survival ~df stat;
+    }
+  end
+
+(* Asymptotic Kolmogorov survival Q_KS(lambda) = 2 sum (-1)^{j-1}
+   exp(-2 j^2 lambda^2); the alternating series converges in a handful of
+   terms for any lambda of interest. *)
+let kolmogorov_survival lambda =
+  if lambda <= 0. then 1.
+  else begin
+    let acc = ref 0. and sign = ref 1. in
+    (try
+       for j = 1 to 100 do
+         let term = !sign *. exp (-2. *. float_of_int (j * j) *. lambda *. lambda) in
+         acc := !acc +. term;
+         sign := -. !sign;
+         if Float.abs term < 1e-18 then raise Exit
+       done
+     with Exit -> ());
+    Special.clamp ~lo:0. ~hi:1. (2. *. !acc)
+  end
+
+let ks_two_sample a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  if n1 = 0 || n2 = 0 then invalid_arg "Stats.ks_two_sample: empty sample";
+  let a = Array.copy a and b = Array.copy b in
+  Array.sort compare a;
+  Array.sort compare b;
+  let d = ref 0. in
+  let i = ref 0 and j = ref 0 in
+  let f1 = float_of_int n1 and f2 = float_of_int n2 in
+  while !i < n1 && !j < n2 do
+    let x1 = a.(!i) and x2 = b.(!j) in
+    if x1 <= x2 then incr i;
+    if x2 <= x1 then incr j;
+    let diff = Float.abs ((float_of_int !i /. f1) -. (float_of_int !j /. f2)) in
+    if diff > !d then d := diff
+  done;
+  let ne = f1 *. f2 /. (f1 +. f2) in
+  let sqrt_ne = sqrt ne in
+  let lambda = (sqrt_ne +. 0.12 +. (0.11 /. sqrt_ne)) *. !d in
+  { statistic = !d; df = ne; p_value = kolmogorov_survival lambda }
+
+let binomial_test ~hits ~trials ~p =
+  if trials <= 0 then invalid_arg "Stats.binomial_test: trials must be positive";
+  if hits < 0 || hits > trials then
+    invalid_arg "Stats.binomial_test: hits outside [0, trials]";
+  if not (Float.is_finite p) || p < 0. || p > 1. then
+    invalid_arg "Stats.binomial_test: p must be a probability";
+  let d = Binomial.create ~trials ~p in
+  (* Exact two-sided p-value by doubling the smaller tail (conservative,
+     and free of any normal approximation): both tails computed directly
+     by the mode-anchored summation, so tiny p-values keep relative
+     accuracy. *)
+  let lower = Binomial.cdf d hits in
+  let upper = Binomial.survival d (hits - 1) in
+  Float.min 1. (2. *. Float.min lower upper)
+
+let bonferroni ~family_size ~alpha =
+  if family_size <= 0 then
+    invalid_arg "Stats.bonferroni: family_size must be positive";
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Stats.bonferroni: alpha outside (0, 1)";
+  alpha /. float_of_int family_size
+
 let wilson_interval ~hits ~trials =
   let p_hat = empirical_rate ~hits ~trials in
   let z = 1.96 in

@@ -62,6 +62,66 @@ module Histogram : sig
       bins entirely at or below [x] — a CDF lower estimate. *)
 end
 
+(** {1 Hypothesis tests}
+
+    The assertions behind the property-test statistical kit
+    ({!Nakamoto_proptest.Stat}): each returns an exact or asymptotic
+    p-value so callers can apply a Bonferroni-corrected threshold and
+    keep CI deterministic at a fixed seed. *)
+
+type test = {
+  statistic : float;  (** the test statistic (chi-square value, KS D, ...) *)
+  df : float;  (** degrees of freedom, or the KS effective sample size *)
+  p_value : float;
+}
+
+val chi_square_survival : df:int -> float -> float
+(** [chi_square_survival ~df x] is [P(Chi2_df > x)] via the regularized
+    upper incomplete gamma function.
+    @raise Invalid_argument if [df <= 0] or [x < 0.]. *)
+
+val chi_square_gof :
+  ?min_expected:float -> observed:int array -> expected:float array -> unit -> test
+(** [chi_square_gof ~observed ~expected ()] is Pearson's goodness-of-fit
+    test of the counts against the (same-length, same-total) expected
+    masses.  Adjacent cells are pooled until each pooled cell carries at
+    least [min_expected] (default 5) expected observations — the classical
+    validity condition — and [df] is pooled cells minus one.  A family
+    that pools to a single cell returns [p_value = 1.].
+    @raise Invalid_argument on length mismatch, empty input, or a
+    negative/non-finite expected entry. *)
+
+val chi_square_homogeneity :
+  ?min_expected:float -> int array -> int array -> unit -> test
+(** [chi_square_homogeneity a b ()] tests whether two count vectors over
+    the same cells were drawn from one distribution (2 x k contingency
+    test).  Columns are pooled jointly until the smaller sample's expected
+    cell mass reaches [min_expected]; [df] is pooled columns minus one.
+    @raise Invalid_argument on length mismatch, negative counts, or an
+    all-zero sample. *)
+
+val ks_two_sample : float array -> float array -> test
+(** [ks_two_sample a b] is the two-sample Kolmogorov-Smirnov test:
+    [statistic] is the sup-distance between the empirical CDFs, [df] the
+    effective sample size [n1 n2 / (n1 + n2)], and [p_value] the
+    asymptotic Kolmogorov survival with the Stephens small-sample
+    correction.
+    @raise Invalid_argument on an empty sample. *)
+
+val binomial_test : hits:int -> trials:int -> p:float -> float
+(** [binomial_test ~hits ~trials ~p] is the exact two-sided binomial-test
+    p-value (double the smaller tail, capped at 1) of observing [hits]
+    successes under success probability [p] — no normal approximation at
+    any size.
+    @raise Invalid_argument on out-of-range arguments. *)
+
+val bonferroni : family_size:int -> alpha:float -> float
+(** [bonferroni ~family_size ~alpha] is the per-test threshold
+    [alpha / family_size] controlling the family-wise error rate of
+    [family_size] simultaneous tests at level [alpha].
+    @raise Invalid_argument if [family_size <= 0] or [alpha] outside
+    (0, 1). *)
+
 val empirical_rate : hits:int -> trials:int -> float
 (** [empirical_rate ~hits ~trials] is [hits / trials] as a float.
     @raise Invalid_argument if [trials <= 0] or [hits] outside

@@ -1,0 +1,71 @@
+type 'a t = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+let make ?(shrink = Shrink.nothing) ?(print = fun _ -> "<opaque>") gen =
+  { gen; shrink; print }
+
+let gen t = t.gen
+let shrink t = t.shrink
+let print t = t.print
+
+let int_range ?shrink_target ~lo ~hi () =
+  let target =
+    match shrink_target with
+    | Some tg ->
+      if tg < lo || tg > hi then
+        invalid_arg "Arbitrary.int_range: shrink target outside range";
+      tg
+    | None -> if lo <= 0 && hi >= 0 then 0 else lo
+  in
+  {
+    gen = Gen.int_range ~lo ~hi;
+    shrink = Shrink.int ~target;
+    print = string_of_int;
+  }
+
+let float_range ~lo ~hi =
+  {
+    gen = Gen.float_range ~lo ~hi;
+    shrink = (fun x -> Seq.filter (fun c -> lo <= c && c <= hi) (Shrink.float ~target:lo x));
+    print = (fun x -> Printf.sprintf "%.17g" x);
+  }
+
+let log_float_range ~lo ~hi =
+  { (float_range ~lo ~hi) with gen = Gen.log_float_range ~lo ~hi }
+
+let bool = { gen = Gen.bool; shrink = (function true -> Seq.return false | false -> Seq.empty); print = string_of_bool }
+
+let oneof_value ?(print = fun _ -> "<choice>") xs =
+  (* Shrinks toward the head of the list: order alternatives simplest
+     first. *)
+  {
+    gen = Gen.oneof_value xs;
+    shrink =
+      (fun x ->
+        match xs with
+        | simplest :: _ when simplest <> x -> Seq.return simplest
+        | _ -> Seq.empty);
+    print;
+  }
+
+let list ~max_len elem =
+  if max_len < 0 then invalid_arg "Arbitrary.list: negative max_len";
+  {
+    gen = Gen.list ~len:(Gen.int_range ~lo:0 ~hi:max_len) elem.gen;
+    shrink = Shrink.list elem.shrink;
+    print =
+      (fun l -> "[" ^ String.concat "; " (List.map elem.print l) ^ "]");
+  }
+
+let pair a b =
+  {
+    gen = Gen.pair a.gen b.gen;
+    shrink = Shrink.pair a.shrink b.shrink;
+    print = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.print x) (b.print y));
+  }
+
+let map ?(shrink = Shrink.nothing) ?(print = fun _ -> "<mapped>") f t =
+  { gen = Gen.map f t.gen; shrink; print }

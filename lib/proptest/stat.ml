@@ -1,0 +1,65 @@
+module Stats = Nakamoto_prob.Stats
+
+type check = { label : string; p_value : float; detail : string }
+
+exception Rejected of string
+
+let default_alpha = 1e-6
+
+let chi_square_gof ~label ~observed ~expected =
+  let t = Stats.chi_square_gof ~observed ~expected () in
+  {
+    label;
+    p_value = t.Stats.p_value;
+    detail =
+      Printf.sprintf "chi2=%.3f df=%.0f" t.Stats.statistic t.Stats.df;
+  }
+
+let homogeneity ~label a b =
+  let t = Stats.chi_square_homogeneity a b () in
+  {
+    label;
+    p_value = t.Stats.p_value;
+    detail =
+      Printf.sprintf "chi2=%.3f df=%.0f" t.Stats.statistic t.Stats.df;
+  }
+
+let ks ~label a b =
+  let t = Stats.ks_two_sample a b in
+  {
+    label;
+    p_value = t.Stats.p_value;
+    detail = Printf.sprintf "D=%.4f ne=%.1f" t.Stats.statistic t.Stats.df;
+  }
+
+let binomial ~label ~hits ~trials ~p =
+  {
+    label;
+    p_value = Stats.binomial_test ~hits ~trials ~p;
+    detail = Printf.sprintf "hits=%d trials=%d p0=%.6g" hits trials p;
+  }
+
+let proportions ~label ~hits_a ~trials_a ~hits_b ~trials_b =
+  homogeneity ~label
+    [| hits_a; trials_a - hits_a |]
+    [| hits_b; trials_b - hits_b |]
+
+let assert_family ?(alpha = default_alpha) ~family checks =
+  if checks = [] then invalid_arg "Stat.assert_family: empty family";
+  let threshold = Stats.bonferroni ~family_size:(List.length checks) ~alpha in
+  let failures =
+    List.filter (fun c -> not (c.p_value >= threshold)) checks
+  in
+  if failures <> [] then
+    raise
+      (Rejected
+         (Printf.sprintf
+            "statistical family '%s' rejected at alpha=%g \
+             (per-test threshold %.3e, %d checks):\n%s"
+            family alpha threshold (List.length checks)
+            (String.concat "\n"
+               (List.map
+                  (fun c ->
+                    Printf.sprintf "  %s: p=%.3e (%s)" c.label c.p_value
+                      c.detail)
+                  failures))))

@@ -219,7 +219,15 @@ let run_exact ?on_round config =
    Untouched miners are exact replicas of the crowd by construction (they
    received exactly the shared stream and mined nothing), so snapshots and
    final tips fill their slots with the crowd tip.  [orphans_remaining]
-   counts the crowd view once, not once per untouched miner. *)
+   counts the crowd view once, not once per untouched miner.
+
+   The crowd stands for the untouched miners and for nothing else: once
+   every miner has been materialized (the Balance adversary forces this at
+   its first release, whose [Only] audiences cover all honest miners) the
+   crowd retires — it stops consuming the shared stream and drops out of
+   reorg and orphan accounting.  A retired crowd would otherwise keep
+   receiving ring blocks whose direct-sent parents it never saw and report
+   phantom orphans no real miner holds. *)
 (* ------------------------------------------------------------------ *)
 
 let run_aggregate ?on_round config =
@@ -287,12 +295,16 @@ let run_aggregate ?on_round config =
       end
     end
   in
+  (* The crowd is live while it still stands for at least one untouched
+     miner; materialization is monotone, so once this flips it stays. *)
+  let crowd_live () = Hashtbl.length materialized < honest_n in
   let deliver_round round ~track_round_reorg =
     let shared = Network.deliver_shared network ~round in
     let shared_blocks =
       List.concat_map (fun (m : Network.message) -> m.blocks) shared
     in
-    receive_tracked crowd shared_blocks ~round ~track_round_reorg;
+    if crowd_live () then
+      receive_tracked crowd shared_blocks ~round ~track_round_reorg;
     Hashtbl.iter
       (fun id miner ->
         let own_filtered =
@@ -414,7 +426,7 @@ let run_aggregate ?on_round config =
       Hashtbl.fold
         (fun _ m acc -> acc + Miner.orphan_count m)
         materialized
-        (Miner.orphan_count crowd);
+        (if crowd_live () then Miner.orphan_count crowd else 0);
   }
 
 let run ?on_round config =

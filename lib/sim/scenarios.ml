@@ -53,6 +53,84 @@ let selfish ~seed ~nu =
     }
     ~c:4.
 
+type spec = {
+  n : int;
+  nu : float;
+  c : float;
+  delta : int;
+  rounds : int;
+  seed : int64;
+  strategy : Adversary.strategy;
+  delay : Nakamoto_net.Network.delay_policy option;
+  tie_break : Nakamoto_chain.Block_tree.tie_break;
+  mining_mode : Config.mining_mode;
+}
+
+let default_spec =
+  {
+    n = 40;
+    nu = 0.25;
+    c = 2.5;
+    delta = 4;
+    rounds = 2_000;
+    seed = 42L;
+    strategy = Adversary.Idle;
+    delay = None;
+    tie_break = Nakamoto_chain.Block_tree.Prefer_honest;
+    mining_mode = Config.Exact;
+  }
+
+let of_spec s =
+  let cfg =
+    {
+      Config.default with
+      n = s.n;
+      nu = s.nu;
+      delta = s.delta;
+      rounds = s.rounds;
+      seed = s.seed;
+      strategy = s.strategy;
+      delay_override = s.delay;
+      tie_break = s.tie_break;
+      mining_mode = s.mining_mode;
+      snapshot_interval = max 1 (s.rounds / 20);
+      truncate = 6;
+    }
+  in
+  let cfg = Config.with_c cfg ~c:s.c in
+  Config.validate cfg;
+  cfg
+
+let strategy_to_string = function
+  | Adversary.Idle -> "idle"
+  | Adversary.Private_chain { reorg_target } ->
+    Printf.sprintf "private-chain(reorg_target=%d)" reorg_target
+  | Adversary.Balance { group_boundary } ->
+    Printf.sprintf "balance(group_boundary=%d)" group_boundary
+  | Adversary.Selfish_mining -> "selfish-mining"
+
+let delay_to_string = function
+  | None -> "strategy-default"
+  | Some Nakamoto_net.Network.Immediate -> "immediate"
+  | Some (Nakamoto_net.Network.Fixed d) -> Printf.sprintf "fixed(%d)" d
+  | Some Nakamoto_net.Network.Uniform_random -> "uniform-random"
+  | Some Nakamoto_net.Network.Maximal -> "maximal"
+  | Some (Nakamoto_net.Network.Per_recipient _) -> "per-recipient(<fun>)"
+
+let spec_to_string s =
+  Printf.sprintf
+    "{n=%d; nu=%.4f; c=%.4f; delta=%d; rounds=%d; seed=%Ld; strategy=%s; \
+     delay=%s; tie_break=%s; mode=%s}"
+    s.n s.nu s.c s.delta s.rounds s.seed
+    (strategy_to_string s.strategy)
+    (delay_to_string s.delay)
+    (match s.tie_break with
+    | Nakamoto_chain.Block_tree.Prefer_honest -> "prefer-honest"
+    | Nakamoto_chain.Block_tree.First_seen -> "first-seen")
+    (match s.mining_mode with
+    | Config.Exact -> "exact"
+    | Config.Aggregate -> "aggregate")
+
 let split_world ~seed =
   let cfg =
     {

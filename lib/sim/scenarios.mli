@@ -30,3 +30,37 @@ val selfish : seed:int64 -> nu:float -> Config.t
 
 val at_c : seed:int64 -> nu:float -> c:float -> rounds:int -> Config.t
 (** Fully parameterized private-chain scenario at an explicit [c]. *)
+
+(** {1 Scenario-from-spec}
+
+    The generative surface of the property-test layer: a [spec] is a
+    plain, printable record over the paper's parameter region; an
+    arbitrary valid [spec] maps to a runnable {!Config.t}.  Generators in
+    {!Nakamoto_proptest.Domain_gen} produce and shrink these. *)
+
+type spec = {
+  n : int;  (** total miners, [>= 4] *)
+  nu : float;  (** adversarial fraction in [0, 1/2) *)
+  c : float;  (** the central ratio [1/(p n delta)], [> 0] *)
+  delta : int;  (** maximum message delay, [>= 1] *)
+  rounds : int;  (** execution length *)
+  seed : int64;
+  strategy : Adversary.strategy;
+  delay : Nakamoto_net.Network.delay_policy option;  (** override, or [None] *)
+  tie_break : Nakamoto_chain.Block_tree.tie_break;
+  mining_mode : Config.mining_mode;
+}
+
+val default_spec : spec
+(** The {!Config.default} operating point as a spec. *)
+
+val of_spec : spec -> Config.t
+(** [of_spec s] is the validated configuration at the spec's parameters
+    ([p] derived from [c]; snapshot cadence [rounds / 20], audit window
+    [T = 6]).
+    @raise Invalid_argument when the spec violates any model constraint
+    (e.g. implied [p] outside (0, 1], [n < 4], aggregate mode with a
+    recipient-dependent delay). *)
+
+val spec_to_string : spec -> string
+(** One-line rendering used in property-failure reports. *)

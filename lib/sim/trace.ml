@@ -76,6 +76,19 @@ let of_string s =
 
 let equal a b = entries a = entries b
 
+let digest t =
+  let mix = Nakamoto_prob.Rng.splitmix64 in
+  let feed acc v = mix (Int64.add acc (Int64.of_int v)) in
+  List.fold_left
+    (fun acc e ->
+      let acc = feed acc e.round in
+      let acc = feed acc e.honest_blocks in
+      let acc = feed acc e.adversary_blocks in
+      let acc = feed acc e.releases in
+      let acc = feed acc e.best_height in
+      feed acc e.reorg_depth)
+    (mix 0x9e3779b97f4a7c15L) (entries t)
+
 let capture config =
   let t = create () in
   let on_round (r : Execution.round_report) =

@@ -45,6 +45,12 @@ val of_string : string -> t
 
 val equal : t -> t -> bool
 
+val digest : t -> int64
+(** [digest t] hash-chains every field of every entry through SplitMix64 —
+    a 64-bit fingerprint of the whole trace.  Golden tests pin a single
+    digest instead of an embedded trace dump; {!equal} traces have equal
+    digests, and any field drift anywhere in the run moves the digest. *)
+
 val capture : Config.t -> t
 (** [capture config] runs an instrumented execution and records every
     round.  The result is deterministic in [config.seed]: equal configs

@@ -1,0 +1,27 @@
+(* Alcotest adapters for the in-repo property engine. *)
+
+module P = Nakamoto_proptest
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* A property as an alcotest case: engine failures (which carry the
+   replayable (seed, path) pair) and statistical rejections render as the
+   assertion message. *)
+let prop ?count name arb body =
+  Alcotest.test_case name `Quick (fun () ->
+      try P.Property.check ?count ~name arb body with
+      | P.Property.Failed f -> Alcotest.fail (P.Property.failure_message f)
+      | P.Stat.Rejected m -> Alcotest.fail m)
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+let close ?(rtol = 1e-9) ?(atol = 1e-12) msg expected actual =
+  if not (Nakamoto_numerics.Special.approx_equal ~rtol ~atol expected actual)
+  then
+    Alcotest.failf "%s: expected %.17g, got %.17g (diff %.3e)" msg expected
+      actual
+      (Float.abs (expected -. actual))
+
+(* Soak scaling: a size that grows when PROPTEST_TRIALS is set. *)
+let sized ~fast ~soak = if P.Property.soak_active () then soak else fast

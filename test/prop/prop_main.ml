@@ -1,0 +1,10 @@
+(* Property-test tier entry point.  Failures print a (seed, path) pair;
+   see DESIGN.md §8 for the replay workflow. *)
+
+let () =
+  Alcotest.run "nakamoto_proptest"
+    [
+      ("engine", Test_engine.suite);
+      ("props", Test_props.suite);
+      ("oracle", Test_oracle.suite);
+    ]

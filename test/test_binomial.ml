@@ -173,6 +173,65 @@ let test_binv_btpe_boundary () =
   check_true "small-trials mean sane"
     (Float.abs (mean_of (draw_seq small 5L) -. Binomial.mean small) < tol small)
 
+let test_cdf_survival_edges () =
+  (* Degenerate p and out-of-support k, on both sides of the support. *)
+  List.iter
+    (fun (trials, p) ->
+      let d = Binomial.create ~trials ~p in
+      let tag = Printf.sprintf "(n=%d, p=%g)" trials p in
+      close (tag ^ " cdf below support") 0. (Binomial.cdf d (-1));
+      close (tag ^ " cdf far below support") 0. (Binomial.cdf d (-100));
+      close (tag ^ " survival below support") 1. (Binomial.survival d (-1));
+      close (tag ^ " cdf at n") 1. (Binomial.cdf d trials);
+      close (tag ^ " cdf above support") 1. (Binomial.cdf d (trials + 1));
+      close (tag ^ " cdf far above support") 1. (Binomial.cdf d (trials + 100));
+      close (tag ^ " survival at n") 0. (Binomial.survival d trials);
+      close (tag ^ " survival above support") 0.
+        (Binomial.survival d (trials + 1)))
+    [ (0, 0.3); (7, 0.); (7, 1.); (7, 0.3); (200, 1e-9); (200, 1.) ];
+  (* p = 0: all mass at 0; p = 1: all mass at n. *)
+  let zero = Binomial.create ~trials:9 ~p:0. in
+  close "p=0 cdf 0" 1. (Binomial.cdf zero 0);
+  close "p=0 survival 0" 0. (Binomial.survival zero 0);
+  let one = Binomial.create ~trials:9 ~p:1. in
+  close "p=1 cdf n-1" 0. (Binomial.cdf one 8);
+  close "p=1 survival n-1" 1. (Binomial.survival one 8);
+  close "p=1 pmf n" 1. (Binomial.pmf one 9)
+
+let test_trials_dispatch_boundary () =
+  (* The sampler dispatches on [mean <= 64 || trials <= 256]: at p = 0.5,
+     trials = 256 (mean 128) still takes BINV by the trials clause while
+     trials = 257 crosses into BTPE.  Both sides must be in-range,
+     deterministic per seed, and mean-correct; their pooled tallies must
+     also survive an exact binomial test against the law itself. *)
+  List.iter
+    (fun trials ->
+      let d = Binomial.create ~trials ~p:0.5 in
+      let draw seed =
+        let g = Nakamoto_prob.Rng.create ~seed in
+        Array.init 400 (fun _ -> Binomial.sample g d)
+      in
+      let a = draw 9L in
+      check_true
+        (Printf.sprintf "trials=%d deterministic" trials)
+        (a = draw 9L);
+      Array.iter
+        (fun k ->
+          check_true
+            (Printf.sprintf "trials=%d sample in range" trials)
+            (k >= 0 && k <= trials))
+        a;
+      let total = Array.fold_left ( + ) 0 a in
+      let pv =
+        Nakamoto_prob.Stats.binomial_test ~hits:total ~trials:(400 * trials)
+          ~p:0.5
+      in
+      check_true
+        (Printf.sprintf "trials=%d pooled draws match the law (p=%.2e)" trials
+           pv)
+        (pv > 1e-9))
+    [ 255; 256; 257; 258 ]
+
 let props =
   let gen_dist =
     QCheck2.Gen.(
@@ -219,5 +278,7 @@ let suite =
     case "sampling degenerate" test_sampling_degenerate;
     case "sampler goodness of fit (chi-square)" test_sampler_goodness_of_fit;
     case "BINV/BTPE dispatch boundary" test_binv_btpe_boundary;
+    case "cdf/survival edge cases" test_cdf_survival_edges;
+    case "trials dispatch boundary (256/257)" test_trials_dispatch_boundary;
   ]
   @ props

@@ -344,6 +344,37 @@ let test_aggregate_honest_convergence () =
   check_true "tips within one block of each other" (max_h - min_h <= 1);
   check_true "chain grew" (max_h > 50)
 
+(* Regression surfaced by the property tier's soak run (seed 42, path
+   [38], shrunk): the Balance adversary's [Only]-audience releases
+   materialize every honest miner, after which the crowd view stood for
+   nobody yet kept receiving ring blocks whose direct-sent parents it
+   never saw — phantom orphans counted in [orphans_remaining].  The crowd
+   now retires once all miners are materialized; both modes must agree on
+   zero orphans after quiescence. *)
+let test_aggregate_balance_no_phantom_orphans () =
+  let spec =
+    {
+      Sim.Scenarios.n = 26;
+      nu = 0.3703;
+      c = 3.9997;
+      delta = 1;
+      rounds = 200;
+      seed = -8843244188913738181L;
+      strategy = Sim.Adversary.Balance { group_boundary = 16 };
+      delay = Some Nakamoto_net.Network.Immediate;
+      tie_break = Nakamoto_chain.Block_tree.Prefer_honest;
+      mining_mode = Sim.Config.Exact;
+    }
+  in
+  List.iter
+    (fun (label, mode) ->
+      let r =
+        Sim.Execution.run
+          (Sim.Scenarios.of_spec { spec with mining_mode = mode })
+      in
+      check_int (label ^ ": no orphans after quiescence") 0 r.orphans_remaining)
+    [ ("exact", Sim.Config.Exact); ("aggregate", Sim.Config.Aggregate) ]
+
 let suite =
   [
     case "config validation" test_config_validation;
@@ -367,4 +398,6 @@ let suite =
     case "aggregate invariants" test_aggregate_invariants;
     case "aggregate attack runs" test_aggregate_attack_runs;
     case "aggregate honest convergence" test_aggregate_honest_convergence;
+    case "aggregate balance has no phantom crowd orphans"
+      test_aggregate_balance_no_phantom_orphans;
   ]

@@ -114,9 +114,67 @@ let props =
           !direct);
   ]
 
+let test_log_gamma () =
+  (* Exact at integers (Gamma n = (n-1)!) across both the recursion and
+     the Stirling branch. *)
+  List.iter
+    (fun n ->
+      close
+        (Printf.sprintf "log_gamma %d" n)
+        (Special.log_factorial (n - 1))
+        (Special.log_gamma (float_of_int n)))
+    [ 1; 2; 3; 7; 10; 40; 170 ];
+  (* Gamma(1/2) = sqrt(pi), and the reflection-free half-integer ladder. *)
+  close ~rtol:1e-9 "log_gamma 0.5" (0.5 *. log Float.pi)
+    (Special.log_gamma 0.5);
+  close ~rtol:1e-9 "log_gamma 1.5"
+    (log (0.5 *. sqrt Float.pi))
+    (Special.log_gamma 1.5);
+  (match Special.log_gamma 0. with
+  | _ -> Alcotest.fail "log_gamma 0 should raise"
+  | exception Invalid_argument _ -> ())
+
+let test_regularized_gamma () =
+  (* a = 1: P(1, x) = 1 - exp(-x) exactly (exponential CDF). *)
+  List.iter
+    (fun x ->
+      close ~rtol:1e-12
+        (Printf.sprintf "P(1, %g)" x)
+        (-.Special.expm1 (-.x))
+        (Special.regularized_gamma_lower ~a:1. ~x);
+      close ~rtol:1e-12
+        (Printf.sprintf "Q(1, %g)" x)
+        (exp (-.x))
+        (Special.regularized_gamma_upper ~a:1. ~x))
+    [ 1e-6; 0.1; 1.; 5.; 30. ];
+  (* Boundaries and complementarity across the series/continued-fraction
+     split at x = a + 1. *)
+  close "P(a, 0)" 0. (Special.regularized_gamma_lower ~a:3.2 ~x:0.);
+  close "Q(a, 0)" 1. (Special.regularized_gamma_upper ~a:3.2 ~x:0.);
+  List.iter
+    (fun (a, x) ->
+      let p = Special.regularized_gamma_lower ~a ~x in
+      let q = Special.regularized_gamma_upper ~a ~x in
+      close ~rtol:1e-10
+        (Printf.sprintf "P + Q = 1 at a=%g x=%g" a x)
+        1. (p +. q))
+    [ (0.5, 0.3); (2., 2.9); (2., 3.1); (10., 40.); (100., 80.) ];
+  (* Q(a, x) for large x decays like the exponential tail: a known value,
+     Q(5, 20) = e^{-20} sum_{k=0}^{4} 20^k / k! (Erlang survival). *)
+  let erlang_survival =
+    exp (-20.)
+    *. List.fold_left ( +. ) 0.
+         (List.init 5 (fun k ->
+              (20. ** float_of_int k) /. exp (Special.log_factorial k)))
+  in
+  close ~rtol:1e-10 "Q(5, 20) Erlang" erlang_survival
+    (Special.regularized_gamma_upper ~a:5. ~x:20.)
+
 let suite =
   [
     case "log_pow1p" test_log_pow1p;
+    case "log_gamma" test_log_gamma;
+    case "regularized incomplete gamma" test_regularized_gamma;
     case "log_add/log_sub" test_log_add_sub;
     case "log_sum" test_log_sum;
     case "log_one_minus_exp" test_log_one_minus_exp;

@@ -100,9 +100,93 @@ let props =
            < 1e-9);
   ]
 
+let test_chi_square_survival () =
+  (* Textbook critical values: survival at the alpha = 0.05 / 0.01
+     quantiles must recover alpha. *)
+  List.iter
+    (fun (df, x, alpha) ->
+      close ~rtol:1e-6
+        (Printf.sprintf "df=%d x=%g" df x)
+        alpha
+        (Stats.chi_square_survival ~df x))
+    [
+      (1, 3.841458820694124, 0.05);
+      (2, 5.991464547107979, 0.05);
+      (5, 11.070497693516351, 0.05);
+      (10, 18.307038053275146, 0.05);
+      (1, 6.634896601021213, 0.01);
+    ];
+  close "survival at 0" 1. (Stats.chi_square_survival ~df:3 0.);
+  check_true "far tail is tiny but positive"
+    (let s = Stats.chi_square_survival ~df:4 300. in
+     s > 0. && s < 1e-50)
+
+let test_chi_square_gof () =
+  (* A perfectly matching sample has statistic ~ 0, p ~ 1. *)
+  let t =
+    Stats.chi_square_gof ~observed:[| 250; 250; 250; 250 |]
+      ~expected:[| 250.; 250.; 250.; 250. |]
+      ()
+  in
+  close "perfect fit statistic" 0. t.Stats.statistic;
+  close "perfect fit p" 1. t.Stats.p_value;
+  check_true "df pools to cells - 1" (t.Stats.df = 3.);
+  (* A grossly biased one rejects. *)
+  let bad =
+    Stats.chi_square_gof ~observed:[| 700; 100; 100; 100 |]
+      ~expected:[| 250.; 250.; 250.; 250. |]
+      ()
+  in
+  check_true "biased sample rejected" (bad.Stats.p_value < 1e-10);
+  (* Sparse-cell pooling: expecteds below the floor merge, so df shrinks
+     and the test stays valid on skewed distributions. *)
+  let pooled =
+    Stats.chi_square_gof ~min_expected:5.
+      ~observed:[| 96; 2; 1; 1 |]
+      ~expected:[| 94.; 3.; 2.; 1. |]
+      ()
+  in
+  check_true "pooling collapses sparse tail" (pooled.Stats.df = 1.);
+  check_true "pooled fit accepted" (pooled.Stats.p_value > 0.05)
+
+let test_homogeneity_and_ks () =
+  let same = Stats.chi_square_homogeneity [| 50; 30; 20 |] [| 48; 33; 19 |] () in
+  check_true "similar rows accepted" (same.Stats.p_value > 0.1);
+  let diff =
+    Stats.chi_square_homogeneity [| 500; 300; 200 |] [| 200; 300; 500 |] ()
+  in
+  check_true "different rows rejected" (diff.Stats.p_value < 1e-10);
+  let xs = Array.init 300 (fun i -> float_of_int i /. 300.) in
+  let shifted = Array.map (fun x -> x +. 0.5) xs in
+  check_true "KS identical" ((Stats.ks_two_sample xs xs).Stats.p_value > 0.99);
+  check_true "KS shifted"
+    ((Stats.ks_two_sample xs shifted).Stats.p_value < 1e-10)
+
+let test_binomial_test () =
+  close "center is 1" 1. (Stats.binomial_test ~hits:5 ~trials:10 ~p:0.5);
+  (* All-misses two-sided p doubles the smaller tail: 2 * 2^-10. *)
+  close ~rtol:1e-12 "all misses" (2. /. 1024.)
+    (Stats.binomial_test ~hits:0 ~trials:10 ~p:0.5);
+  close ~rtol:1e-12 "all hits" (2. /. 1024.)
+    (Stats.binomial_test ~hits:10 ~trials:10 ~p:0.5);
+  close "degenerate p=0, hits=0" 1.
+    (Stats.binomial_test ~hits:0 ~trials:10 ~p:0.);
+  check_true "degenerate p=0, hits>0 rejects"
+    (Stats.binomial_test ~hits:3 ~trials:10 ~p:0. = 0.);
+  check_true "symmetric"
+    (Stats.binomial_test ~hits:3 ~trials:10 ~p:0.5
+    = Stats.binomial_test ~hits:7 ~trials:10 ~p:0.5);
+  (match Stats.binomial_test ~hits:11 ~trials:10 ~p:0.5 with
+  | _ -> Alcotest.fail "hits > trials should raise"
+  | exception Invalid_argument _ -> ())
+
 let suite =
   [
     case "summary basics" test_summary_basic;
+    case "chi-square survival" test_chi_square_survival;
+    case "chi-square goodness of fit" test_chi_square_gof;
+    case "homogeneity and KS" test_homogeneity_and_ks;
+    case "exact binomial test" test_binomial_test;
     case "summary single sample" test_summary_single;
     case "confidence interval" test_confidence_interval;
     case "merge" test_merge;

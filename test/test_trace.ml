@@ -74,6 +74,49 @@ let test_capture_matches_result () =
   in
   check_int "reorg agrees" result.max_reorg_depth max_reorg
 
+let test_digest_basics () =
+  let a = Trace.create () and b = Trace.create () in
+  check_true "empty digests equal" (Trace.digest a = Trace.digest b);
+  Trace.record a (entry ~round:1 ~hb:2 ~bh:1 ());
+  Trace.record b (entry ~round:1 ~hb:2 ~bh:1 ());
+  check_true "equal traces, equal digests" (Trace.digest a = Trace.digest b);
+  Trace.record b (entry ~round:2 ());
+  check_true "appending moves the digest" (Trace.digest a <> Trace.digest b);
+  let c = Trace.create () in
+  Trace.record c (entry ~round:1 ~hb:2 ~bh:1 ~rd:1 ());
+  check_true "single-field drift moves the digest"
+    (Trace.digest a <> Trace.digest c)
+
+(* Golden digests for the Aggregate executor (with their Exact twins for
+   contrast): any change to the aggregate sampling order, the Δ-ring
+   delivery order, or the trace capture itself moves one of these.  Pins
+   were produced by this build; to re-pin after an intentional change,
+   run the test and copy the printed actuals. *)
+let test_digest_golden () =
+  let drifted = ref [] in
+  let pin name cfg expected =
+    let actual = Trace.digest (Trace.capture cfg) in
+    if actual <> expected then
+      drifted :=
+        Printf.sprintf "%s: digest %LdL, pinned %LdL" name actual expected
+        :: !drifted
+  in
+  let idle = { Sim.Config.default with rounds = 300 } in
+  let selfish = { (Sim.Scenarios.selfish ~seed:7L ~nu:0.3) with rounds = 300 } in
+  let private_chain =
+    { (Sim.Scenarios.attack_zone ~seed:9L ~nu:0.3) with rounds = 300 }
+  in
+  let aggregate cfg = { cfg with Sim.Config.mining_mode = Sim.Config.Aggregate } in
+  pin "idle exact" idle (-8529630278043617785L);
+  pin "idle aggregate" (aggregate idle) 8135491591983535470L;
+  pin "selfish exact" selfish 593782077359320743L;
+  pin "selfish aggregate" (aggregate selfish) (-1688032004928090375L);
+  pin "private-chain exact" private_chain 824747865138562576L;
+  pin "private-chain aggregate" (aggregate private_chain)
+    (-6121173026786046363L);
+  if !drifted <> [] then
+    Alcotest.failf "%s" (String.concat "\n" (List.rev !drifted))
+
 let test_summarize () =
   let t = Trace.create () in
   Trace.record t (entry ~round:1 ~hb:2 ~bh:1 ());
@@ -88,5 +131,7 @@ let suite =
     case "parse errors" test_parse_errors;
     case "capture determinism" test_capture_deterministic;
     case "capture matches execution result" test_capture_matches_result;
+    case "digest basics" test_digest_basics;
+    case "digest goldens (exact and aggregate)" test_digest_golden;
     case "summarize" test_summarize;
   ]
