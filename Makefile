@@ -22,6 +22,32 @@ campaign-smoke:
 bench-exec-smoke:
 	dune exec bench/main.exe -- --execscale-smoke
 
+# Crash-recovery smoke: the campaign-smoke run, but killed by an injected
+# fault and then resumed.  Leg 1 crashes after the first two fsynced
+# appends (header + one cell); leg 2 tears the final cell append in half
+# mid-write, which --resume must repair (truncate + log), not reject.
+# Both resumed journals must be byte-identical to the committed golden —
+# kill-then-resume equals never-killed, to the byte.  The injected crash
+# exits 70 (EX_SOFTWARE), which each leg asserts.
+FAULT_SMOKE_ARGS = campaign -p 0.01 -n 40 --delta 3 --nu 0.15,0.4 \
+  --trials 4 --rounds 400 --jobs 2 --seed 7 --progress-interval 0
+faultinject-smoke:
+	dune exec bin/main.exe -- $(FAULT_SMOKE_ARGS) \
+	  --out _fault_smoke.jsonl --fault crash-after-appends=2 \
+	  >/dev/null 2>&1; test $$? -eq 70
+	dune exec bin/main.exe -- $(FAULT_SMOKE_ARGS) \
+	  --out _fault_smoke.jsonl --resume >/dev/null
+	cmp _fault_smoke.jsonl test/golden/campaign_smoke.jsonl
+	rm -f _fault_smoke.jsonl
+	dune exec bin/main.exe -- $(FAULT_SMOKE_ARGS) \
+	  --out _fault_smoke.jsonl --fault torn-write=3 \
+	  >/dev/null 2>&1; test $$? -eq 70
+	dune exec bin/main.exe -- $(FAULT_SMOKE_ARGS) \
+	  --out _fault_smoke.jsonl --resume >/dev/null 2>_fault_smoke.log
+	grep -q "torn tail" _fault_smoke.log
+	cmp _fault_smoke.jsonl test/golden/campaign_smoke.jsonl
+	rm -f _fault_smoke.jsonl _fault_smoke.log
+
 # The property tier's oracle-focused run: the differential oracle (50
 # generated scenarios through Exact / Aggregate / state-process lanes),
 # the stationary cross-checks, and the Δ-ring vs queue-lane equivalence.
@@ -36,7 +62,7 @@ proptest-smoke:
 soak:
 	dune build @soak
 
-check: all test campaign-smoke bench-exec-smoke proptest-smoke
+check: all test campaign-smoke faultinject-smoke bench-exec-smoke proptest-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -48,5 +74,5 @@ artifacts:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-.PHONY: all test bench examples artifacts campaign-smoke bench-exec-smoke \
-  proptest-smoke soak check
+.PHONY: all test bench examples artifacts campaign-smoke faultinject-smoke \
+  bench-exec-smoke proptest-smoke soak check

@@ -398,7 +398,7 @@ let confirm_cmd =
 
 let campaign_cmd =
   let run ps ns deltas nus trials rounds mode strategy jobs seed resume out
-      shard_size progress_interval =
+      shard_size progress_interval retries fault =
     let strategy =
       match strategy with
       | "idle" -> Ok Sim.Adversary.Idle
@@ -413,9 +413,17 @@ let campaign_cmd =
       | "state" -> Ok Campaign.Spec.State_process
       | other -> Error (Printf.sprintf "unknown mode %S" other)
     in
-    match (strategy, mode) with
-    | Error e, _ | _, Error e -> `Error (false, e)
-    | Ok strategy, Ok mode -> (
+    let fault =
+      match fault with
+      | None -> Ok None
+      | Some s -> (
+        match Campaign.Faultplan.of_string s with
+        | Ok plan -> Ok (Some plan)
+        | Error e -> Error e)
+    in
+    match (strategy, mode, fault) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+    | Ok strategy, Ok mode, Ok fault -> (
       let spec =
         {
           Campaign.Spec.ps;
@@ -433,11 +441,16 @@ let campaign_cmd =
       in
       let jobs = if jobs = 0 then None else Some jobs in
       match
-        Campaign.Campaign.run ?jobs ?journal_path:out ~resume
+        Campaign.Campaign.run ?jobs ?journal_path:out ~resume ~retries ?fault
           ~progress_interval spec
       with
       | exception Invalid_argument msg -> `Error (false, msg)
       | exception Failure msg -> `Error (false, msg)
+      | exception Campaign.Faultplan.Injected_crash msg ->
+        (* EX_SOFTWARE: the injected crash fired as planned; the journal
+           holds every line fsynced before the crash point. *)
+        Printf.eprintf "campaign: injected crash: %s\n%!" msg;
+        exit 70
       | outcome ->
         print_string
           (Nakamoto_numerics.Table.render
@@ -508,12 +521,27 @@ let campaign_cmd =
          & info [ "progress-interval" ] ~docv:"SEC"
              ~doc:"Seconds between progress reports on stderr; 0 disables.")
   in
+  let retries_arg =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"K"
+             ~doc:"Requeue a failing shard up to K times before giving up.")
+  in
+  let fault_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fault" ] ~docv:"PLAN"
+             ~doc:"Arm a fault-injection plan (testing): \
+                   crash-after-appends=N | torn-write=N | \
+                   raising-worker=TASK[:FAILURES] | \
+                   slow-worker=TASK[:SECONDS].  An injected crash exits \
+                   with status 70.")
+  in
   let term =
     Term.(
       ret
         (const run $ ps_arg $ ns_arg $ deltas_arg $ nus_arg $ trials_arg
         $ rounds_arg $ mode_arg $ strategy_arg $ jobs_arg $ seed_arg
-        $ resume_arg $ out_arg $ shard_arg $ progress_arg))
+        $ resume_arg $ out_arg $ shard_arg $ progress_arg $ retries_arg
+        $ fault_arg))
   in
   Cmd.v
     (Cmd.info "campaign"

@@ -37,8 +37,11 @@ let run_shard spec cells (sh : Shard.t) =
   done;
   agg
 
-let run ?jobs ?journal_path ?(resume = false) ?(progress_interval = 0.)
-    ?(progress_out = stderr) spec =
+let default_log msg = Printf.eprintf "campaign: %s\n%!" msg
+
+let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
+    ?(progress_interval = 0.) ?(progress_out = stderr) ?(log = default_log)
+    spec =
   Spec.validate spec;
   let jobs =
     match jobs with
@@ -47,123 +50,173 @@ let run ?jobs ?journal_path ?(resume = false) ?(progress_interval = 0.)
       if j < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
       j
   in
+  if retries < 0 then invalid_arg "Campaign.run: retries must be >= 0";
+  let fault = Option.map Faultplan.arm fault in
   let started = Unix.gettimeofday () in
   let cells = Spec.cells spec in
   let ncells = Array.length cells in
   let completed : Aggregate.t option array = Array.make ncells None in
   let from_journal = Array.make ncells false in
   let written = Array.make ncells false in
-  (* Journal setup: load on resume (after a fingerprint check), start
-     fresh otherwise. *)
-  (match journal_path with
-  | None -> ()
-  | Some path ->
-    let fresh_header () =
-      if Sys.file_exists path then Sys.remove path;
-      Journal.append ~path (Journal.Header (Journal.header_of_spec spec))
-    in
-    if not resume then fresh_header ()
-    else begin
-      match Journal.load ~path with
-      | None -> fresh_header ()
-      | Some (header, entries) ->
-        if header.Journal.fingerprint <> Spec.fingerprint spec then
-          invalid_arg
-            "Campaign.run: journal fingerprint does not match the spec \
-             (resume must reuse the exact grid, seed and trial counts)";
-        List.iter
-          (fun ((cell : Spec.cell), snap) ->
-            if cell.Spec.index < 0 || cell.Spec.index >= ncells then
-              failwith "Campaign.run: journal cell index out of range";
-            completed.(cell.Spec.index) <- Some (Aggregate.of_snapshot snap);
-            from_journal.(cell.Spec.index) <- true;
-            written.(cell.Spec.index) <- true)
-          entries
-    end);
-  let resumed_cells =
-    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 from_journal
-  in
-  let plan =
-    Shard.plan ~cells:ncells ~trials_per_cell:spec.Spec.trials_per_cell
-      ~shard_size:spec.Spec.shard_size
-      ~skip:(fun i -> completed.(i) <> None)
-  in
-  let fresh_trials = Array.fold_left (fun acc sh -> acc + Shard.trials sh) 0 plan in
-  let progress =
-    if progress_interval > 0. then
-      Progress.create ~out:progress_out ~interval:progress_interval
-        ~total_trials:fresh_trials ()
-    else Progress.silent
-  in
-  let slots =
-    Shard.per_cell ~trials_per_cell:spec.Spec.trials_per_cell
-      ~shard_size:spec.Spec.shard_size
-  in
-  let shard_results = Array.init ncells (fun _ -> Array.make slots None) in
-  let shards_done = Array.make ncells 0 in
-  let trials_done = ref 0 in
-  (* Journal lines go out strictly in cell order: a cell that finishes
-     early waits here until every lower-indexed cell has been flushed.
-     This is what makes journals byte-identical across worker counts. *)
-  let next_flush = ref 0 in
-  let flush_prefix () =
+  (* Journal setup: load on resume — repairing a torn tail and starting
+     fresh over an unusable file, both logged — after a fingerprint
+     check; start fresh otherwise.  The writer stays open (and fsyncs
+     every append) until the run ends. *)
+  let writer =
     match journal_path with
-    | None -> ()
+    | None -> None
     | Some path ->
-      while !next_flush < ncells && completed.(!next_flush) <> None do
-        let i = !next_flush in
-        if not written.(i) then begin
-          (match completed.(i) with
-          | Some agg ->
-            Journal.append ~path
-              (Journal.Cell (cells.(i), Aggregate.snapshot agg))
-          | None -> assert false);
-          written.(i) <- true
-        end;
-        incr next_flush
-      done
-  in
-  flush_prefix ();
-  let on_result task_index agg =
-    let sh = plan.(task_index) in
-    let ci = sh.Shard.cell_index in
-    shard_results.(ci).(sh.Shard.slot) <- Some agg;
-    shards_done.(ci) <- shards_done.(ci) + 1;
-    trials_done := !trials_done + Shard.trials sh;
-    if shards_done.(ci) = slots then begin
-      (* Merge in slot order — never completion order. *)
-      let merged =
-        Array.fold_left
-          (fun acc slot ->
-            match (acc, slot) with
-            | None, Some a -> Some a
-            | Some m, Some a -> Some (Aggregate.merge m a)
-            | _, None -> assert false)
-          None shard_results.(ci)
+      let fresh () =
+        let w = Journal.create_writer ~path ~fresh:true in
+        (try
+           Faultplan.journal_append fault w
+             (Journal.Header (Journal.header_of_spec spec))
+         with e ->
+           Journal.close_writer w;
+           raise e);
+        Some w
       in
-      completed.(ci) <- merged;
-      flush_prefix ()
-    end;
-    Progress.note progress ~trials_done:!trials_done
+      if not resume then fresh ()
+      else begin
+        match Journal.load ~path with
+        | Journal.No_file -> fresh ()
+        | Journal.Unusable reason ->
+          log
+            (Printf.sprintf
+               "journal %s holds no usable state (%s); starting fresh" path
+               reason);
+          fresh ()
+        | Journal.Loaded { l_header = header; entries; torn } ->
+          if header.Journal.fingerprint <> Spec.fingerprint spec then
+            invalid_arg
+              "Campaign.run: journal fingerprint does not match the spec \
+               (resume must reuse the exact grid, seed and trial counts)";
+          (match torn with
+          | None -> ()
+          | Some t ->
+            Journal.repair ~path t;
+            log
+              (Printf.sprintf
+                 "journal %s: repaired torn tail (dropped %d partial bytes \
+                  at offset %d); the interrupted cell will be recomputed"
+                 path t.Journal.dropped_bytes t.Journal.valid_bytes));
+          List.iter
+            (fun ((cell : Spec.cell), snap) ->
+              if cell.Spec.index < 0 || cell.Spec.index >= ncells then
+                failwith "Campaign.run: journal cell index out of range";
+              completed.(cell.Spec.index) <- Some (Aggregate.of_snapshot snap);
+              from_journal.(cell.Spec.index) <- true;
+              written.(cell.Spec.index) <- true)
+            entries;
+          log
+            (Printf.sprintf "resuming %s: %d of %d cells recovered from %s"
+               (Spec.describe spec)
+               (List.length entries) ncells path);
+          Some (Journal.create_writer ~path ~fresh:false)
+      end
   in
-  ignore (Worker_pool.run ~jobs ~on_result (run_shard spec cells) plan);
-  Progress.finish progress ~trials_done:!trials_done;
-  let results =
-    Array.mapi
-      (fun i cell ->
-        match completed.(i) with
-        | Some aggregate -> { cell; aggregate; from_journal = from_journal.(i) }
-        | None -> assert false (* the pool drained every shard *))
-      cells
-  in
-  {
-    spec;
-    cells = results;
-    fresh_trials;
-    resumed_cells;
-    jobs;
-    elapsed = Unix.gettimeofday () -. started;
-  }
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close_writer writer)
+    (fun () ->
+      let resumed_cells =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 from_journal
+      in
+      let resumed_trials = resumed_cells * spec.Spec.trials_per_cell in
+      let plan =
+        Shard.plan ~cells:ncells ~trials_per_cell:spec.Spec.trials_per_cell
+          ~shard_size:spec.Spec.shard_size
+          ~skip:(fun i -> completed.(i) <> None)
+      in
+      let fresh_trials =
+        Array.fold_left (fun acc sh -> acc + Shard.trials sh) 0 plan
+      in
+      let progress =
+        if progress_interval > 0. then
+          Progress.create ~out:progress_out ~interval:progress_interval
+            ~resumed_trials ~total_trials:(Spec.trial_count spec) ()
+        else Progress.silent ()
+      in
+      let slots =
+        Shard.per_cell ~trials_per_cell:spec.Spec.trials_per_cell
+          ~shard_size:spec.Spec.shard_size
+      in
+      let shard_results = Array.init ncells (fun _ -> Array.make slots None) in
+      let shards_done = Array.make ncells 0 in
+      let trials_done = ref resumed_trials in
+      (* Journal lines go out strictly in cell order: a cell that finishes
+         early waits here until every lower-indexed cell has been flushed.
+         This is what makes journals byte-identical across worker counts. *)
+      let next_flush = ref 0 in
+      let flush_prefix () =
+        match writer with
+        | None -> ()
+        | Some w ->
+          while !next_flush < ncells && completed.(!next_flush) <> None do
+            let i = !next_flush in
+            if not written.(i) then begin
+              (match completed.(i) with
+              | Some agg ->
+                Faultplan.journal_append fault w
+                  (Journal.Cell (cells.(i), Aggregate.snapshot agg))
+              | None -> assert false);
+              written.(i) <- true
+            end;
+            incr next_flush
+          done
+      in
+      flush_prefix ();
+      let on_result task_index agg =
+        let sh = plan.(task_index) in
+        let ci = sh.Shard.cell_index in
+        shard_results.(ci).(sh.Shard.slot) <- Some agg;
+        shards_done.(ci) <- shards_done.(ci) + 1;
+        trials_done := !trials_done + Shard.trials sh;
+        if shards_done.(ci) = slots then begin
+          (* Merge in slot order — never completion order. *)
+          let merged =
+            Array.fold_left
+              (fun acc slot ->
+                match (acc, slot) with
+                | None, Some a -> Some a
+                | Some m, Some a -> Some (Aggregate.merge m a)
+                | _, None -> assert false)
+              None shard_results.(ci)
+          in
+          completed.(ci) <- merged;
+          flush_prefix ()
+        end;
+        Progress.note progress ~trials_done:!trials_done
+      in
+      let task (sh : Shard.t) =
+        Faultplan.wrap_task fault ~task:sh.Shard.id (fun () ->
+            run_shard spec cells sh)
+      in
+      let on_retry ~task ~attempt e =
+        log
+          (Printf.sprintf
+             "shard %d failed on attempt %d (%s); requeueing (%d %s left)"
+             task attempt (Printexc.to_string e) (retries - attempt)
+             (if retries - attempt = 1 then "retry" else "retries"))
+      in
+      ignore (Worker_pool.run ~jobs ~retries ~on_retry ~on_result task plan);
+      Progress.finish progress ~trials_done:!trials_done;
+      let results =
+        Array.mapi
+          (fun i cell ->
+            match completed.(i) with
+            | Some aggregate ->
+              { cell; aggregate; from_journal = from_journal.(i) }
+            | None -> assert false (* the pool drained every shard *))
+          cells
+      in
+      {
+        spec;
+        cells = results;
+        fresh_trials;
+        resumed_cells;
+        jobs;
+        elapsed = Unix.gettimeofday () -. started;
+      })
 
 let region (cell : Spec.cell) =
   if cell.Spec.nu <= 0. then "SAFE"

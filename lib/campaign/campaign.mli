@@ -10,7 +10,16 @@
     (3) journal lines are flushed in cell order, a completed
     out-of-order cell waiting for its predecessors.  Killing a campaign
     loses at most the unflushed suffix; rerunning with [resume] skips
-    every journaled cell and recomputes only the rest. *)
+    every journaled cell and recomputes only the rest.
+
+    Crash-safety contract: every journal line is fsynced before the
+    engine proceeds, so a line the journal claims is durable really is;
+    a SIGKILL mid-append leaves at most one torn final line, which
+    resume repairs (truncates, with a logged warning) rather than
+    rejecting.  Worker domains are supervised: a shard whose worker
+    raises or dies is requeued up to [retries] times, and because a
+    shard's result depends only on [(seed, cell, trial)], a retried
+    shard is bit-identical to a first-attempt one. *)
 
 type cell_result = {
   cell : Spec.cell;
@@ -31,25 +40,40 @@ val run :
   ?jobs:int ->
   ?journal_path:string ->
   ?resume:bool ->
+  ?retries:int ->
+  ?fault:Faultplan.t ->
   ?progress_interval:float ->
   ?progress_out:out_channel ->
+  ?log:(string -> unit) ->
   Spec.t ->
   outcome
 (** [run spec] executes the campaign.
 
     [jobs] defaults to {!Worker_pool.default_jobs}.  When
-    [journal_path] is given, a header plus one line per completed cell
-    is streamed to it; with [resume] also set and the file present, its
-    cells are loaded instead of recomputed — after checking that the
-    journal's {!Spec.fingerprint} matches, so a resume against an edited
-    spec fails loudly.  Without [resume], an existing journal at that
-    path is overwritten.  [progress_interval] (seconds, default [0.] =
-    silent) enables the {!Progress} reporter on [progress_out] (default
-    [stderr]).
+    [journal_path] is given, a header plus one fsynced line per
+    completed cell is streamed to it; with [resume] also set and the
+    file present, its cells are loaded instead of recomputed — after
+    checking that the journal's {!Spec.fingerprint} matches, so a
+    resume against an edited spec fails loudly.  A torn final line
+    (SIGKILL mid-append) is repaired in place and logged; a journal
+    with no usable state (empty, or torn before the header completed)
+    is logged and overwritten as if starting fresh.  Without [resume],
+    an existing journal at that path is overwritten.
 
-    @raise Invalid_argument on an invalid spec, [jobs < 1], or a
-    fingerprint mismatch.
-    @raise Failure on a corrupt journal file. *)
+    [retries] (default [2]) bounds how many times a failing shard is
+    requeued before the campaign gives up and re-raises; retried shards
+    are deterministic, so the outcome is unaffected.  [fault] arms a
+    {!Faultplan} for crash-recovery testing.  [progress_interval]
+    (seconds, default [0.] = silent) enables the {!Progress} reporter
+    on [progress_out] (default [stderr]).  [log] receives one-line
+    operational messages — resume summaries, torn-tail repairs, shard
+    requeues (default: [stderr] prefixed with ["campaign: "]).
+
+    @raise Invalid_argument on an invalid spec, [jobs < 1],
+    [retries < 0], or a fingerprint mismatch.
+    @raise Failure on a corrupt journal file (mid-file damage or a
+    duplicate header — never a torn tail).
+    @raise Faultplan.Injected_crash when an armed crash plan fires. *)
 
 val region : Spec.cell -> string
 (** ["SAFE"] when [c] clears the neat bound [2mu/ln(mu/nu)], ["ATTACK"]

@@ -1,0 +1,118 @@
+type t =
+  | Crash_after_appends of int
+  | Torn_write of int
+  | Raising_worker of { task : int; failures : int }
+  | Slow_worker of { task : int; delay : float }
+
+exception Injected_crash of string
+
+let to_string = function
+  | Crash_after_appends n -> Printf.sprintf "crash-after-appends=%d" n
+  | Torn_write n -> Printf.sprintf "torn-write=%d" n
+  | Raising_worker { task; failures } ->
+    Printf.sprintf "raising-worker=%d:%d" task failures
+  | Slow_worker { task; delay } -> Printf.sprintf "slow-worker=%d:%g" task delay
+
+let of_string s =
+  let split_eq s =
+    match String.index_opt s '=' with
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  let split_colon v =
+    match String.index_opt v ':' with
+    | Some i ->
+      (String.sub v 0 i, Some (String.sub v (i + 1) (String.length v - i - 1)))
+    | None -> (v, None)
+  in
+  let int_of name v =
+    match int_of_string_opt v with
+    | Some i when i >= 1 -> Ok i
+    | _ -> Error (Printf.sprintf "fault plan %s wants a positive integer, got %S" name v)
+  in
+  match split_eq (String.trim s) with
+  | "crash-after-appends", Some v ->
+    Result.map (fun n -> Crash_after_appends n) (int_of "crash-after-appends" v)
+  | "torn-write", Some v -> Result.map (fun n -> Torn_write n) (int_of "torn-write" v)
+  | "raising-worker", Some v -> (
+    let task, rest = split_colon v in
+    match (int_of_string_opt task, rest) with
+    | Some task, None when task >= 0 -> Ok (Raising_worker { task; failures = 1 })
+    | Some task, Some k when task >= 0 -> (
+      match int_of_string_opt k with
+      | Some failures when failures >= 1 -> Ok (Raising_worker { task; failures })
+      | _ -> Error (Printf.sprintf "raising-worker failure count must be >= 1, got %S" k))
+    | _ -> Error (Printf.sprintf "raising-worker wants TASK[:FAILURES], got %S" v))
+  | "slow-worker", Some v -> (
+    let task, rest = split_colon v in
+    match (int_of_string_opt task, rest) with
+    | Some task, None when task >= 0 -> Ok (Slow_worker { task; delay = 0.05 })
+    | Some task, Some d when task >= 0 -> (
+      match float_of_string_opt d with
+      | Some delay when delay >= 0. -> Ok (Slow_worker { task; delay })
+      | _ -> Error (Printf.sprintf "slow-worker delay must be >= 0, got %S" d))
+    | _ -> Error (Printf.sprintf "slow-worker wants TASK[:SECONDS], got %S" v))
+  | name, _ ->
+    Error
+      (Printf.sprintf
+         "unknown fault plan %S (want crash-after-appends=N | torn-write=N | \
+          raising-worker=TASK[:FAILURES] | slow-worker=TASK[:SECONDS])"
+         name)
+
+(* ------------------------------------------------------------------ *)
+(* Armed plans: the mutable counters live here so one [t] value can be  *)
+(* armed once per campaign run                                          *)
+(* ------------------------------------------------------------------ *)
+
+type armed = {
+  plan : t;
+  appends : int ref;  (* journal appends so far (header included); the
+                         campaign serializes all journal writes *)
+  raised : int Atomic.t;  (* injected worker failures so far *)
+  dead : bool ref;  (* the simulated process has "crashed" *)
+}
+
+let arm plan = { plan; appends = ref 0; raised = Atomic.make 0; dead = ref false }
+
+let crash a msg =
+  a.dead := true;
+  raise (Injected_crash msg)
+
+(* The campaign's single cell-append point.  Crash plans fire *after*
+   the decisive write is durable (Crash_after_appends) or *during* it
+   (Torn_write), and once dead every later append re-raises: a crashed
+   process writes nothing more. *)
+let journal_append armed writer line =
+  match armed with
+  | None -> Journal.append writer line
+  | Some a ->
+    if !(a.dead) then crash a (to_string a.plan ^ " (already down)");
+    incr a.appends;
+    (match a.plan with
+    | Crash_after_appends n ->
+      Journal.append writer line;
+      if !(a.appends) >= n then
+        crash a (Printf.sprintf "crash-after-appends=%d tripped" n)
+    | Torn_write n ->
+      if !(a.appends) >= n then begin
+        Journal.torn_append writer line;
+        crash a (Printf.sprintf "torn-write=%d tripped" n)
+      end
+      else Journal.append writer line
+    | Raising_worker _ | Slow_worker _ -> Journal.append writer line)
+
+let wrap_task armed ~task f =
+  match armed with
+  | None -> f ()
+  | Some a -> (
+    match a.plan with
+    | Raising_worker { task = t; failures } when t = task ->
+      let k = Atomic.fetch_and_add a.raised 1 in
+      if k < failures then
+        failwith (Printf.sprintf "faultplan: raising-worker task %d (failure %d)" t (k + 1))
+      else f ()
+    | Slow_worker { task = t; delay } when t = task ->
+      Unix.sleepf delay;
+      f ()
+    | _ -> f ())

@@ -1,0 +1,61 @@
+(** Fault-injection plans for campaign crash-recovery testing.
+
+    A plan describes one deliberate failure to inject into a campaign
+    run; the CLI ([--fault]), [make faultinject-smoke] and the test
+    suite use them to rehearse the crashes that long campaigns actually
+    meet — SIGKILL between appends, power loss mid-append, a worker
+    domain that raises, a straggler — and then assert that [--resume]
+    reproduces the uninterrupted result bit-for-bit.
+
+    The two crash plans simulate process death by raising
+    {!Injected_crash} from the journaling path {e after} making the
+    same bytes durable that a real crash would have left (a full
+    fsynced line for [Crash_after_appends], a fsynced newline-less
+    prefix for [Torn_write]) and by refusing to write anything
+    afterwards.  The exception escapes {!Campaign.run} uncaught; the
+    CLI maps it to exit code 70. *)
+
+type t =
+  | Crash_after_appends of int
+      (** die immediately after the [N]th cell line is durably appended *)
+  | Torn_write of int
+      (** the [N]th cell append writes only a prefix of the line (no
+          newline), then dies — the torn-tail footprint *)
+  | Raising_worker of { task : int; failures : int }
+      (** shard [task] (its plan id) raises [Failure] on its first
+          [failures] attempts, then succeeds — exercises
+          {!Worker_pool.run}'s bounded-retry supervision *)
+  | Slow_worker of { task : int; delay : float }
+      (** shard [task] sleeps [delay] seconds before running — a
+          straggler, for scheduling/timeout behaviour *)
+
+exception Injected_crash of string
+(** Simulated process death.  Never caught inside the library. *)
+
+val of_string : string -> (t, string) result
+(** Parse the CLI syntax: [crash-after-appends=N], [torn-write=N],
+    [raising-worker=TASK[:FAILURES]] (default 1 failure),
+    [slow-worker=TASK[:SECONDS]] (default 0.05 s). *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}. *)
+
+(** {2 Armed plans — campaign-internal}
+
+    Arming binds the per-run mutable counters (appends seen, failures
+    injected, dead flag), so a single [t] can drive several runs. *)
+
+type armed
+
+val arm : t -> armed
+
+val journal_append : armed option -> Journal.writer -> Journal.line -> unit
+(** The campaign's only cell-append point: applies [Crash_after_appends]
+    / [Torn_write], otherwise delegates to {!Journal.append}.  Once a
+    crash plan has fired, every further call re-raises — a dead process
+    writes nothing.
+    @raise Injected_crash when a crash plan fires. *)
+
+val wrap_task : armed option -> task:int -> (unit -> 'a) -> 'a
+(** Wrap one shard execution: applies [Raising_worker] / [Slow_worker]
+    when [task] matches the plan's target, otherwise runs [f] directly. *)

@@ -269,51 +269,129 @@ let parse text =
   with Malformed msg -> failwith ("Journal.parse: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
-(* File operations                                                     *)
+(* Writer: one open descriptor for the campaign's lifetime, fsync     *)
+(* before every append returns                                         *)
 (* ------------------------------------------------------------------ *)
 
-let append ~path line =
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+type writer = { fd : Unix.file_descr; w_path : string; mutable closed : bool }
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+let create_writer ~path ~fresh =
+  let flags =
+    if fresh then Unix.[ O_WRONLY; O_CREAT; O_TRUNC ]
+    else Unix.[ O_WRONLY; O_CREAT; O_APPEND ]
   in
+  { fd = Unix.openfile path flags 0o644; w_path = path; closed = false }
+
+let check_open w op =
+  if w.closed then
+    invalid_arg (Printf.sprintf "Journal.%s: writer for %s is closed" op w.w_path)
+
+let append w line =
+  check_open w "append";
+  write_all w.fd (render line);
+  write_all w.fd "\n";
+  Unix.fsync w.fd
+
+(* Fault harness only: leave a deliberately torn tail — a strict prefix
+   of the rendered line with no newline, made durable so a resume sees
+   exactly what a mid-[append] power loss would have left. *)
+let torn_append w line =
+  check_open w "torn_append";
+  let s = render line in
+  write_all w.fd (String.sub s 0 (max 1 (String.length s / 2)));
+  Unix.fsync w.fd
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Loading with torn-tail detection                                    *)
+(* ------------------------------------------------------------------ *)
+
+type torn_tail = { valid_bytes : int; dropped_bytes : int }
+
+type loaded = {
+  l_header : header;
+  entries : (Spec.cell * Aggregate.snapshot) list;
+  torn : torn_tail option;
+}
+
+type load_result = No_file | Unusable of string | Loaded of loaded
+
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (render line);
-      output_char oc '\n';
-      flush oc)
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* (byte offset, line, has trailing newline) triples, in file order. *)
+let segments text =
+  let len = String.length text in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else
+      match String.index_from_opt text pos '\n' with
+      | Some nl ->
+        go (nl + 1) ((pos, String.sub text pos (nl - pos), true) :: acc)
+      | None -> List.rev ((pos, String.sub text pos (len - pos), false) :: acc)
+  in
+  go 0 []
 
 let load ~path =
-  if not (Sys.file_exists path) then None
+  if not (Sys.file_exists path) then No_file
   else begin
-    let ic = open_in path in
-    let lines =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let rec go acc =
-            match input_line ic with
-            | line -> go (line :: acc)
-            | exception End_of_file -> List.rev acc
-          in
-          go [])
-    in
-    let lines = List.filter (fun l -> String.trim l <> "") lines in
-    match lines with
-    | [] -> failwith "Journal.load: empty journal file"
-    | first :: rest ->
-      let header =
+    let text = read_file path in
+    match segments text with
+    | [] -> Unusable "empty file"
+    | (_, first, first_complete) :: rest ->
+      if not first_complete then Unusable "torn header line"
+      else begin
         match parse first with
-        | Header h -> h
+        | exception Failure _ when rest = [] -> Unusable "unparseable header line"
+        | exception Failure msg -> failwith msg
         | Cell _ -> failwith "Journal.load: journal does not start with a header"
-      in
-      let entries =
-        List.map
-          (fun l ->
-            match parse l with
-            | Cell (c, s) -> (c, s)
-            | Header _ -> failwith "Journal.load: duplicate header line")
-          rest
-      in
-      Some (header, entries)
+        | Header h ->
+          if h.version <> version then
+            failwith
+              (Printf.sprintf "Journal.load: unsupported journal version %d (expected %d)"
+                 h.version version);
+          (* Walk the cell lines.  A final segment that is unterminated or
+             fails to parse is a torn tail — the footprint of an [append]
+             cut short by SIGKILL or power loss — and is reported, not
+             fatal.  Anything malformed *before* the tail means the file
+             was corrupted some other way and stays a hard error. *)
+          let entries = ref [] in
+          let torn = ref None in
+          let rec walk = function
+            | [] -> ()
+            | (off, line, complete) :: tl ->
+              let last = tl = [] in
+              if String.trim line = "" then walk tl
+              else if last && not complete then
+                torn := Some { valid_bytes = off; dropped_bytes = String.length text - off }
+              else begin
+                match parse line with
+                | Cell (c, s) -> entries := (c, s) :: !entries; walk tl
+                | Header _ -> failwith "Journal.load: duplicate header line"
+                | exception Failure msg ->
+                  if last then
+                    torn := Some { valid_bytes = off; dropped_bytes = String.length text - off }
+                  else failwith msg
+              end
+          in
+          walk rest;
+          Loaded { l_header = h; entries = List.rev !entries; torn = !torn }
+      end
   end
+
+let repair ~path (t : torn_tail) = Unix.truncate path t.valid_bytes

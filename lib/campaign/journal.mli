@@ -31,12 +31,70 @@ val render : line -> string
 val parse : string -> line
 (** @raise Failure on malformed input. *)
 
-val append : path:string -> line -> unit
-(** Append [render line] and a newline, fsync-free but flushed and
-    closed before returning. *)
+(** {2 Writer}
 
-val load : path:string -> (header * (Spec.cell * Aggregate.snapshot) list) option
-(** [load ~path] is [None] when the file does not exist; otherwise the
-    parsed header and cell lines in file order.
-    @raise Failure when the file exists but is empty, starts with a
-    non-header line, or contains a malformed line. *)
+    A persistent writer: the campaign opens the journal once and keeps
+    the descriptor for its whole run.  Every {!append} ends with an
+    [fsync], so the durability contract is simple — {e when [append]
+    returns, that line survives SIGKILL and power loss}.  A crash {e
+    during} an append leaves at most one torn (partial, newline-less)
+    final line, which {!load} detects and {!repair} truncates away. *)
+
+type writer
+
+val create_writer : path:string -> fresh:bool -> writer
+(** [create_writer ~path ~fresh] opens [path] for writing.  [fresh:true]
+    truncates (or creates) the file; [fresh:false] opens in append mode,
+    the resume path after {!load}/{!repair}. *)
+
+val append : writer -> line -> unit
+(** Write [render line] plus a newline and [fsync] before returning.
+    The line is durable once this returns. *)
+
+val torn_append : writer -> line -> unit
+(** Fault-injection harness only: durably write a strict {e prefix} of
+    [render line] with no newline — the exact on-disk footprint of an
+    [append] interrupted by SIGKILL mid-write. *)
+
+val close_writer : writer -> unit
+(** Close the descriptor.  Idempotent; further appends raise
+    [Invalid_argument]. *)
+
+(** {2 Loading} *)
+
+type torn_tail = {
+  valid_bytes : int;  (** file prefix that parsed cleanly *)
+  dropped_bytes : int;  (** length of the torn final line *)
+}
+
+type loaded = {
+  l_header : header;
+  entries : (Spec.cell * Aggregate.snapshot) list;  (** in file order *)
+  torn : torn_tail option;
+      (** present when the final line was partial or unparseable — the
+          footprint of a crash mid-[append]; pass it to {!repair} *)
+}
+
+type load_result =
+  | No_file  (** nothing at that path *)
+  | Unusable of string
+      (** the file exists but holds no complete, valid header line (empty
+          file, or a crash during the very first append); the journal
+          carries no state and a resume should start fresh — the payload
+          says why *)
+  | Loaded of loaded
+
+val load : path:string -> load_result
+(** [load ~path] parses the journal, tolerating a torn tail: a {e final}
+    line that is unterminated or fails to parse is reported in
+    [loaded.torn] rather than raised.  Malformed lines anywhere {e
+    before} the tail — including a duplicate header — cannot result from
+    an interrupted append and stay fatal.
+    @raise Failure on a malformed non-tail line, a duplicate header, a
+    leading non-header line, or an unsupported journal version. *)
+
+val repair : path:string -> torn_tail -> unit
+(** Truncate the file to [valid_bytes], discarding the torn tail.  After
+    repair the journal is byte-identical to one whose last append never
+    started, so appending the recomputed cell reproduces the
+    uninterrupted file exactly. *)

@@ -149,3 +149,7 @@ let fingerprint t =
   let acc = mix_int acc (snd strategy_tag) in
   let acc = mix_int acc t.truncate in
   mix_int acc t.shard_size
+
+let describe t =
+  Printf.sprintf "%d cells x %d trials x %d rounds, seed %Ld, fingerprint %Ld"
+    (cell_count t) t.trials_per_cell t.rounds t.seed (fingerprint t)

@@ -74,3 +74,8 @@ val fingerprint : t -> int64
     fingerprint run identical campaigns; the journal stores it so that a
     resume against a different spec is rejected rather than silently
     mixing incompatible results. *)
+
+val describe : t -> string
+(** One-line human summary — grid size, trials, rounds, seed and
+    {!fingerprint} — used in resume/repair log messages so an operator
+    can tell at a glance which campaign a journal belongs to. *)

@@ -1,43 +1,105 @@
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
-let run ~jobs ?on_result f tasks =
+let run ~jobs ?(retries = 0) ?on_retry ?on_result f tasks =
   if jobs < 1 then invalid_arg "Worker_pool.run: jobs must be >= 1";
+  if retries < 0 then invalid_arg "Worker_pool.run: retries must be >= 0";
   let n = Array.length tasks in
   if n = 0 then [||]
   else begin
     let jobs = min jobs n in
     let results = Array.make n None in
     let next = ref 0 in
+    (* Requeued (task, attempt) pairs; retried before fresh tasks so a
+       flaky shard drains promptly instead of piling up at the end. *)
+    let requeued = ref [] in
     let failure = ref None in
     let lock = Mutex.create () in
     let record_failure e =
       if !failure = None then failure := Some e
     in
+    (* Under [lock]. *)
+    let take () =
+      match !requeued with
+      | (i, attempt) :: tl ->
+        requeued := tl;
+        Some (i, attempt)
+      | [] ->
+        if !next >= n then None
+        else begin
+          let i = !next in
+          incr next;
+          Some (i, 1)
+        end
+    in
+    let record_success i r =
+      results.(i) <- Some r;
+      match on_result with
+      | None -> ()
+      | Some g -> ( try g i r with e -> record_failure e)
+    in
+    (* Under [lock]: a task raised on its [attempt]th try.  Requeue it
+       while the retry budget lasts; give up (and stop the pool) after
+       [retries + 1] total attempts. *)
+    let record_attempt_failure i attempt e =
+      if attempt <= retries then begin
+        (match on_retry with
+        | None -> ()
+        | Some g -> ( try g ~task:i ~attempt e with e' -> record_failure e'));
+        if !failure = None then requeued := (i, attempt + 1) :: !requeued
+      end
+      else record_failure e
+    in
     let rec worker () =
       Mutex.lock lock;
-      if !next >= n || !failure <> None then Mutex.unlock lock
+      if !failure <> None then Mutex.unlock lock
       else begin
-        let i = !next in
-        incr next;
-        Mutex.unlock lock;
-        (match f tasks.(i) with
-        | r ->
-          Mutex.lock lock;
-          results.(i) <- Some r;
-          (match on_result with
-          | None -> ()
-          | Some g -> ( try g i r with e -> record_failure e));
-          Mutex.unlock lock
-        | exception e ->
-          Mutex.lock lock;
-          record_failure e;
-          Mutex.unlock lock);
-        worker ()
+        match take () with
+        | None -> Mutex.unlock lock
+        | Some (i, attempt) ->
+          Mutex.unlock lock;
+          (match f tasks.(i) with
+          | r ->
+            Mutex.lock lock;
+            record_success i r;
+            Mutex.unlock lock
+          | exception e ->
+            Mutex.lock lock;
+            record_attempt_failure i attempt e;
+            Mutex.unlock lock);
+          worker ()
       end
     in
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    Array.iter Domain.join domains;
+    (* Supervision: join every domain; one that died outside the task
+       try-block (async exception, runtime failure) surfaces here instead
+       of hanging or vanishing. *)
+    Array.iter
+      (fun d -> try Domain.join d with e -> record_failure e)
+      domains;
+    (* Salvage pass: if a domain died between dequeuing a task and
+       recording its outcome, that slot is still empty even though no
+       failure was recorded against it — requeue and finish the work on
+       this (surviving) domain. *)
+    if !failure = None then begin
+      for i = 0 to n - 1 do
+        let rec attempt_from attempt =
+          if results.(i) = None && !failure = None then begin
+            match f tasks.(i) with
+            | r -> record_success i r
+            | exception e ->
+              if attempt <= retries then begin
+                (match on_retry with
+                | None -> ()
+                | Some g -> ( try g ~task:i ~attempt e with e' -> record_failure e'));
+                attempt_from (attempt + 1)
+              end
+              else record_failure e
+          end
+        in
+        attempt_from 1
+      done
+    end;
     match !failure with
     | Some e -> raise e
     | None ->

@@ -1,11 +1,15 @@
-(** A [Domain]-based worker pool over a mutex-protected work queue.
+(** A [Domain]-based worker pool over a mutex-protected work queue, with
+    bounded-retry supervision.
 
     [jobs] domains (the calling domain plus [jobs - 1] spawned ones) pull
     task indices from a shared cursor and write each result into its own
     slot, so the output array is in task order no matter which domain
     computed what.  The task function must not touch shared mutable state
     — campaign trials satisfy this because every trial derives a private
-    RNG from its path and the simulator keeps all state per-run. *)
+    RNG from its path and the simulator keeps all state per-run.  That
+    same purity is what makes retries sound: re-running a task yields
+    bit-identical results, so a requeued shard cannot perturb the
+    campaign's determinism contract. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
@@ -14,6 +18,8 @@ val default_jobs : unit -> int
 
 val run :
   jobs:int ->
+  ?retries:int ->
+  ?on_retry:(task:int -> attempt:int -> exn -> unit) ->
   ?on_result:(int -> 'b -> unit) ->
   ('a -> 'b) ->
   'a array ->
@@ -24,7 +30,17 @@ val run :
     pool mutex — safe for journaling, aggregation and progress output.
     Completion order is scheduling-dependent; anything that must be
     deterministic belongs after the call (or must reorder internally, as
-    the campaign journal does).  If [f] or [on_result] raises, the pool
-    stops issuing new tasks, joins every domain, and re-raises the first
-    exception.  [jobs] is clamped to [[1, Array.length tasks]].
-    @raise Invalid_argument if [jobs < 1]. *)
+    the campaign journal does).
+
+    {b Supervision.}  A task that raises is requeued and re-attempted up
+    to [retries] more times (default [0]); [on_retry ~task ~attempt e]
+    is called (under the pool mutex) before each requeue.  Only when a
+    task exhausts its [retries + 1] attempts does the pool stop issuing
+    work, join every domain, and re-raise that exception; an [on_result]
+    exception is never retried and fails the pool directly.  Domains are
+    always joined — one that dies outside the task body (an async
+    exception, say) is detected, and any task it abandoned mid-flight is
+    recomputed on the calling domain within the same retry budget, so a
+    dead domain costs throughput, never results.  [jobs] is clamped to
+    [[1, Array.length tasks]].
+    @raise Invalid_argument if [jobs < 1] or [retries < 0]. *)

@@ -37,13 +37,14 @@ let assess (params : Params.t) =
     else Gap
   in
   let confirmations =
-    (* Degrades to None outside the consistency region (Invalid_argument)
-       and when the ratio is so close to 1 that no reasonable depth
-       suffices (Failure from the 10000-confirmation cap). *)
+    (* Degrades to None outside the consistency region, and when the
+       ratio is so close to 1 that no depth within the search limit
+       suffices — both reported by [Confirmation.assess] as
+       Invalid_argument. *)
     if nu = 0. then None
     else match Confirmation.assess params with
       | a -> Some a
-      | exception (Invalid_argument _ | Failure _) -> None
+      | exception Invalid_argument _ -> None
   in
   {
     params;

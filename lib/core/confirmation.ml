@@ -62,15 +62,16 @@ let nakamoto_double_spend ~ratio ~confirmations =
     Nakamoto_numerics.Special.clamp ~lo:0. ~hi:1. (1. -. !acc)
   end
 
-let confirmations_for ~ratio ~epsilon =
+let confirmations_for ?(limit = 10_000) ~ratio ~epsilon () =
   if not (ratio > 0. && ratio < 1.) then
     invalid_arg "Confirmation.confirmations_for: ratio must lie in (0, 1)";
   if not (epsilon > 0. && epsilon < 1.) then
     invalid_arg "Confirmation.confirmations_for: epsilon must lie in (0, 1)";
+  if limit < 1 then
+    invalid_arg "Confirmation.confirmations_for: limit must be >= 1";
   let rec search z =
-    if z > 10_000 then
-      failwith "Confirmation.confirmations_for: more than 10000 confirmations"
-    else if nakamoto_double_spend ~ratio ~confirmations:z <= epsilon then z
+    if z > limit then None
+    else if nakamoto_double_spend ~ratio ~confirmations:z <= epsilon then Some z
     else search (z + 1)
   in
   search 1
@@ -93,7 +94,19 @@ let assess ?(epsilon = 1e-3) (params : Params.t) =
   if not (rate_ratio < 1.) then
     invalid_arg
       "Confirmation.assess: parameters outside the consistency region (ratio >= 1)";
-  let confirmations = confirmations_for ~ratio:rate_ratio ~epsilon in
+  let confirmations =
+    match confirmations_for ~ratio:rate_ratio ~epsilon () with
+    | Some z -> z
+    | None ->
+      (* A ratio this close to 1 would want >10_000 confirmations: for
+         any practical purpose the parameters are not settleable. *)
+      invalid_arg
+        (Printf.sprintf
+           "Confirmation.assess: no depth within the search limit reaches \
+            epsilon = %g at rate ratio %.6f (settlement impractical this \
+            close to the consistency boundary)"
+           epsilon rate_ratio)
+  in
   {
     params;
     honest_rate;

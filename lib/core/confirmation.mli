@@ -44,11 +44,16 @@ val nakamoto_double_spend : ratio:float -> confirmations:int -> float
     @raise Invalid_argument unless [0 < ratio] and [confirmations >= 1];
     returns [1.] for [ratio >= 1]. *)
 
-val confirmations_for : ratio:float -> epsilon:float -> int
-(** [confirmations_for ~ratio ~epsilon] is the smallest [z >= 1] with
-    [nakamoto_double_spend ~ratio ~confirmations:z <= epsilon].
-    @raise Invalid_argument unless [0 < ratio < 1] and [0 < epsilon < 1].
-    @raise Failure if 10_000 confirmations do not suffice. *)
+val confirmations_for :
+  ?limit:int -> ratio:float -> epsilon:float -> unit -> int option
+(** [confirmations_for ~ratio ~epsilon ()] is [Some z] for the smallest
+    [z >= 1] with [nakamoto_double_spend ~ratio ~confirmations:z <=
+    epsilon], or [None] when no [z <= limit] (default [10_000])
+    suffices — a well-typed "the ratio is too close to 1 to settle"
+    answer, not an exception, so sweeps over a parameter grid can
+    report the unsettleable cells instead of dying on the first one.
+    @raise Invalid_argument unless [0 < ratio < 1], [0 < epsilon < 1]
+    and [limit >= 1]. *)
 
 type assessment = {
   params : Params.t;
@@ -64,8 +69,9 @@ val assess : ?epsilon:float -> Params.t -> assessment
     Delta-delay model ([epsilon] defaults to [1e-3]).  Requires the
     parameters to sit strictly inside the consistency region
     ([rate_ratio < 1], i.e. Theorem 1's condition with slack).
-    @raise Invalid_argument when [nu = 0.] (nothing to defend against) or
-    the rate ratio is not < 1 (no finite depth is safe). *)
+    @raise Invalid_argument when [nu = 0.] (nothing to defend against),
+    the rate ratio is not < 1 (no finite depth is safe), or no depth
+    within {!confirmations_for}'s search limit reaches [epsilon]. *)
 
 val to_table : assessment list -> Nakamoto_numerics.Table.t
 (** Render a sweep of assessments. *)

@@ -68,9 +68,14 @@ let step_distribution t d =
 
 let stationary_power_iteration ?(tol = 1e-14) ?(max_iter = 1_000_000) t =
   let d = ref (Array.make t.size (1. /. float_of_int t.size)) in
-  let rec iterate k =
+  let rec iterate k ~last_change =
     if k > max_iter then
-      failwith "Chain.stationary_power_iteration: did not converge";
+      failwith
+        (Printf.sprintf
+           "Chain.stationary_power_iteration: did not converge within %d \
+            iterations (tol %.3g, last L1 residual %.3g); the chain may be \
+            periodic or the gap too small for this tol"
+           max_iter tol last_change);
     let next = step_distribution t !d in
     let change =
       let acc = ref 0. in
@@ -80,9 +85,9 @@ let stationary_power_iteration ?(tol = 1e-14) ?(max_iter = 1_000_000) t =
       !acc
     in
     d := next;
-    if change > tol then iterate (k + 1)
+    if change > tol then iterate (k + 1) ~last_change:change
   in
-  iterate 0;
+  iterate 0 ~last_change:infinity;
   Linalg.normalize_l1 !d
 
 let stationary_linear_solve t =

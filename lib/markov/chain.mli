@@ -43,7 +43,11 @@ val stationary_power_iteration :
 (** [stationary_power_iteration t] iterates [d <- d P] from uniform until
     the L1 change is below [tol] (default [1e-14]).
     @raise Failure if it does not converge within [max_iter]
-    (default 1_000_000) iterations. *)
+    (default 1_000_000) iterations; the message reports the iteration
+    budget, [tol] and the last L1 residual, so the caller can tell a
+    periodic chain (residual stuck high) from a tolerance set below
+    what the spectral gap can deliver (residual small but above
+    [tol]). *)
 
 val stationary_linear_solve : t -> float array
 (** [stationary_linear_solve t] solves [(P^T - I) pi = 0, sum pi = 1]

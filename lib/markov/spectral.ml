@@ -33,6 +33,7 @@ let slem ?(tol = 1e-8) ?(max_iter = 2_000_000) chain =
     let log_growth = ref 0. in
     let steps = ref 0 in
     let estimate = ref nan in
+    let residual = ref nan in
     let converged = ref false in
     while (not !converged) && !steps < max_iter do
       (* One block of iterations, accumulating the log of the growth. *)
@@ -58,14 +59,21 @@ let slem ?(tol = 1e-8) ?(max_iter = 2_000_000) chain =
         log_growth := !log_growth +. !block_log;
         steps := !steps + block;
         let current = exp (!log_growth /. float_of_int !steps) in
-        if
-          Float.is_finite !estimate
-          && Float.abs (current -. !estimate) <= tol *. Float.max 1. current
+        residual := Float.abs (current -. !estimate);
+        if Float.is_finite !estimate && !residual <= tol *. Float.max 1. current
         then converged := true;
         estimate := current
       end
     done;
-    if not !converged then failwith "Spectral.slem: power iteration did not stabilize";
+    if not !converged then
+      (* Report everything a caller needs to act: loosen tol, raise
+         max_iter, or recognise a near-tie between the top eigenvalues
+         from how small the last step still was. *)
+      failwith
+        (Printf.sprintf
+           "Spectral.slem: power iteration did not stabilize after %d steps \
+            (tol %.3g, last estimate %.12g, last residual %.3g)"
+           !steps tol !estimate !residual);
     Float.min 1. (Float.max 0. !estimate)
   end
 

@@ -17,7 +17,10 @@ val slem : ?tol:float -> ?max_iter:int -> Chain.t -> float
     @raise Invalid_argument if the chain is not ergodic (the principal
     eigenvalue would not be simple).
     @raise Failure if the iteration does not stabilize within [max_iter]
-    (default 2_000_000) steps to tolerance [tol] (default 1e-8).  The
+    (default 2_000_000) steps to tolerance [tol] (default 1e-8); the
+    message reports the step count, [tol], the last estimate and the
+    last residual, enough to decide between loosening [tol] and raising
+    [max_iter].  The
     estimator is a cumulative geometric mean, so the returned value
     carries error of order [tol]; treat low-order digits accordingly. *)
 

@@ -151,6 +151,52 @@ let test_worker_pool_exception_propagates () =
   | exception Failure msg -> check_true "first failure re-raised" (msg = "task 5 exploded")
   | _ -> Alcotest.fail "expected the task exception to propagate"
 
+let test_worker_pool_retries_requeue () =
+  (* Task 5 fails on its first two attempts; a retry budget of 2 gives it
+     three attempts total, so the pool must still drain every slot. *)
+  let attempts = Atomic.make 0 in
+  let retried = ref [] in
+  let results =
+    Worker_pool.run ~jobs:3 ~retries:2
+      ~on_retry:(fun ~task ~attempt _e -> retried := (task, attempt) :: !retried)
+      (fun i ->
+        if i = 5 && Atomic.fetch_and_add attempts 1 < 2 then
+          failwith "flaky shard"
+        else i * 10)
+      (Array.init 8 (fun i -> i))
+  in
+  Array.iteri (fun i r -> check_int "every slot drained" (i * 10) r) results;
+  check_true "both failures reported to on_retry"
+    (List.sort compare !retried = [ (5, 1); (5, 2) ]);
+  (* The same flake with retries:1 exhausts the budget and re-raises. *)
+  let attempts = Atomic.make 0 in
+  match
+    Worker_pool.run ~jobs:3 ~retries:1
+      (fun i ->
+        if i = 5 && Atomic.fetch_and_add attempts 1 < 2 then
+          failwith "flaky shard"
+        else i)
+      (Array.init 8 (fun i -> i))
+  with
+  | exception Failure msg -> check_true "budget exhausted" (msg = "flaky shard")
+  | _ -> Alcotest.fail "expected the exhausted retry budget to re-raise"
+
+let test_worker_pool_retry_determinism () =
+  (* A retried task runs the same pure function on the same input, so a
+     pool with flakes returns exactly what a clean pool returns. *)
+  let clean = Worker_pool.run ~jobs:4 (fun i -> i * i) (Array.init 20 (fun i -> i)) in
+  let tries = Array.init 20 (fun _ -> Atomic.make 0) in
+  let flaky =
+    Worker_pool.run ~jobs:4 ~retries:1
+      (fun i ->
+        (* Every third task fails its first attempt, everywhere at once. *)
+        if Atomic.fetch_and_add tries.(i) 1 = 0 && i mod 3 = 0 then
+          failwith "chaos"
+        else i * i)
+      (Array.init 20 (fun i -> i))
+  in
+  check_true "flaky pool converges to the clean result" (clean = flaky)
+
 (* --- Aggregate ----------------------------------------------------- *)
 
 let obs ?(violated = false) ?(depth = 0) growth quality =
@@ -263,11 +309,157 @@ let test_journal_round_trip () =
     check_int "cell index survives" cell.Spec.index c.Spec.index;
     check_int "welford count survives" 2 s.Aggregate.s_growth.Stats.Summary.n
   | Journal.Header _ -> Alcotest.fail "expected a cell line");
-  check_true "load on a missing path is None"
-    (Journal.load ~path:"/nonexistent/campaign.jsonl" = None);
+  check_true "load on a missing path is No_file"
+    (Journal.load ~path:"/nonexistent/campaign.jsonl" = Journal.No_file);
   (match Journal.parse "{\"oops\": tru" with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "malformed line should fail")
+
+(* --- Journal: writer + torn-tail classification -------------------- *)
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* A complete well-formed journal (header + 2 cells) rendered through
+   the writer, for the tear tests to mutilate. *)
+let render_tiny_journal path =
+  let w = Journal.create_writer ~path ~fresh:true in
+  Journal.append w (Journal.Header (Journal.header_of_spec tiny_spec));
+  let t = Aggregate.create () in
+  List.iter (Aggregate.observe t) [ obs 0.125 0.875; obs 0.25 0.75 ];
+  Array.iter
+    (fun cell -> Journal.append w (Journal.Cell (cell, Aggregate.snapshot t)))
+    (Spec.cells tiny_spec);
+  Journal.close_writer w
+
+let test_journal_writer_round_trip () =
+  let path = temp_journal "writer" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      render_tiny_journal path;
+      match Journal.load ~path with
+      | Journal.Loaded { l_header; entries; torn } ->
+        check_true "fingerprint survives"
+          (Int64.equal l_header.Journal.fingerprint (Spec.fingerprint tiny_spec));
+        check_int "both cells load" 2 (List.length entries);
+        check_true "clean file has no torn tail" (torn = None);
+        (* Reopening in append mode and closing changes nothing. *)
+        let before = read_file path in
+        Journal.close_writer (Journal.create_writer ~path ~fresh:false);
+        check_true "append-mode open is byte-preserving" (read_file path = before)
+      | _ -> Alcotest.fail "expected Loaded")
+
+let test_journal_torn_tail_detected_and_repaired () =
+  let path = temp_journal "torn" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      render_tiny_journal path;
+      let whole = read_file path in
+      (* Tear the last line in half: SIGKILL mid-append. *)
+      let tail_start = 1 + String.rindex_from whole (String.length whole - 2) '\n' in
+      let torn_len = (String.length whole - tail_start) / 2 in
+      write_raw path (String.sub whole 0 (tail_start + torn_len));
+      (match Journal.load ~path with
+      | Journal.Loaded { entries; torn = Some t; _ } ->
+        check_int "intact prefix survives the tear" 1 (List.length entries);
+        check_int "valid_bytes = offset of the torn line" tail_start t.Journal.valid_bytes;
+        check_int "dropped_bytes = the partial tail" torn_len t.Journal.dropped_bytes;
+        Journal.repair ~path t;
+        check_true "repair truncates to the valid prefix"
+          (read_file path = String.sub whole 0 tail_start);
+        (match Journal.load ~path with
+        | Journal.Loaded { entries; torn = None; _ } ->
+          check_int "repaired file loads cleanly" 1 (List.length entries)
+        | _ -> Alcotest.fail "repaired journal should load with no torn tail")
+      | _ -> Alcotest.fail "expected Loaded with a torn tail");
+      (* A final line that parses but lacks its newline is also torn:
+         the append was cut between the payload and the terminator. *)
+      write_raw path (String.sub whole 0 (String.length whole - 1));
+      (match Journal.load ~path with
+      | Journal.Loaded { entries; torn = Some t; _ } ->
+        check_int "unterminated-but-parseable tail is torn" 1 (List.length entries);
+        check_int "tail measured to the last newline" tail_start t.Journal.valid_bytes
+      | _ -> Alcotest.fail "expected a torn tail for a missing newline"))
+
+let test_journal_unusable_and_fatal_shapes () =
+  let path = temp_journal "shapes" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      render_tiny_journal path;
+      let whole = read_file path in
+      let lines = String.split_on_char '\n' whole in
+      let header = List.nth lines 0 and cell0 = List.nth lines 1 in
+      (* Empty file: unusable, not fatal — resume starts fresh. *)
+      write_raw path "";
+      (match Journal.load ~path with
+      | Journal.Unusable _ -> ()
+      | _ -> Alcotest.fail "empty file should be Unusable");
+      (* Torn header (no newline yet): nothing recoverable either. *)
+      write_raw path (String.sub header 0 (String.length header / 2));
+      (match Journal.load ~path with
+      | Journal.Unusable _ -> ()
+      | _ -> Alcotest.fail "torn header should be Unusable");
+      (* Duplicate header mid-file: real corruption, must stay fatal. *)
+      write_raw path (header ^ "\n" ^ cell0 ^ "\n" ^ header ^ "\n");
+      (match Journal.load ~path with
+      | exception Failure msg ->
+        check_true "duplicate header named"
+          (contains_substring ~affix:"duplicate header" msg)
+      | _ -> Alcotest.fail "duplicate header should be fatal");
+      (* Malformed line *before* the tail: fatal, not a torn tail. *)
+      write_raw path (header ^ "\n{\"oops\": tru\n" ^ cell0 ^ "\n");
+      (match Journal.load ~path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "mid-file damage should be fatal");
+      (* A journal that starts with a cell line never had a header. *)
+      write_raw path (cell0 ^ "\n");
+      match Journal.load ~path with
+      | exception Failure msg ->
+        check_true "missing header named"
+          (contains_substring ~affix:"header" msg)
+      | _ -> Alcotest.fail "cell-first journal should be fatal")
+
+(* --- Progress ------------------------------------------------------ *)
+
+let test_progress_resume_rate_and_eta () =
+  let module Progress = Campaign.Progress in
+  (* 100 resumed + 900 fresh; 10s in, 100 fresh done.  The rate must
+     count only the fresh 100, not the journal's 100 freebies. *)
+  let p = Progress.create ~interval:0. ~resumed_trials:100 ~total_trials:1000 () in
+  let now = Progress.started p +. 10. in
+  close "rate excludes resumed trials" 10. (Progress.rate p ~trials_done:200 ~now);
+  (* 800 remaining at 10/s. *)
+  close "eta from the fresh rate" 80. (Progress.eta p ~trials_done:200 ~now);
+  check_true "eta is 0 when done" (Progress.eta p ~trials_done:1000 ~now = 0.);
+  (* No fresh work yet: the rate is 0 and the ETA honestly unknown. *)
+  check_true "rate is 0 before any fresh trial"
+    (Progress.rate p ~trials_done:100 ~now = 0.);
+  check_true "eta is infinite at rate 0"
+    (Progress.eta p ~trials_done:100 ~now = Float.infinity);
+  (* Without the fix the old reporter divided 200 trials by 10s: 20/s. *)
+  let skewed = float_of_int 200 /. 10. in
+  check_true "regression: resumed trials no longer inflate the rate"
+    (Progress.rate p ~trials_done:200 ~now < skewed);
+  check_raises_invalid "resumed > total rejected" (fun () ->
+      ignore (Progress.create ~resumed_trials:2 ~total_trials:1 ()))
+
+let test_progress_silent_is_fresh () =
+  let module Progress = Campaign.Progress in
+  (* Each silent reporter owns its clock: two created at different times
+     must not share state (the old [silent] was one global record). *)
+  let a = Progress.silent () in
+  Unix.sleepf 0.02;
+  let b = Progress.silent () in
+  check_true "distinct silent reporters have distinct clocks"
+    (Progress.started b > Progress.started a);
+  (* Silent reporters never print, whatever is thrown at them. *)
+  Progress.note a ~trials_done:5;
+  Progress.finish a ~trials_done:5
 
 (* --- Campaign: determinism, resume, draining ----------------------- *)
 
@@ -313,7 +505,8 @@ let test_resume_skips_completed_cells () =
       output_char oc '\n';
       close_out oc;
       let r =
-        Campaign.Campaign.run ~jobs:2 ~journal_path:part ~resume:true tiny_spec
+        Campaign.Campaign.run ~jobs:2 ~journal_path:part ~resume:true
+          ~log:ignore tiny_spec
       in
       check_int "one cell recovered" 1 r.Campaign.Campaign.resumed_cells;
       check_int "only the missing cell recomputed"
@@ -328,10 +521,53 @@ let test_resume_skips_completed_cells () =
         (read_file part = read_file full);
       (* Resuming a complete journal computes nothing. *)
       let done_ =
-        Campaign.Campaign.run ~jobs:2 ~journal_path:full ~resume:true tiny_spec
+        Campaign.Campaign.run ~jobs:2 ~journal_path:full ~resume:true
+          ~log:ignore tiny_spec
       in
       check_int "nothing left to do" 0 done_.Campaign.Campaign.fresh_trials;
       check_int "both cells recovered" 2 done_.Campaign.Campaign.resumed_cells)
+
+let test_resume_repairs_torn_tail () =
+  let full = temp_journal "tfull" and torn = temp_journal "ttorn" in
+  Fun.protect
+    ~finally:(fun () -> cleanup full; cleanup torn)
+    (fun () ->
+      let o = Campaign.Campaign.run ~jobs:2 ~journal_path:full tiny_spec in
+      let whole = read_file full in
+      (* SIGKILL mid-append of the last cell: the journal ends in a
+         partial line.  Before the fix this bricked --resume with
+         [Failure "journal line ..."].  *)
+      let tail_start = 1 + String.rindex_from whole (String.length whole - 2) '\n' in
+      let cut = tail_start + ((String.length whole - tail_start) / 2) in
+      write_raw torn (String.sub whole 0 cut);
+      let logged = ref [] in
+      let r =
+        Campaign.Campaign.run ~jobs:2 ~journal_path:torn ~resume:true
+          ~log:(fun m -> logged := m :: !logged)
+          tiny_spec
+      in
+      check_true "the repair was logged, not fatal"
+        (List.exists (contains_substring ~affix:"torn tail") !logged);
+      check_int "only the torn cell recomputed" tiny_spec.Spec.trials_per_cell
+        r.Campaign.Campaign.fresh_trials;
+      check_true "resumed outcome equals the uninterrupted one"
+        (compare (outcome_snapshots r) (outcome_snapshots o) = 0);
+      check_true "repaired journal byte-identical to uninterrupted"
+        (read_file torn = whole);
+      (* An empty journal file (killed before the header append finished
+         its write) resumes as a fresh run, with a logged warning. *)
+      write_raw torn "";
+      let logged = ref [] in
+      let r2 =
+        Campaign.Campaign.run ~jobs:2 ~journal_path:torn ~resume:true
+          ~log:(fun m -> logged := m :: !logged)
+          tiny_spec
+      in
+      check_true "unusable journal logged"
+        (List.exists (contains_substring ~affix:"no usable state") !logged);
+      check_int "everything recomputed" (Spec.trial_count tiny_spec)
+        r2.Campaign.Campaign.fresh_trials;
+      check_true "rebuilt journal byte-identical" (read_file torn = whole))
 
 let test_resume_rejects_other_spec () =
   let path = temp_journal "fp" in
@@ -402,11 +638,19 @@ let suite =
     case "shard plan" test_shard_plan;
     case "worker pool order and draining" test_worker_pool_order_and_draining;
     case "worker pool exception propagation" test_worker_pool_exception_propagates;
+    case "worker pool retries requeue" test_worker_pool_retries_requeue;
+    case "worker pool retry determinism" test_worker_pool_retry_determinism;
     case "aggregate closed forms" test_aggregate_closed_form;
     case "aggregate merge and snapshot" test_aggregate_merge_and_snapshot;
     case "journal round trip" test_journal_round_trip;
+    case "journal writer round trip" test_journal_writer_round_trip;
+    case "journal torn tail detect and repair" test_journal_torn_tail_detected_and_repaired;
+    case "journal unusable and fatal shapes" test_journal_unusable_and_fatal_shapes;
+    case "progress resume rate and eta" test_progress_resume_rate_and_eta;
+    case "progress silent reporters are fresh" test_progress_silent_is_fresh;
     case "jobs determinism" test_jobs_determinism;
     case "resume skips completed cells" test_resume_skips_completed_cells;
+    case "resume repairs a torn tail" test_resume_repairs_torn_tail;
     case "resume rejects a different spec" test_resume_rejects_other_spec;
     case "single-cell grid drains" test_single_cell_grid_drains;
     case "state mode matches direct runs" test_state_mode_matches_direct_runs;

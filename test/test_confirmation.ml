@@ -73,7 +73,11 @@ let test_nakamoto_monotone () =
   check_true "decreasing in confirmations" !ok
 
 let test_confirmations_for () =
-  let z = Confirmation.confirmations_for ~ratio:(0.1 /. 0.9) ~epsilon:0.001 in
+  let z =
+    match Confirmation.confirmations_for ~ratio:(0.1 /. 0.9) ~epsilon:0.001 () with
+    | Some z -> z
+    | None -> Alcotest.fail "q=0.1 must settle"
+  in
   (* The whitepaper's "solving for P < 0.1%" table: q=0.1 -> z=5. *)
   check_int "whitepaper q=0.1 row" 5 z;
   (* z is the first depth at or below epsilon. *)
@@ -85,8 +89,16 @@ let test_confirmations_for () =
     || Confirmation.nakamoto_double_spend ~ratio:(0.1 /. 0.9)
          ~confirmations:(z - 1)
        > 0.001);
+  (* An exhausted search limit is an answer, not a crash. *)
+  check_true "limit exhaustion is None"
+    (Confirmation.confirmations_for ~limit:3 ~ratio:0.9 ~epsilon:1e-9 () = None);
+  check_true "a ratio near 1 is unsettleable"
+    (Confirmation.confirmations_for ~limit:2000 ~ratio:0.999 ~epsilon:1e-6 ()
+    = None);
   check_raises_invalid "epsilon range" (fun () ->
-      ignore (Confirmation.confirmations_for ~ratio:0.3 ~epsilon:0.))
+      ignore (Confirmation.confirmations_for ~ratio:0.3 ~epsilon:0. ()));
+  check_raises_invalid "limit range" (fun () ->
+      ignore (Confirmation.confirmations_for ~limit:0 ~ratio:0.3 ~epsilon:0.1 ()))
 
 let test_assess () =
   let p = Params.of_c ~n:1e5 ~delta:10. ~nu:0.2 ~c:6. in

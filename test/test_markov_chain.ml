@@ -102,6 +102,26 @@ let test_occupancy () =
   check_true "occupancy matches T pi(target)"
     (Float.abs (float_of_int visits -. (20_000. *. 0.375)) < 500.)
 
+let test_power_iteration_nonconvergence_message () =
+  (* A sticky asymmetric chain (second eigenvalue 0.97, stationary away
+     from the uniform start) cannot meet tol 1e-14 in 50 iterations.
+     The failure must report the iteration budget, the tolerance and
+     the last L1 residual — not just "did not converge". *)
+  let sticky =
+    Chain.create ~size:2
+      ~rows:[| [ (0, 0.99); (1, 0.01) ]; [ (0, 0.02); (1, 0.98) ] |]
+      ()
+  in
+  match Chain.stationary_power_iteration ~tol:1e-14 ~max_iter:50 sticky with
+  | _ -> Alcotest.fail "expected non-convergence at max_iter:50"
+  | exception Failure msg ->
+    List.iter
+      (fun affix ->
+        check_true
+          (Printf.sprintf "message mentions %s" affix)
+          (contains_substring ~affix msg))
+      [ "50 iterations"; "tol 1e-14"; "residual" ]
+
 let props =
   let gen_chain =
     (* Random dense stochastic matrices of size 2..6. *)
@@ -145,5 +165,7 @@ let suite =
     case "mixing time" test_mixing_time;
     case "simulate" test_simulate;
     case "occupancy" test_occupancy;
+    case "power iteration non-convergence message"
+      test_power_iteration_nonconvergence_message;
   ]
   @ props

@@ -64,6 +64,22 @@ let test_estimate_tracks_exact_mixing () =
           (ratio > 0.1 && ratio < 10.))
     [ (4, 0.3); (8, 0.2); (16, 0.1) ]
 
+let test_nonconvergence_message_is_actionable () =
+  (* Starve a cycle-like chain (complex non-principal eigenvalues, so
+     the block estimates oscillate) of iterations: the failure must name
+     the step count, the tolerance, the last estimate and the residual —
+     not just "did not stabilize". *)
+  let slow = Nakamoto_core.Suffix_chain.build ~delta:16 ~alpha:0.1 in
+  match Spectral.slem ~tol:1e-15 ~max_iter:128 slow with
+  | _ -> Alcotest.fail "expected non-convergence at max_iter:128"
+  | exception Failure msg ->
+    List.iter
+      (fun affix ->
+        check_true
+          (Printf.sprintf "message mentions %s" affix)
+          (contains_substring ~affix msg))
+      [ "128 steps"; "tol 1e-15"; "last estimate"; "last residual" ]
+
 let test_estimate_exact_for_reversible () =
   (* weather is reversible (2 states always are): the formula upper-bounds
      the true mixing time. *)
@@ -82,4 +98,6 @@ let suite =
     case "estimate tracks exact mixing (suffix chains)"
       test_estimate_tracks_exact_mixing;
     case "upper bound for reversible chains" test_estimate_exact_for_reversible;
+    case "non-convergence message is actionable"
+      test_nonconvergence_message_is_actionable;
   ]
