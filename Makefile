@@ -48,13 +48,37 @@ faultinject-smoke:
 	cmp _fault_smoke.jsonl test/golden/campaign_smoke.jsonl
 	rm -f _fault_smoke.jsonl _fault_smoke.log
 
+# Telemetry golden: the campaign-smoke grid on one worker with the
+# zero clock (every span records 0s, so durations are byte-stable) and
+# --telemetry; the prom exposition must match its golden byte-for-byte,
+# and the JSONL must match after scrubbing the meta line's wall-clock
+# emitted_at stamp.  Single-worker because at jobs >= 2 the
+# domain="k" shard labels depend on scheduling.  Regenerate after a
+# deliberate format change by rerunning the dune exec line and copying
+# _telemetry_smoke/ over test/golden/telemetry_smoke.{prom,jsonl}
+# (scrub emitted_at with the sed below first).
+telemetry-smoke:
+	NAKAMOTO_TELEMETRY_CLOCK=zero dune exec bin/main.exe -- campaign \
+	  -p 0.01 -n 40 --delta 3 --nu 0.15,0.4 --trials 4 --rounds 400 \
+	  --jobs 1 --seed 7 --out _telemetry_smoke.jsonl \
+	  --telemetry _telemetry_smoke --progress-interval 0 >/dev/null
+	cmp _telemetry_smoke.jsonl test/golden/campaign_smoke.jsonl
+	cmp _telemetry_smoke/telemetry.prom test/golden/telemetry_smoke.prom
+	sed 's/"emitted_at":[0-9.e+-]*/"emitted_at":0/' \
+	  _telemetry_smoke/telemetry.jsonl > _telemetry_smoke/scrubbed.jsonl
+	cmp _telemetry_smoke/scrubbed.jsonl test/golden/telemetry_smoke.jsonl
+	rm -rf _telemetry_smoke.jsonl _telemetry_smoke
+
 # The property tier's oracle-focused run: the differential oracle (50
 # generated scenarios through Exact / Aggregate / state-process lanes),
 # the stationary cross-checks, and the Δ-ring vs queue-lane equivalence.
+# The telemetry leg pins the snapshot-merge monoid laws (1000 cases per
+# instrument) and the interarrival-vs-geometric distribution check.
 # Failures print a PROPTEST_SEED / PROPTEST_REPLAY one-liner; see
 # DESIGN.md §8.
 proptest-smoke:
 	dune exec test/prop/prop_main.exe -- test oracle
+	dune exec test/prop/prop_main.exe -- test telemetry
 
 # Opt-in statistical soak: every property rerun with PROPTEST_TRIALS=500
 # via the @soak alias.  Not part of `check` — run before releases or when
@@ -62,7 +86,8 @@ proptest-smoke:
 soak:
 	dune build @soak
 
-check: all test campaign-smoke faultinject-smoke bench-exec-smoke proptest-smoke
+check: all test campaign-smoke faultinject-smoke telemetry-smoke \
+  bench-exec-smoke proptest-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -75,4 +100,4 @@ artifacts:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 .PHONY: all test bench examples artifacts campaign-smoke faultinject-smoke \
-  bench-exec-smoke proptest-smoke soak check
+  telemetry-smoke bench-exec-smoke proptest-smoke soak check

@@ -398,7 +398,7 @@ let confirm_cmd =
 
 let campaign_cmd =
   let run ps ns deltas nus trials rounds mode strategy jobs seed resume out
-      shard_size progress_interval retries fault =
+      shard_size progress_interval retries fault telemetry =
     let strategy =
       match strategy with
       | "idle" -> Ok Sim.Adversary.Idle
@@ -440,9 +440,16 @@ let campaign_cmd =
         }
       in
       let jobs = if jobs = 0 then None else Some jobs in
+      (* NAKAMOTO_TELEMETRY_CLOCK=zero freezes every span at 0s — the
+         hook behind the byte-stable golden smoke check. *)
+      let telemetry_clock =
+        match Sys.getenv_opt "NAKAMOTO_TELEMETRY_CLOCK" with
+        | Some "zero" -> Some (fun () -> 0.)
+        | _ -> None
+      in
       match
         Campaign.Campaign.run ?jobs ?journal_path:out ~resume ~retries ?fault
-          ~progress_interval spec
+          ~progress_interval ?telemetry ?telemetry_clock spec
       with
       | exception Invalid_argument msg -> `Error (false, msg)
       | exception Failure msg -> `Error (false, msg)
@@ -457,6 +464,9 @@ let campaign_cmd =
              (Campaign.Campaign.summary_table outcome));
         (match out with
         | Some path -> Printf.printf "(journal: %s)\n" path
+        | None -> ());
+        (match telemetry with
+        | Some dir -> Printf.printf "(telemetry: %s)\n" dir
         | None -> ());
         `Ok ())
   in
@@ -535,13 +545,20 @@ let campaign_cmd =
                    slow-worker=TASK[:SECONDS].  An injected crash exits \
                    with status 70.")
   in
+  let telemetry_arg =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"DIR"
+             ~doc:"Write telemetry.prom and telemetry.jsonl (per-domain \
+                   shard timings, executor phase spans, journal fsync \
+                   latency) into DIR when the campaign completes.")
+  in
   let term =
     Term.(
       ret
         (const run $ ps_arg $ ns_arg $ deltas_arg $ nus_arg $ trials_arg
         $ rounds_arg $ mode_arg $ strategy_arg $ jobs_arg $ seed_arg
         $ resume_arg $ out_arg $ shard_arg $ progress_arg $ retries_arg
-        $ fault_arg))
+        $ fault_arg $ telemetry_arg))
   in
   Cmd.v
     (Cmd.info "campaign"

@@ -1,6 +1,7 @@
 module Sim = Nakamoto_sim
 module Core = Nakamoto_core
 module Table = Nakamoto_numerics.Table
+module Tel = Nakamoto_telemetry
 
 type cell_result = {
   cell : Spec.cell;
@@ -15,9 +16,10 @@ type outcome = {
   resumed_cells : int;
   jobs : int;
   elapsed : float;
+  telemetry : Tel.Registry.Snapshot.t option;
 }
 
-let run_shard spec cells (sh : Shard.t) =
+let run_shard ?telemetry spec cells (sh : Shard.t) =
   let cell = cells.(sh.Shard.cell_index) in
   let agg = Aggregate.create () in
   for trial = sh.Shard.trial_start to sh.Shard.trial_stop - 1 do
@@ -25,7 +27,7 @@ let run_shard spec cells (sh : Shard.t) =
       match spec.Spec.mode with
       | Spec.Full_protocol ->
         let cfg = Spec.config_of_cell spec cell ~trial in
-        Aggregate.of_execution (Sim.Execution.run cfg)
+        Aggregate.of_execution (Sim.Execution.run ?telemetry cfg)
       | Spec.State_process ->
         let rng = Spec.trial_rng spec cell ~trial in
         Aggregate.of_state_run
@@ -39,9 +41,55 @@ let run_shard spec cells (sh : Shard.t) =
 
 let default_log msg = Printf.eprintf "campaign: %s\n%!" msg
 
+(* The progress reporter's derived one-liner: overall p50/p99 shard time
+   and the domain with the most accumulated busy time, read off the
+   merged [campaign_shard_seconds{domain=...}] spans. *)
+let shard_progress_view snap =
+  let spans =
+    List.filter_map
+      (fun ((k : Tel.Registry.Snapshot.key), v) ->
+        match v with
+        | Tel.Registry.Snapshot.Span h -> Some (k.labels, h)
+        | _ -> None)
+      (Tel.Registry.Snapshot.find_all snap "campaign_shard_seconds")
+  in
+  let all =
+    List.fold_left
+      (fun acc (_, h) -> Tel.Histogram.merge acc h)
+      Tel.Histogram.empty spans
+  in
+  if all.Tel.Histogram.s_count = 0 then ""
+  else begin
+    let slowest =
+      List.fold_left
+        (fun acc (labels, (h : Tel.Histogram.snapshot)) ->
+          match acc with
+          | Some (_, best) when best >= h.Tel.Histogram.s_sum -> acc
+          | _ -> Some (labels, h.Tel.Histogram.s_sum))
+        None spans
+    in
+    let slowest_str =
+      match slowest with
+      | Some (labels, busy) ->
+        let d = Option.value ~default:"?" (List.assoc_opt "domain" labels) in
+        Printf.sprintf "; slowest domain %s (%.2fs busy)" d busy
+      | None -> ""
+    in
+    Printf.sprintf "shard time p50 %.3fs p99 %.3fs over %d shards%s"
+      (Tel.Histogram.quantile all 0.5)
+      (Tel.Histogram.quantile all 0.99)
+      all.Tel.Histogram.s_count slowest_str
+  end
+
+let write_text_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
     ?(progress_interval = 0.) ?(progress_out = stderr) ?(log = default_log)
-    spec =
+    ?telemetry ?(telemetry_clock = Unix.gettimeofday) spec =
   Spec.validate spec;
   let jobs =
     match jobs with
@@ -52,6 +100,19 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
   in
   if retries < 0 then invalid_arg "Campaign.run: retries must be >= 0";
   let fault = Option.map Faultplan.arm fault in
+  (* The coordinator's registry: journal latency and retry/salvage
+     counters, fed only from under the pool mutex (or before/after the
+     pool runs), so unsynchronized instruments are safe.  Worker domains
+     never touch it — each shard records into its own registry. *)
+  let tel =
+    Option.map (fun _ -> Tel.Registry.create ~clock:telemetry_clock ()) telemetry
+  in
+  let c_retries =
+    Option.map (fun r -> Tel.Registry.counter r "campaign_shard_retries_total") tel
+  in
+  let c_salvaged =
+    Option.map (fun r -> Tel.Registry.counter r "campaign_shard_salvaged_total") tel
+  in
   let started = Unix.gettimeofday () in
   let cells = Spec.cells spec in
   let ncells = Array.length cells in
@@ -67,7 +128,7 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
     | None -> None
     | Some path ->
       let fresh () =
-        let w = Journal.create_writer ~path ~fresh:true in
+        let w = Journal.create_writer ?telemetry:tel ~path ~fresh:true () in
         (try
            Faultplan.journal_append fault w
              (Journal.Header (Journal.header_of_spec spec))
@@ -112,7 +173,7 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
             (Printf.sprintf "resuming %s: %d of %d cells recovered from %s"
                (Spec.describe spec)
                (List.length entries) ncells path);
-          Some (Journal.create_writer ~path ~fresh:false)
+          Some (Journal.create_writer ?telemetry:tel ~path ~fresh:false ())
       end
   in
   Fun.protect
@@ -165,9 +226,27 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
           done
       in
       flush_prefix ();
-      let on_result task_index agg =
+      (* Per-shard telemetry snapshots, indexed by plan position.  The
+         final merge folds them in plan order — never completion order —
+         so the exported snapshot is deterministic for a fixed worker
+         count.  [live] is the coordinator's running merge, read only by
+         the progress reporter's derived line (order there is harmless:
+         it is a human-facing view, not an artifact). *)
+      let shard_snaps =
+        Array.make (Array.length plan) Tel.Registry.Snapshot.empty
+      in
+      let live = ref Tel.Registry.Snapshot.empty in
+      let progress_extra =
+        Option.map (fun _ -> fun () -> shard_progress_view !live) tel
+      in
+      let pool_started = telemetry_clock () in
+      let on_result task_index (agg, snap) =
         let sh = plan.(task_index) in
         let ci = sh.Shard.cell_index in
+        shard_snaps.(task_index) <- snap;
+        (match tel with
+        | None -> ()
+        | Some _ -> live := Tel.Registry.Snapshot.merge !live snap);
         shard_results.(ci).(sh.Shard.slot) <- Some agg;
         shards_done.(ci) <- shards_done.(ci) + 1;
         trials_done := !trials_done + Shard.trials sh;
@@ -185,21 +264,50 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
           completed.(ci) <- merged;
           flush_prefix ()
         end;
-        Progress.note progress ~trials_done:!trials_done
+        Progress.note ?extra:progress_extra progress ~trials_done:!trials_done
       in
-      let task (sh : Shard.t) =
+      let task ~worker (sh : Shard.t) =
         Faultplan.wrap_task fault ~task:sh.Shard.id (fun () ->
-            run_shard spec cells sh)
+            match tel with
+            | None -> (run_shard spec cells sh, Tel.Registry.Snapshot.empty)
+            | Some _ ->
+              (* The shard's own registry: no cross-domain sharing, and
+                 its contents (queue wait aside) depend only on the
+                 shard, so plan-order merging stays deterministic. *)
+              let sreg = Tel.Registry.create ~clock:telemetry_clock () in
+              Tel.Span.record
+                (Tel.Registry.span sreg "campaign_queue_wait_seconds")
+                (Float.max 0. (telemetry_clock () -. pool_started));
+              let sp =
+                Tel.Registry.span sreg
+                  ~labels:[ ("domain", string_of_int worker) ]
+                  "campaign_shard_seconds"
+              in
+              let began = Tel.Span.start sp in
+              let agg = run_shard ~telemetry:sreg spec cells sh in
+              Tel.Span.stop sp began;
+              (agg, Tel.Registry.snapshot sreg))
       in
       let on_retry ~task ~attempt e =
+        Option.iter Tel.Counter.incr c_retries;
         log
           (Printf.sprintf
              "shard %d failed on attempt %d (%s); requeueing (%d %s left)"
              task attempt (Printexc.to_string e) (retries - attempt)
              (if retries - attempt = 1 then "retry" else "retries"))
       in
-      ignore (Worker_pool.run ~jobs ~retries ~on_retry ~on_result task plan);
-      Progress.finish progress ~trials_done:!trials_done;
+      let on_salvage ~task =
+        Option.iter Tel.Counter.incr c_salvaged;
+        log
+          (Printf.sprintf
+             "shard %d abandoned by a dead worker; recomputing on the main \
+              domain"
+             task)
+      in
+      ignore
+        (Worker_pool.run ~jobs ~retries ~on_retry ~on_salvage ~on_result task
+           plan);
+      Progress.finish ?extra:progress_extra progress ~trials_done:!trials_done;
       let results =
         Array.mapi
           (fun i cell ->
@@ -209,6 +317,25 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
             | None -> assert false (* the pool drained every shard *))
           cells
       in
+      let telemetry_snapshot =
+        match tel with
+        | None -> None
+        | Some reg ->
+          Some
+            (Array.fold_left Tel.Registry.Snapshot.merge
+               (Tel.Registry.snapshot reg) shard_snaps)
+      in
+      (match (telemetry, telemetry_snapshot) with
+      | Some dir, Some snap ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        write_text_file
+          (Filename.concat dir "telemetry.prom")
+          (Tel.Export.prometheus snap);
+        write_text_file
+          (Filename.concat dir "telemetry.jsonl")
+          (Tel.Export.jsonl ~emitted_at:(Unix.gettimeofday ()) snap)
+      | _ -> ());
       {
         spec;
         cells = results;
@@ -216,6 +343,7 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
         resumed_cells;
         jobs;
         elapsed = Unix.gettimeofday () -. started;
+        telemetry = telemetry_snapshot;
       })
 
 let region (cell : Spec.cell) =

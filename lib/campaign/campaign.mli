@@ -34,6 +34,9 @@ type outcome = {
   resumed_cells : int;  (** cells recovered from the journal *)
   jobs : int;  (** worker domains used *)
   elapsed : float;  (** wall-clock seconds for this run *)
+  telemetry : Nakamoto_telemetry.Registry.Snapshot.t option;
+      (** present iff [~telemetry] was passed to {!run}: the merged
+          campaign-wide snapshot (coordinator + every fresh shard) *)
 }
 
 val run :
@@ -45,6 +48,8 @@ val run :
   ?progress_interval:float ->
   ?progress_out:out_channel ->
   ?log:(string -> unit) ->
+  ?telemetry:string ->
+  ?telemetry_clock:(unit -> float) ->
   Spec.t ->
   outcome
 (** [run spec] executes the campaign.
@@ -68,6 +73,22 @@ val run :
     on [progress_out] (default [stderr]).  [log] receives one-line
     operational messages — resume summaries, torn-tail repairs, shard
     requeues (default: [stderr] prefixed with ["campaign: "]).
+
+    {b Telemetry.}  [telemetry] names a directory (created if absent)
+    that receives [telemetry.prom] (Prometheus text exposition) and
+    [telemetry.jsonl] (one event per instrument) when the run
+    completes.  Each worker shard records into a private registry —
+    per-domain shard timings ([campaign_shard_seconds{domain=...}]),
+    queue wait, and the executor's [sim_*] instruments — and the
+    coordinator adds journal append/fsync latency plus retry/salvage
+    counters; shard snapshots are merged in plan order, so the exported
+    snapshot is deterministic for a fixed worker count and clock.
+    Resumed cells contribute no telemetry (their work happened in an
+    earlier process).  [telemetry_clock] (default [Unix.gettimeofday])
+    feeds every span — inject a constant clock for byte-stable golden
+    output.  The simulation results are bit-identical with and without
+    telemetry.  When enabled, the progress reporter appends a derived
+    line: p50/p99 shard time and the busiest domain.
 
     @raise Invalid_argument on an invalid spec, [jobs < 1],
     [retries < 0], or a fingerprint mismatch.

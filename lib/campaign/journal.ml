@@ -273,7 +273,22 @@ let parse text =
 (* before every append returns                                         *)
 (* ------------------------------------------------------------------ *)
 
-type writer = { fd : Unix.file_descr; w_path : string; mutable closed : bool }
+module Tel = Nakamoto_telemetry
+
+(* Resolved once at writer creation so [append] pays only an option
+   match when telemetry is off. *)
+type writer_tel = {
+  j_appends : Tel.Counter.t;
+  sp_append : Tel.Span.t;  (** render + write + fsync, end to end *)
+  sp_fsync : Tel.Span.t;  (** the [fsync] alone *)
+}
+
+type writer = {
+  fd : Unix.file_descr;
+  w_path : string;
+  w_tel : writer_tel option;
+  mutable closed : bool;
+}
 
 let write_all fd s =
   let len = String.length s in
@@ -282,12 +297,22 @@ let write_all fd s =
     pos := !pos + Unix.write_substring fd s !pos (len - !pos)
   done
 
-let create_writer ~path ~fresh =
+let create_writer ?telemetry ~path ~fresh () =
   let flags =
     if fresh then Unix.[ O_WRONLY; O_CREAT; O_TRUNC ]
     else Unix.[ O_WRONLY; O_CREAT; O_APPEND ]
   in
-  { fd = Unix.openfile path flags 0o644; w_path = path; closed = false }
+  let w_tel =
+    Option.map
+      (fun reg ->
+        {
+          j_appends = Tel.Registry.counter reg "campaign_journal_appends_total";
+          sp_append = Tel.Registry.span reg "campaign_journal_append_seconds";
+          sp_fsync = Tel.Registry.span reg "campaign_journal_fsync_seconds";
+        })
+      telemetry
+  in
+  { fd = Unix.openfile path flags 0o644; w_path = path; w_tel; closed = false }
 
 let check_open w op =
   if w.closed then
@@ -295,9 +320,20 @@ let check_open w op =
 
 let append w line =
   check_open w "append";
-  write_all w.fd (render line);
-  write_all w.fd "\n";
-  Unix.fsync w.fd
+  match w.w_tel with
+  | None ->
+    write_all w.fd (render line);
+    write_all w.fd "\n";
+    Unix.fsync w.fd
+  | Some t ->
+    Tel.Counter.incr t.j_appends;
+    let began = Tel.Span.start t.sp_append in
+    write_all w.fd (render line);
+    write_all w.fd "\n";
+    let fsync_began = Tel.Span.start t.sp_fsync in
+    Unix.fsync w.fd;
+    Tel.Span.stop t.sp_fsync fsync_began;
+    Tel.Span.stop t.sp_append began
 
 (* Fault harness only: leave a deliberately torn tail — a strict prefix
    of the rendered line with no newline, made durable so a resume sees

@@ -42,10 +42,19 @@ val parse : string -> line
 
 type writer
 
-val create_writer : path:string -> fresh:bool -> writer
-(** [create_writer ~path ~fresh] opens [path] for writing.  [fresh:true]
-    truncates (or creates) the file; [fresh:false] opens in append mode,
-    the resume path after {!load}/{!repair}. *)
+val create_writer :
+  ?telemetry:Nakamoto_telemetry.Registry.t ->
+  path:string ->
+  fresh:bool ->
+  unit ->
+  writer
+(** [create_writer ~path ~fresh ()] opens [path] for writing.
+    [fresh:true] truncates (or creates) the file; [fresh:false] opens in
+    append mode, the resume path after {!load}/{!repair}.  [telemetry],
+    if given, registers [campaign_journal_appends_total] and the
+    [campaign_journal_append_seconds] / [campaign_journal_fsync_seconds]
+    latency spans, fed on every {!append}; instruments are resolved here
+    so the append path pays one option match when telemetry is off. *)
 
 val append : writer -> line -> unit
 (** Write [render line] plus a newline and [fsync] before returning.

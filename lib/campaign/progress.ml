@@ -38,6 +38,14 @@ let eta t ~trials_done ~now =
     if r <= 0. then Float.infinity else float_of_int remaining /. r
   end
 
+let print_extra t extra =
+  match extra with
+  | None -> ()
+  | Some f -> (
+    match f () with
+    | "" -> ()
+    | line -> Printf.fprintf t.out "campaign: %s\n%!" line)
+
 let print_line t ~trials_done ~now ~final =
   let r = rate t ~trials_done ~now in
   if final then
@@ -56,15 +64,18 @@ let print_line t ~trials_done ~now ~final =
         trials_done t.total_trials r eta_str
   end
 
-let note t ~trials_done =
+let note ?extra t ~trials_done =
   if t.interval > 0. then begin
     let now = Unix.gettimeofday () in
     if now -. t.last_report >= t.interval then begin
       t.last_report <- now;
-      print_line t ~trials_done ~now ~final:false
+      print_line t ~trials_done ~now ~final:false;
+      print_extra t extra
     end
   end
 
-let finish t ~trials_done =
-  if t.interval > 0. then
-    print_line t ~trials_done ~now:(Unix.gettimeofday ()) ~final:true
+let finish ?extra t ~trials_done =
+  if t.interval > 0. then begin
+    print_line t ~trials_done ~now:(Unix.gettimeofday ()) ~final:true;
+    print_extra t extra
+  end

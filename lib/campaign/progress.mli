@@ -34,14 +34,17 @@ val silent : unit -> t
     each call returns its own record, so concurrent campaigns never
     share mutable reporter state. *)
 
-val note : t -> trials_done:int -> unit
+val note : ?extra:(unit -> string) -> t -> trials_done:int -> unit
 (** Record that [trials_done] trials have completed in total — resumed
     plus fresh, monotone, not incremental; prints a [trials/s] + ETA
-    line when the cadence allows.  Call under the pool mutex. *)
+    line when the cadence allows.  [extra], if given, is evaluated only
+    when a line is actually printed, and its (non-empty) result is
+    printed as one further [campaign: ...] line — the hook for the
+    telemetry-derived shard-timing view.  Call under the pool mutex. *)
 
-val finish : t -> trials_done:int -> unit
+val finish : ?extra:(unit -> string) -> t -> trials_done:int -> unit
 (** Print the final throughput line (unless silenced): fresh trials
-    only, over this process's wall time. *)
+    only, over this process's wall time.  [extra] as in {!note}. *)
 
 val rate : t -> trials_done:int -> now:float -> float
 (** Fresh trials per second: [(trials_done - resumed_trials) / (now -

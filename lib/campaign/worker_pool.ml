@@ -1,6 +1,6 @@
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
-let run ~jobs ?(retries = 0) ?on_retry ?on_result f tasks =
+let run ~jobs ?(retries = 0) ?on_retry ?on_salvage ?on_result f tasks =
   if jobs < 1 then invalid_arg "Worker_pool.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Worker_pool.run: retries must be >= 0";
   let n = Array.length tasks in
@@ -49,7 +49,7 @@ let run ~jobs ?(retries = 0) ?on_retry ?on_result f tasks =
       end
       else record_failure e
     in
-    let rec worker () =
+    let rec worker w () =
       Mutex.lock lock;
       if !failure <> None then Mutex.unlock lock
       else begin
@@ -57,7 +57,7 @@ let run ~jobs ?(retries = 0) ?on_retry ?on_result f tasks =
         | None -> Mutex.unlock lock
         | Some (i, attempt) ->
           Mutex.unlock lock;
-          (match f tasks.(i) with
+          (match f ~worker:w tasks.(i) with
           | r ->
             Mutex.lock lock;
             record_success i r;
@@ -66,11 +66,11 @@ let run ~jobs ?(retries = 0) ?on_retry ?on_result f tasks =
             Mutex.lock lock;
             record_attempt_failure i attempt e;
             Mutex.unlock lock);
-          worker ()
+          worker w ()
       end
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains = Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
     (* Supervision: join every domain; one that died outside the task
        try-block (async exception, runtime failure) surfaces here instead
        of hanging or vanishing. *)
@@ -83,9 +83,13 @@ let run ~jobs ?(retries = 0) ?on_retry ?on_result f tasks =
        this (surviving) domain. *)
     if !failure = None then begin
       for i = 0 to n - 1 do
+        if results.(i) = None && !failure = None then
+          (match on_salvage with
+          | None -> ()
+          | Some g -> ( try g ~task:i with e -> record_failure e));
         let rec attempt_from attempt =
           if results.(i) = None && !failure = None then begin
-            match f tasks.(i) with
+            match f ~worker:0 tasks.(i) with
             | r -> record_success i r
             | exception e ->
               if attempt <= retries then begin

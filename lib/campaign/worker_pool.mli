@@ -20,12 +20,16 @@ val run :
   jobs:int ->
   ?retries:int ->
   ?on_retry:(task:int -> attempt:int -> exn -> unit) ->
+  ?on_salvage:(task:int -> unit) ->
   ?on_result:(int -> 'b -> unit) ->
-  ('a -> 'b) ->
+  (worker:int -> 'a -> 'b) ->
   'a array ->
   'b array
 (** [run ~jobs f tasks] computes [f] over every task and returns the
-    results in task order.  [on_result i r] is invoked once per task as
+    results in task order.  [f ~worker] receives the index of the domain
+    executing it — [0] for the calling domain, [1 .. jobs-1] for spawned
+    ones — so tasks can label per-domain telemetry; the index must not
+    influence the result.  [on_result i r] is invoked once per task as
     it completes, from the completing worker but serialized under the
     pool mutex — safe for journaling, aggregation and progress output.
     Completion order is scheduling-dependent; anything that must be
@@ -41,6 +45,7 @@ val run :
     always joined — one that dies outside the task body (an async
     exception, say) is detected, and any task it abandoned mid-flight is
     recomputed on the calling domain within the same retry budget, so a
-    dead domain costs throughput, never results.  [jobs] is clamped to
-    [[1, Array.length tasks]].
+    dead domain costs throughput, never results; [on_salvage ~task] is
+    called once per such abandoned task before it is recomputed.  [jobs]
+    is clamped to [[1, Array.length tasks]].
     @raise Invalid_argument if [jobs < 1] or [retries < 0]. *)

@@ -5,6 +5,8 @@ module Rng = Nakamoto_prob.Rng
 module Binomial = Nakamoto_prob.Binomial
 module Pow = Nakamoto_chain.Pow
 
+module Tel = Nakamoto_telemetry
+
 let log_src = Logs.Src.create "nakamoto.sim" ~doc:"Delta-delay protocol execution"
 
 module Log = (val Logs.src_log log_src)
@@ -37,12 +39,121 @@ type round_report = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: every instrument is resolved once before the round loop
+   and threaded through as an [instruments option].  The disabled handle
+   is [None]; the hot path then pays one pattern match per phase and
+   nothing else — no clock reads, no allocation — which is what keeps
+   telemetry-off throughput within noise of the uninstrumented build.
+   Telemetry never draws from any RNG stream, so results are bit-
+   identical with the handle on or off (pinned by the differential
+   test).                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type instruments = {
+  i_rounds : Tel.Counter.t;
+  i_honest : Tel.Counter.t;
+  i_adversary : Tel.Counter.t;
+  i_releases : Tel.Counter.t;
+  i_height_growth : Tel.Counter.t;
+  i_reorg_rounds : Tel.Counter.t;
+  i_release_burst : Tel.Histogram.t;  (** blocks per adversarial release *)
+  i_reorg_depth : Tel.Histogram.t;  (** fixed-boundary, per reorging round *)
+  i_interarrival : Tel.Histogram.t;  (** rounds between honest-block rounds *)
+  i_conv_gap : Tel.Histogram.t;  (** rounds between convergence opportunities *)
+  sp_delivery : Tel.Span.t;
+  sp_mining : Tel.Span.t;
+  sp_adversary : Tel.Span.t;
+  mutable last_block_round : int;
+  mutable last_conv_count : int;
+  mutable last_conv_round : int;
+  mutable last_best_height : int;
+  mutable phase_started : float;
+}
+
+let reorg_depth_bounds =
+  [| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 48.; 64. |]
+
+let make_instruments reg =
+  {
+    i_rounds = Tel.Registry.counter reg "sim_rounds_total";
+    i_honest = Tel.Registry.counter reg "sim_honest_blocks_total";
+    i_adversary = Tel.Registry.counter reg "sim_adversary_blocks_total";
+    i_releases = Tel.Registry.counter reg "sim_adversary_releases_total";
+    i_height_growth = Tel.Registry.counter reg "sim_best_height_growth_total";
+    i_reorg_rounds = Tel.Registry.counter reg "sim_reorg_rounds_total";
+    i_release_burst = Tel.Registry.log2_histogram reg "sim_release_burst_blocks";
+    i_reorg_depth =
+      Tel.Registry.fixed_histogram reg ~bounds:reorg_depth_bounds
+        "sim_reorg_depth";
+    i_interarrival =
+      Tel.Registry.log2_histogram reg "sim_block_interarrival_rounds";
+    i_conv_gap = Tel.Registry.log2_histogram reg "sim_convergence_gap_rounds";
+    sp_delivery = Tel.Registry.span reg "sim_phase_delivery_seconds";
+    sp_mining = Tel.Registry.span reg "sim_phase_mining_seconds";
+    sp_adversary = Tel.Registry.span reg "sim_phase_adversary_seconds";
+    last_block_round = 0;
+    last_conv_count = 0;
+    last_conv_round = 0;
+    last_best_height = 0;
+    phase_started = 0.;
+  }
+
+let phase_start instr span =
+  match instr with
+  | None -> ()
+  | Some i -> i.phase_started <- Tel.Span.start (span i)
+
+let phase_stop instr span =
+  match instr with
+  | None -> ()
+  | Some i -> Tel.Span.stop (span i) i.phase_started
+
+(* End-of-round bookkeeping shared by both executors; [releases] is the
+   round's release list (burst sizes), the rest are this round's already
+   computed statistics. *)
+let observe_round instr ~round ~h ~successes ~releases ~round_reorg
+    ~best_height ~conv_count =
+  match instr with
+  | None -> ()
+  | Some i ->
+    Tel.Counter.incr i.i_rounds;
+    Tel.Counter.add i.i_honest h;
+    Tel.Counter.add i.i_adversary successes;
+    Tel.Counter.add i.i_releases (List.length releases);
+    List.iter
+      (fun { Adversary.blocks; _ } ->
+        Tel.Histogram.observe i.i_release_burst
+          (float_of_int (List.length blocks)))
+      releases;
+    if round_reorg > 0 then begin
+      Tel.Counter.incr i.i_reorg_rounds;
+      Tel.Histogram.observe i.i_reorg_depth (float_of_int round_reorg)
+    end;
+    if h > 0 then begin
+      if i.last_block_round > 0 then
+        Tel.Histogram.observe i.i_interarrival
+          (float_of_int (round - i.last_block_round));
+      i.last_block_round <- round
+    end;
+    if conv_count > i.last_conv_count then begin
+      if i.last_conv_round > 0 then
+        Tel.Histogram.observe i.i_conv_gap
+          (float_of_int (round - i.last_conv_round));
+      i.last_conv_count <- conv_count;
+      i.last_conv_round <- round
+    end;
+    if best_height > i.last_best_height then begin
+      Tel.Counter.add i.i_height_growth (best_height - i.last_best_height);
+      i.last_best_height <- best_height
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Exact mode: one H-query per honest miner per round, nu n sequential
    adversary queries, every message enqueued per recipient.  This path is
    bit-for-bit the historical executor.                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_exact ?on_round config =
+let run_exact ?on_round ~instr config =
   let honest_n = Config.honest_count config in
   let adv_n = Config.adversary_count config in
   let rng = Rng.create ~seed:config.seed in
@@ -105,9 +216,12 @@ let run_exact ?on_round config =
     let round_reorg = ref 0 in
     (* Phase 1: delivery.  Record reorg depth when a miner abandons part of
        its previously-best chain. *)
+    phase_start instr (fun i -> i.sp_delivery);
     deliver_round round ~track_round_reorg:(Some round_reorg);
+    phase_stop instr (fun i -> i.sp_delivery);
     (* Phase 2: honest mining — one parallel H-query each (Section III's
        oracle: the query digests the miner's current parent). *)
+    phase_start instr (fun i -> i.sp_mining);
     let mined_this_round = ref [] in
     Array.iter
       (fun miner ->
@@ -123,6 +237,7 @@ let run_exact ?on_round config =
             { Network.sender = Miner.id miner; sent_round = round; blocks = [ block ] })
       miners;
     let h = List.length !mined_this_round in
+    phase_stop instr (fun i -> i.sp_mining);
     honest_blocks := !honest_blocks + h;
     if h > 0 then incr h_rounds;
     if h = 1 then incr h1_rounds;
@@ -130,6 +245,7 @@ let run_exact ?on_round config =
     Adversary.observe adversary !mined_this_round;
     (* Phase 3: the adversary's q = nu n sequential H-queries on its
        strategy-chosen tip, then releases. *)
+    phase_start instr (fun i -> i.sp_adversary);
     let successes =
       Pow.successes oracle
         ~parent:(Adversary.private_tip adversary).Block.hash ~miner:(-1)
@@ -154,23 +270,29 @@ let run_exact ?on_round config =
           done
         | Adversary.Only recipients -> List.iter send recipients)
       releases;
-    (match on_round with
-    | None -> ()
-    | Some report ->
+    phase_stop instr (fun i -> i.sp_adversary);
+    if Option.is_some on_round || Option.is_some instr then begin
       let best_height =
         Array.fold_left
           (fun acc m -> max acc (Miner.chain_length m))
           0 miners
       in
-      report
-        {
-          round_number = round;
-          honest_mined = h;
-          adversary_successes = successes;
-          releases_issued = List.length releases;
-          best_height;
-          reorg_depth = !round_reorg;
-        });
+      (match on_round with
+      | None -> ()
+      | Some report ->
+        report
+          {
+            round_number = round;
+            honest_mined = h;
+            adversary_successes = successes;
+            releases_issued = List.length releases;
+            best_height;
+            reorg_depth = !round_reorg;
+          });
+      observe_round instr ~round ~h ~successes ~releases
+        ~round_reorg:!round_reorg ~best_height
+        ~conv_count:(Pattern.count pattern)
+    end;
     if round mod config.snapshot_interval = 0 || round = config.rounds then
       take_snapshot round
   done;
@@ -230,7 +352,7 @@ let run_exact ?on_round config =
    phantom orphans no real miner holds. *)
 (* ------------------------------------------------------------------ *)
 
-let run_aggregate ?on_round config =
+let run_aggregate ?on_round ~instr config =
   let honest_n = Config.honest_count config in
   let adv_n = Config.adversary_count config in
   let rng = Rng.create ~seed:config.seed in
@@ -343,9 +465,12 @@ let run_aggregate ?on_round config =
     let round_reorg = ref 0 in
     (* Phase 1: delivery — the shared ring stream to the crowd and every
        materialized miner, plus per-miner direct queues. *)
+    phase_start instr (fun i -> i.sp_delivery);
     deliver_round round ~track_round_reorg:(Some round_reorg);
+    phase_stop instr (fun i -> i.sp_delivery);
     (* Phase 2: honest mining — one binomial draw for how many of the mu n
        parallel H-queries won, a partial Fisher-Yates draw for which. *)
+    phase_start instr (fun i -> i.sp_mining);
     let h = Binomial.sample rng honest_dist in
     let mined_this_round = ref [] in
     for i = 0 to h - 1 do
@@ -359,6 +484,7 @@ let run_aggregate ?on_round config =
       Network.broadcast network
         { Network.sender = winner; sent_round = round; blocks = [ block ] }
     done;
+    phase_stop instr (fun i -> i.sp_mining);
     honest_blocks := !honest_blocks + h;
     if h > 0 then incr h_rounds;
     if h = 1 then incr h1_rounds;
@@ -366,6 +492,7 @@ let run_aggregate ?on_round config =
     Adversary.observe adversary !mined_this_round;
     (* Phase 3: the adversary's nu n sequential queries, as one binomial
        draw (only the count reaches the strategy), then releases. *)
+    phase_start instr (fun i -> i.sp_adversary);
     let successes = Binomial.sample rng adv_dist in
     adversary_blocks := !adversary_blocks + successes;
     let releases = Adversary.act adversary ~round ~successes in
@@ -385,24 +512,30 @@ let run_aggregate ?on_round config =
               Network.send_direct network ~recipient ~delay msg)
             recipients)
       releases;
-    (match on_round with
-    | None -> ()
-    | Some report ->
+    phase_stop instr (fun i -> i.sp_adversary);
+    if Option.is_some on_round || Option.is_some instr then begin
       let best_height =
         Hashtbl.fold
           (fun _ m acc -> max acc (Miner.chain_length m))
           materialized
           (Miner.chain_length crowd)
       in
-      report
-        {
-          round_number = round;
-          honest_mined = h;
-          adversary_successes = successes;
-          releases_issued = List.length releases;
-          best_height;
-          reorg_depth = !round_reorg;
-        });
+      (match on_round with
+      | None -> ()
+      | Some report ->
+        report
+          {
+            round_number = round;
+            honest_mined = h;
+            adversary_successes = successes;
+            releases_issued = List.length releases;
+            best_height;
+            reorg_depth = !round_reorg;
+          });
+      observe_round instr ~round ~h ~successes ~releases
+        ~round_reorg:!round_reorg ~best_height
+        ~conv_count:(Pattern.count pattern)
+    end;
     if round mod config.snapshot_interval = 0 || round = config.rounds then
       take_snapshot round
   done;
@@ -429,8 +562,9 @@ let run_aggregate ?on_round config =
         (if crowd_live () then Miner.orphan_count crowd else 0);
   }
 
-let run ?on_round config =
+let run ?on_round ?telemetry config =
   Config.validate config;
+  let instr = Option.map make_instruments telemetry in
   match config.mining_mode with
-  | Config.Exact -> run_exact ?on_round config
-  | Config.Aggregate -> run_aggregate ?on_round config
+  | Config.Exact -> run_exact ?on_round ~instr config
+  | Config.Aggregate -> run_aggregate ?on_round ~instr config

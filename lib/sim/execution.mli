@@ -57,13 +57,25 @@ type round_report = {
   reorg_depth : int;  (** deepest rollback performed this round *)
 }
 
-val run : ?on_round:(round_report -> unit) -> Config.t -> result
+val run :
+  ?on_round:(round_report -> unit) ->
+  ?telemetry:Nakamoto_telemetry.Registry.t ->
+  Config.t ->
+  result
 (** [run config] executes the protocol, then quiesces: [delta] further
     delivery-only rounds flush every in-flight message, so
     [orphans_remaining] is [0] under any delay policy and [final_tips]
     describe a settled network.  [on_round], if given, is called once per
     mining round (not the quiescence rounds) after the adversary has
     acted — the hook behind {!Trace.capture}.
+
+    [telemetry], if given, registers the executor's instruments
+    ([sim_*] counters, histograms and phase spans) in the registry and
+    feeds them as the run progresses.  The simulation itself is
+    oblivious to the registry: the RNG stream, every statistic in
+    {!result}, and the {!round_report} sequence are bit-identical with
+    and without it.  When absent, the hot path performs no clock reads
+    and no allocation on its behalf.
     @raise Invalid_argument when the configuration is invalid, or when
     [config.mining_mode] is [Aggregate] and the effective delay policy
     depends on the recipient ([Uniform_random] or [Per_recipient]). *)

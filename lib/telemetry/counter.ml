@@ -1,0 +1,16 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+let incr t = t.value <- t.value + 1
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: counters are monotonic";
+  t.value <- t.value + n
+
+let value t = t.value
+
+type snapshot = int
+
+let snapshot t = t.value
+let empty = 0
+let merge a b = a + b

@@ -1,0 +1,31 @@
+(** Monotonic event counter.
+
+    The cheapest instrument: one mutable [int], incremented on the hot
+    path, snapshotted when a view is exported.  Snapshots form a
+    commutative monoid under {!merge} ([+] with identity [0]), which is
+    what lets per-domain and per-shard counters be combined in any
+    grouping without changing the total. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** @raise Invalid_argument on a negative increment — counters are
+    monotonic by contract, so rates derived from merged snapshots are
+    meaningful. *)
+
+val value : t -> int
+
+type snapshot = int
+(** Immutable; the instrument keeps counting after {!snapshot}. *)
+
+val snapshot : t -> snapshot
+
+val empty : snapshot
+(** The merge identity, [0]. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Associative and commutative; [merge empty s = s]. *)

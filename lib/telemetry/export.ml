@@ -1,0 +1,172 @@
+module S = Registry.Snapshot
+
+(* %.17g round-trips every finite double (the journal's convention). *)
+let float_str f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.17g" f
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (l, v) -> Printf.sprintf "%s=\"%s\"" l (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* A histogram/span sample: cumulative buckets (empty ones elided — the
+   cumulative counts at the surviving [le] edges carry the same
+   information), then sum and count. *)
+let prom_histogram buf name labels (h : Histogram.snapshot) =
+  let labelled extra =
+    let all = labels @ extra in
+    render_labels all
+  in
+  (match h.Histogram.s_kind with
+  | None -> ()
+  | Some kind ->
+    let cumulative = ref 0 in
+    Array.iteri
+      (fun i c ->
+        cumulative := !cumulative + c;
+        if c > 0 && i < Array.length h.Histogram.s_counts - 1 then begin
+          let le = float_str (Histogram.upper_bound kind i) in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (labelled [ ("le", le) ])
+               !cumulative)
+        end)
+      h.Histogram.s_counts);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket%s %d\n" name
+       (labelled [ ("le", "+Inf") ])
+       h.Histogram.s_count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
+       (float_str h.Histogram.s_sum));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+       h.Histogram.s_count)
+
+let prometheus snap =
+  let buf = Buffer.create 4096 in
+  let last_typed = ref "" in
+  List.iter
+    (fun ((key : S.key), value) ->
+      let ty =
+        match value with
+        | S.Counter _ -> "counter"
+        | S.Histogram _ | S.Span _ -> "histogram"
+      in
+      if !last_typed <> key.name then begin
+        last_typed := key.name;
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" key.name ty)
+      end;
+      match value with
+      | S.Counter c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" key.name (render_labels key.labels) c)
+      | S.Histogram h | S.Span h -> prom_histogram buf key.name key.labels h)
+    (S.entries snap);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSONL event stream                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (l, v) -> Printf.sprintf "%s:%s" (json_string l) (json_string v))
+         labels)
+  ^ "}"
+
+let json_histogram_fields (h : Histogram.snapshot) =
+  let buckets =
+    let parts = ref [] in
+    Array.iteri
+      (fun i c -> if c > 0 then parts := Printf.sprintf "[%d,%d]" i c :: !parts)
+      h.Histogram.s_counts;
+    "[" ^ String.concat "," (List.rev !parts) ^ "]"
+  in
+  let kind_fields =
+    match h.Histogram.s_kind with
+    | None | Some Histogram.Log2 -> Printf.sprintf "\"kind\":\"log2\""
+    | Some (Histogram.Fixed bounds) ->
+      Printf.sprintf "\"kind\":\"fixed\",\"bounds\":[%s]"
+        (String.concat ","
+           (List.map float_str (Array.to_list bounds)))
+  in
+  let extremes =
+    if h.Histogram.s_count = 0 then ""
+    else
+      Printf.sprintf ",\"min\":%s,\"max\":%s"
+        (float_str h.Histogram.s_min)
+        (float_str h.Histogram.s_max)
+  in
+  Printf.sprintf "%s,\"count\":%d,\"sum\":%s%s,\"buckets\":%s" kind_fields
+    h.Histogram.s_count
+    (float_str h.Histogram.s_sum)
+    extremes buckets
+
+let jsonl ~emitted_at snap =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"telemetry\":\"nakamoto\",\"version\":1,\"emitted_at\":%s}\n"
+       (float_str emitted_at));
+  List.iter
+    (fun ((key : S.key), value) ->
+      let head =
+        Printf.sprintf "{\"name\":%s,\"labels\":%s," (json_string key.name)
+          (json_labels key.labels)
+      in
+      let body =
+        match value with
+        | S.Counter c -> Printf.sprintf "\"type\":\"counter\",\"value\":%d" c
+        | S.Histogram h ->
+          Printf.sprintf "\"type\":\"histogram\",%s" (json_histogram_fields h)
+        | S.Span h -> Printf.sprintf "\"type\":\"span\",%s" (json_histogram_fields h)
+      in
+      Buffer.add_string buf head;
+      Buffer.add_string buf body;
+      Buffer.add_string buf "}\n")
+    (S.entries snap);
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Snapshot renderers: Prometheus text exposition and a JSONL event
+    stream.
+
+    Both renderings are pure functions of the snapshot (entries are
+    already in canonical key order), so equal snapshots produce equal
+    bytes — the property the golden smoke check pins.  The only
+    non-snapshot input is the JSONL meta line's [emitted_at] wall-clock
+    stamp, which callers scrub when comparing. *)
+
+val prometheus : Registry.Snapshot.t -> string
+(** Prometheus text format: one [# TYPE] comment per metric name, then
+    one sample line per counter, and cumulative [_bucket]/[_sum]/[_count]
+    series per histogram and span (spans render as histograms of
+    seconds).  Empty buckets are elided — cumulative [le] semantics make
+    them redundant. *)
+
+val jsonl : emitted_at:float -> Registry.Snapshot.t -> string
+(** One JSON object per line: a meta line
+    [{"telemetry":"nakamoto","version":1,"emitted_at":...}] followed by
+    one event per instrument in key order.  Histogram buckets are sparse
+    [[index, count]] pairs; [min]/[max] are emitted only when at least
+    one observation was recorded (JSON has no infinities). *)

@@ -1,0 +1,163 @@
+type kind = Fixed of float array | Log2
+
+(* Log2 layout: bucket 0 catches v < 2^-32 (zero and negatives
+   included); bucket i in 1..64 holds [2^(i-33), 2^(i-32)); bucket 65
+   catches v >= 2^32. *)
+let log2_buckets = 66
+let log2_min = ldexp 1. (-32)
+let log2_max = ldexp 1. 32
+
+type t = {
+  h_kind : kind;
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let validate_kind = function
+  | Log2 -> ()
+  | Fixed bounds ->
+    let n = Array.length bounds in
+    if n = 0 then invalid_arg "Histogram.create: empty bounds";
+    Array.iteri
+      (fun i b ->
+        if not (Float.is_finite b) then
+          invalid_arg "Histogram.create: non-finite bound";
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg "Histogram.create: bounds must be strictly increasing")
+      bounds
+
+let buckets_of_kind = function
+  | Log2 -> log2_buckets
+  | Fixed bounds -> Array.length bounds + 1
+
+let create k =
+  validate_kind k;
+  {
+    h_kind = k;
+    counts = Array.make (buckets_of_kind k) 0;
+    count = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let fixed ~bounds = create (Fixed (Array.copy bounds))
+let log2 () = create Log2
+let kind t = t.h_kind
+
+let bucket_of kind v =
+  match kind with
+  | Log2 ->
+    if v < log2_min then 0
+    else if v >= log2_max then log2_buckets - 1
+    else begin
+      (* frexp v = (m, e) with 0.5 <= m < 1, so v lives in
+         [2^(e-1), 2^e) and its bucket index is e + 32. *)
+      let _, e = Float.frexp v in
+      e + 32
+    end
+  | Fixed bounds ->
+    let n = Array.length bounds in
+    (* Binary search for the first bound >= v (cumulative-le
+       semantics); v above every bound goes to the overflow bucket. *)
+    if v > bounds.(n - 1) then n
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if v <= bounds.(mid) then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+
+let observe t v =
+  if Float.is_nan v then invalid_arg "Histogram.observe: NaN";
+  let i = bucket_of t.h_kind v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+type snapshot = {
+  s_kind : kind option;
+  s_counts : int array;
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+}
+
+let snapshot t =
+  {
+    s_kind = Some t.h_kind;
+    s_counts = Array.copy t.counts;
+    s_count = t.count;
+    s_sum = t.sum;
+    s_min = t.min;
+    s_max = t.max;
+  }
+
+let empty =
+  {
+    s_kind = None;
+    s_counts = [||];
+    s_count = 0;
+    s_sum = 0.;
+    s_min = infinity;
+    s_max = neg_infinity;
+  }
+
+let kind_equal a b =
+  match (a, b) with
+  | Log2, Log2 -> true
+  | Fixed x, Fixed y -> x = y
+  | _ -> false
+
+let merge a b =
+  match (a.s_kind, b.s_kind) with
+  | None, _ -> b
+  | _, None -> a
+  | Some ka, Some kb ->
+    if not (kind_equal ka kb) then
+      invalid_arg "Histogram.merge: incompatible bucket layouts";
+    {
+      s_kind = a.s_kind;
+      s_counts =
+        Array.init (Array.length a.s_counts) (fun i ->
+            a.s_counts.(i) + b.s_counts.(i));
+      s_count = a.s_count + b.s_count;
+      s_sum = a.s_sum +. b.s_sum;
+      s_min = Float.min a.s_min b.s_min;
+      s_max = Float.max a.s_max b.s_max;
+    }
+
+let upper_bound kind i =
+  match kind with
+  | Log2 ->
+    if i = 0 then log2_min
+    else if i >= log2_buckets - 1 then infinity
+    else ldexp 1. (i - 32)
+  | Fixed bounds -> if i >= Array.length bounds then infinity else bounds.(i)
+
+let quantile s q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if s.s_count = 0 then nan
+  else begin
+    match s.s_kind with
+    | None -> nan
+    | Some kind ->
+      let target =
+        Stdlib.max 1 (int_of_float (ceil (q *. float_of_int s.s_count)))
+      in
+      let i = ref 0 and seen = ref 0 in
+      while !seen < target && !i < Array.length s.s_counts do
+        seen := !seen + s.s_counts.(!i);
+        if !seen < target then incr i
+      done;
+      Float.min s.s_max (Float.max s.s_min (upper_bound kind !i))
+  end

@@ -1,0 +1,76 @@
+(** Bucketed distributions: fixed upper-bound boundaries or log₂ buckets.
+
+    Two bucket layouts cover every instrumented quantity:
+
+    - [Fixed bounds] — Prometheus-style cumulative-[le] semantics: bucket
+      [i] counts observations [v <= bounds.(i)] (with [v] above every
+      bound falling into a final overflow bucket).  Right for quantities
+      with a known, narrow range (reorg depths, burst sizes).
+    - [Log2] — 66 buckets spanning [[2^-32, 2^32)] in powers of two, with
+      an underflow bucket for values below [2^-32] (including zero and
+      negatives) and an overflow bucket above.  Right for heavy-tailed
+      quantities spanning many decades (latencies in seconds, interarrival
+      times in rounds) at a fixed, mergeable shape.
+
+    Snapshots of histograms with the same layout form a commutative
+    monoid under {!merge} (pointwise count sums, [min]/[max] lattice,
+    float sum).  The float [sum] field makes merge associative only up
+    to rounding in general; it is exactly associative whenever all
+    observed values are representable dyadics whose running sums stay
+    exact (the regime the property suite pins), and every integer-valued
+    field is exactly associative always. *)
+
+type kind =
+  | Fixed of float array
+      (** strictly increasing, finite upper bounds; bucket [i] holds
+          [v <= bounds.(i)], plus one overflow bucket *)
+  | Log2
+
+val log2_buckets : int
+(** [66]: underflow, 64 power-of-two buckets, overflow. *)
+
+type t
+
+val create : kind -> t
+(** @raise Invalid_argument on empty, non-finite or non-increasing
+    [Fixed] bounds. *)
+
+val fixed : bounds:float array -> t
+val log2 : unit -> t
+val kind : t -> kind
+
+val observe : t -> float -> unit
+(** @raise Invalid_argument on NaN.  Infinities saturate into the edge
+    buckets. *)
+
+type snapshot = {
+  s_kind : kind option;
+      (** [None] only for {!empty}, the universal merge identity *)
+  s_counts : int array;
+  s_count : int;
+  s_sum : float;
+  s_min : float;  (** [infinity] when no observation was recorded *)
+  s_max : float;  (** [neg_infinity] when no observation was recorded *)
+}
+
+val snapshot : t -> snapshot
+(** An immutable copy; the instrument keeps recording afterwards. *)
+
+val empty : snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise.  [empty] is the identity on either side.
+    @raise Invalid_argument when both sides carry a kind and the kinds
+    (including [Fixed] bounds) differ. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) as the
+    upper edge of the bucket holding the [ceil (q * count)]-th
+    observation, clamped into [[s_min, s_max]]; [nan] on an empty
+    snapshot.
+    @raise Invalid_argument when [q] is outside [[0, 1]]. *)
+
+val upper_bound : kind -> int -> float
+(** [upper_bound kind i] is the inclusive upper edge of bucket [i]
+    ([infinity] for the overflow bucket) — the [le] labels of the
+    Prometheus exposition. *)

@@ -1,0 +1,144 @@
+type instrument =
+  | I_counter of Counter.t
+  | I_histogram of Histogram.t
+  | I_span of Span.t
+
+type key = { name : string; labels : (string * string) list }
+
+type t = {
+  r_clock : unit -> float;
+  tbl : (key, instrument) Hashtbl.t;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { r_clock = clock; tbl = Hashtbl.create 32 }
+
+let clock t = t.r_clock
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let make_key name labels =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Telemetry: invalid metric name %S" name);
+  List.iter
+    (fun (l, _) ->
+      if not (valid_name l) then
+        invalid_arg (Printf.sprintf "Telemetry: invalid label name %S" l))
+    labels;
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as tl) -> if a = b then Some a else dup tl
+    | _ -> None
+  in
+  (match dup labels with
+  | Some l -> invalid_arg (Printf.sprintf "Telemetry: duplicate label %S" l)
+  | None -> ());
+  { name; labels }
+
+let mismatch key =
+  invalid_arg
+    (Printf.sprintf
+       "Telemetry: instrument %s already registered with another type"
+       key.name)
+
+let counter t ?(labels = []) name =
+  let key = make_key name labels in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_counter c) -> c
+  | Some _ -> mismatch key
+  | None ->
+    let c = Counter.create () in
+    Hashtbl.add t.tbl key (I_counter c);
+    c
+
+let histogram_with t key mk same =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_histogram h) -> if same h then h else mismatch key
+  | Some _ -> mismatch key
+  | None ->
+    let h = mk () in
+    Hashtbl.add t.tbl key (I_histogram h);
+    h
+
+let fixed_histogram t ?(labels = []) ~bounds name =
+  let key = make_key name labels in
+  histogram_with t key
+    (fun () -> Histogram.fixed ~bounds)
+    (fun h -> Histogram.kind h = Histogram.Fixed bounds)
+
+let log2_histogram t ?(labels = []) name =
+  let key = make_key name labels in
+  histogram_with t key
+    (fun () -> Histogram.log2 ())
+    (fun h -> Histogram.kind h = Histogram.Log2)
+
+let span t ?(labels = []) name =
+  let key = make_key name labels in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_span s) -> s
+  | Some _ -> mismatch key
+  | None ->
+    let s = Span.create ~clock:t.r_clock () in
+    Hashtbl.add t.tbl key (I_span s);
+    s
+
+module Snapshot = struct
+  type nonrec key = key = { name : string; labels : (string * string) list }
+
+  type value =
+    | Counter of Counter.snapshot
+    | Histogram of Histogram.snapshot
+    | Span of Span.snapshot
+
+  type t = (key * value) list
+  (* Invariant: sorted by key, keys unique. *)
+
+  let compare_key (a : key) (b : key) = compare (a.name, a.labels) (b.name, b.labels)
+
+  let empty = []
+
+  let merge_value key a b =
+    match (a, b) with
+    | Counter x, Counter y -> Counter (Counter.merge x y)
+    | Histogram x, Histogram y -> Histogram (Histogram.merge x y)
+    | Span x, Span y -> Span (Span.merge x y)
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Telemetry.Snapshot.merge: %s has mismatched types"
+           key.name)
+
+  let rec merge a b =
+    match (a, b) with
+    | [], s | s, [] -> s
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+      let c = compare_key ka kb in
+      if c < 0 then (ka, va) :: merge ta b
+      else if c > 0 then (kb, vb) :: merge a tb
+      else (ka, merge_value ka va vb) :: merge ta tb
+
+  let entries t = t
+
+  let find ?(labels = []) t name =
+    let key = make_key name labels in
+    List.assoc_opt key t
+
+  let find_all t name = List.filter (fun ((k : key), _) -> k.name = name) t
+end
+
+let snapshot t =
+  Hashtbl.fold
+    (fun key instr acc ->
+      let value =
+        match instr with
+        | I_counter c -> Snapshot.Counter (Counter.snapshot c)
+        | I_histogram h -> Snapshot.Histogram (Histogram.snapshot h)
+        | I_span s -> Snapshot.Span (Span.snapshot s)
+      in
+      (key, value) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> Snapshot.compare_key a b)

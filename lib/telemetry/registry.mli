@@ -1,0 +1,77 @@
+(** The telemetry handle: a named collection of instruments and the
+    immutable snapshots it exports.
+
+    Instrumented code holds a [Registry.t option]: [None] is the
+    zero-cost disabled handle (the hot path pays one pattern match and
+    does nothing else — no clock reads, no allocation), [Some t] the
+    live one.  Instruments are addressed by a Prometheus-compatible
+    metric name plus an optional label set, and are find-or-create:
+    asking twice for the same [(name, labels)] returns the same
+    instrument, so independent code paths can feed one metric.
+
+    {!snapshot} freezes every instrument into a {!Snapshot.t}, and
+    snapshots form a commutative monoid under {!Snapshot.merge}: keys
+    are unioned, same-key instruments merged by their own monoid.  This
+    is what makes multi-domain aggregation sound — each worker records
+    into its own registry with no synchronization, and the coordinator
+    folds the snapshots in any grouping. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] (default [Unix.gettimeofday]) is handed to every {!Span}
+    created here; inject a deterministic clock for byte-stable
+    exports. *)
+
+val clock : t -> unit -> float
+
+val counter : t -> ?labels:(string * string) list -> string -> Counter.t
+
+val fixed_histogram :
+  t -> ?labels:(string * string) list -> bounds:float array -> string ->
+  Histogram.t
+(** @raise Invalid_argument if the name exists with different bounds. *)
+
+val log2_histogram :
+  t -> ?labels:(string * string) list -> string -> Histogram.t
+
+val span : t -> ?labels:(string * string) list -> string -> Span.t
+
+(** All registration functions
+    @raise Invalid_argument on a name or label that is not
+    Prometheus-compatible ([[a-zA-Z_][a-zA-Z0-9_]*]), on duplicate label
+    names, or when the [(name, labels)] key already holds an instrument
+    of another type. *)
+
+module Snapshot : sig
+  type key = { name : string; labels : (string * string) list }
+  (** [labels] sorted by label name — the canonical identity. *)
+
+  type value =
+    | Counter of Counter.snapshot
+    | Histogram of Histogram.snapshot
+    | Span of Span.snapshot
+
+  type t
+
+  val empty : t
+  (** The merge identity. *)
+
+  val merge : t -> t -> t
+  (** Key union; same-key values merge through their instrument monoid.
+      Associative and commutative (up to float-sum rounding, exactly as
+      {!Histogram.merge}).
+      @raise Invalid_argument when one key holds different instrument
+      types (or incompatible histogram layouts) on the two sides. *)
+
+  val entries : t -> (key * value) list
+  (** Sorted by [(name, labels)] — deterministic export order. *)
+
+  val find : ?labels:(string * string) list -> t -> string -> value option
+
+  val find_all : t -> string -> (key * value) list
+  (** Every label set recorded under [name], in key order. *)
+end
+
+val snapshot : t -> Snapshot.t
+(** Freeze every instrument; the registry keeps recording afterwards. *)

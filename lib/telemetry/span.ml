@@ -1,0 +1,16 @@
+type t = { hist : Histogram.t; clock : unit -> float }
+
+let create ~clock () = { hist = Histogram.log2 (); clock }
+let record t seconds = Histogram.observe t.hist seconds
+let start t = t.clock ()
+let stop t started = record t (t.clock () -. started)
+
+let time t f =
+  let started = start t in
+  Fun.protect ~finally:(fun () -> stop t started) f
+
+type snapshot = Histogram.snapshot
+
+let snapshot t = Histogram.snapshot t.hist
+let empty = Histogram.empty
+let merge = Histogram.merge

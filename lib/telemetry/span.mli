@@ -1,0 +1,32 @@
+(** Timed spans: a {!Histogram.Log2} of durations plus the clock that
+    measures them.
+
+    The clock is injected at creation (the registry passes its own), so
+    tests and the golden smoke run can substitute a deterministic clock
+    and keep exported durations byte-stable.  A span aggregate is just a
+    duration histogram, so span snapshots inherit the histogram's
+    commutative-monoid merge. *)
+
+type t
+
+val create : clock:(unit -> float) -> unit -> t
+
+val record : t -> float -> unit
+(** [record t seconds] adds one already-measured duration.
+    @raise Invalid_argument on NaN. *)
+
+val start : t -> float
+(** Reads the clock; pass the result to {!stop}.  The token is a plain
+    float, so an open span costs no allocation beyond the box. *)
+
+val stop : t -> float -> unit
+(** [stop t started] records [clock () - started]. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time t f] records how long [f ()] took, even when it raises. *)
+
+type snapshot = Histogram.snapshot
+
+val snapshot : t -> snapshot
+val empty : snapshot
+val merge : snapshot -> snapshot -> snapshot

@@ -6,5 +6,6 @@ let () =
     [
       ("engine", Test_engine.suite);
       ("props", Test_props.suite);
+      ("telemetry", Test_telemetry.suite);
       ("oracle", Test_oracle.suite);
     ]

@@ -125,27 +125,33 @@ let test_shard_plan () =
 
 let test_worker_pool_order_and_draining () =
   check_int "empty input" 0
-    (Array.length (Worker_pool.run ~jobs:4 (fun x -> x) [||]));
+    (Array.length (Worker_pool.run ~jobs:4 (fun ~worker:_ x -> x) [||]));
   let tasks = Array.init 23 (fun i -> i) in
   let seen = ref 0 in
+  let workers_seen = ref [] in
   let results =
     Worker_pool.run ~jobs:4
       ~on_result:(fun _ _ -> incr seen)
-      (fun i -> i * i)
+      (fun ~worker i ->
+        if not (List.mem worker !workers_seen) then
+          workers_seen := worker :: !workers_seen;
+        i * i)
       tasks
   in
   check_int "on_result once per task" 23 !seen;
   Array.iteri (fun i r -> check_int "results in task order" (i * i) r) results;
+  check_true "worker indices stay within [0, jobs)"
+    (List.for_all (fun w -> w >= 0 && w < 4) !workers_seen);
   (* More workers than tasks: pool clamps and still drains. *)
-  let one = Worker_pool.run ~jobs:16 (fun i -> i + 1) [| 41 |] in
+  let one = Worker_pool.run ~jobs:16 (fun ~worker:_ i -> i + 1) [| 41 |] in
   check_int "jobs > tasks" 42 one.(0);
   check_raises_invalid "jobs < 1" (fun () ->
-      ignore (Worker_pool.run ~jobs:0 (fun x -> x) [| 1 |]))
+      ignore (Worker_pool.run ~jobs:0 (fun ~worker:_ x -> x) [| 1 |]))
 
 let test_worker_pool_exception_propagates () =
   match
     Worker_pool.run ~jobs:3
-      (fun i -> if i = 5 then failwith "task 5 exploded" else i)
+      (fun ~worker:_ i -> if i = 5 then failwith "task 5 exploded" else i)
       (Array.init 12 (fun i -> i))
   with
   | exception Failure msg -> check_true "first failure re-raised" (msg = "task 5 exploded")
@@ -159,7 +165,7 @@ let test_worker_pool_retries_requeue () =
   let results =
     Worker_pool.run ~jobs:3 ~retries:2
       ~on_retry:(fun ~task ~attempt _e -> retried := (task, attempt) :: !retried)
-      (fun i ->
+      (fun ~worker:_ i ->
         if i = 5 && Atomic.fetch_and_add attempts 1 < 2 then
           failwith "flaky shard"
         else i * 10)
@@ -172,7 +178,7 @@ let test_worker_pool_retries_requeue () =
   let attempts = Atomic.make 0 in
   match
     Worker_pool.run ~jobs:3 ~retries:1
-      (fun i ->
+      (fun ~worker:_ i ->
         if i = 5 && Atomic.fetch_and_add attempts 1 < 2 then
           failwith "flaky shard"
         else i)
@@ -184,11 +190,14 @@ let test_worker_pool_retries_requeue () =
 let test_worker_pool_retry_determinism () =
   (* A retried task runs the same pure function on the same input, so a
      pool with flakes returns exactly what a clean pool returns. *)
-  let clean = Worker_pool.run ~jobs:4 (fun i -> i * i) (Array.init 20 (fun i -> i)) in
+  let clean =
+    Worker_pool.run ~jobs:4 (fun ~worker:_ i -> i * i)
+      (Array.init 20 (fun i -> i))
+  in
   let tries = Array.init 20 (fun _ -> Atomic.make 0) in
   let flaky =
     Worker_pool.run ~jobs:4 ~retries:1
-      (fun i ->
+      (fun ~worker:_ i ->
         (* Every third task fails its first attempt, everywhere at once. *)
         if Atomic.fetch_and_add tries.(i) 1 = 0 && i mod 3 = 0 then
           failwith "chaos"
@@ -325,7 +334,7 @@ let write_raw path s =
 (* A complete well-formed journal (header + 2 cells) rendered through
    the writer, for the tear tests to mutilate. *)
 let render_tiny_journal path =
-  let w = Journal.create_writer ~path ~fresh:true in
+  let w = Journal.create_writer ~path ~fresh:true () in
   Journal.append w (Journal.Header (Journal.header_of_spec tiny_spec));
   let t = Aggregate.create () in
   List.iter (Aggregate.observe t) [ obs 0.125 0.875; obs 0.25 0.75 ];
@@ -348,7 +357,7 @@ let test_journal_writer_round_trip () =
         check_true "clean file has no torn tail" (torn = None);
         (* Reopening in append mode and closing changes nothing. *)
         let before = read_file path in
-        Journal.close_writer (Journal.create_writer ~path ~fresh:false);
+        Journal.close_writer (Journal.create_writer ~path ~fresh:false ());
         check_true "append-mode open is byte-preserving" (read_file path = before)
       | _ -> Alcotest.fail "expected Loaded")
 

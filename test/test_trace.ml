@@ -40,6 +40,39 @@ let test_parse_errors () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "non-numeric must fail"
 
+(* The parser's rejection diagnostics, message for message: the exact
+   strings are part of the interface (operators grep logs for them), so
+   a reworded or mis-numbered error is a regression, not a refactor. *)
+let test_parse_error_messages () =
+  let expect_message label input expected =
+    match Trace.of_string input with
+    | exception Failure msg ->
+      if msg <> expected then
+        Alcotest.failf "%s: error %S, expected %S" label msg expected
+    | _ -> Alcotest.failf "%s: expected Failure %S" label expected
+  in
+  expect_message "missing header" "1 2 3 4 5 6\n"
+    "Trace.of_string: missing v1 header";
+  expect_message "empty input" "" "Trace.of_string: missing v1 header";
+  expect_message "wrong version" "# nakamoto trace v2\n1 2 3 4 5 6\n"
+    "Trace.of_string: missing v1 header";
+  (* Line numbers are 1-based over the whole file, header included. *)
+  expect_message "short line" "# nakamoto trace v1\n1 0 0 0 1 0\n2 0 0\n"
+    "Trace.of_string: expected 6 fields on line 3";
+  expect_message "trailing garbage"
+    "# nakamoto trace v1\n1 0 0 0 1 0 extra\n"
+    "Trace.of_string: expected 6 fields on line 2";
+  expect_message "non-integer field"
+    "# nakamoto trace v1\n1 0 0 0 1 0\n2 0 zero 0 1 0\n"
+    "Trace.of_string: non-numeric field on line 3";
+  expect_message "float field" "# nakamoto trace v1\n1 0.5 0 0 1 0\n"
+    "Trace.of_string: non-numeric field on line 2";
+  (* Comment and blank lines are skipped, not line-number-shifting
+     errors: the entry on (file) line 4 is reported as line 4. *)
+  expect_message "comments keep line numbers"
+    "# nakamoto trace v1\n# a comment\n\n1 2 3\n"
+    "Trace.of_string: expected 6 fields on line 4"
+
 let test_capture_deterministic () =
   let cfg =
     { (Sim.Scenarios.attack_zone ~seed:9L ~nu:0.3) with Sim.Config.rounds = 400 }
@@ -129,6 +162,7 @@ let suite =
     case "record ordering" test_record_ordering;
     case "text roundtrip" test_roundtrip;
     case "parse errors" test_parse_errors;
+    case "parse error messages" test_parse_error_messages;
     case "capture determinism" test_capture_deterministic;
     case "capture matches execution result" test_capture_matches_result;
     case "digest basics" test_digest_basics;
