@@ -69,6 +69,27 @@ telemetry-smoke:
 	cmp _telemetry_smoke/scrubbed.jsonl test/golden/telemetry_smoke.jsonl
 	rm -rf _telemetry_smoke.jsonl _telemetry_smoke
 
+# Three-process serve smoke: a daemon (--max-campaigns 1, so it exits
+# when the campaign completes), one socket worker, and a client
+# submission of the campaign-smoke grid over the wire.  The daemon-side
+# journal must be byte-identical to the same committed golden the CLI
+# smoke uses: the socket topology is invisible in the artifact.  The
+# binaries are run directly from _build so the three processes don't
+# contend for the dune lock.
+serve-smoke:
+	dune build bin/main.exe
+	rm -f _serve_smoke.sock _serve_smoke.jsonl
+	_build/default/bin/main.exe serve --socket _serve_smoke.sock \
+	  --max-campaigns 1 >/dev/null & \
+	_build/default/bin/main.exe worker --connect _serve_smoke.sock \
+	  >/dev/null & \
+	_build/default/bin/main.exe campaign -p 0.01 -n 40 --delta 3 \
+	  --nu 0.15,0.4 --trials 4 --rounds 400 --seed 7 \
+	  --connect _serve_smoke.sock --out _serve_smoke.jsonl \
+	  --progress-interval 0 >/dev/null && wait
+	cmp _serve_smoke.jsonl test/golden/campaign_smoke.jsonl
+	rm -f _serve_smoke.sock _serve_smoke.jsonl
+
 # The property tier's oracle-focused run: the differential oracle (50
 # generated scenarios through Exact / Aggregate / state-process lanes),
 # the stationary cross-checks, and the Δ-ring vs queue-lane equivalence.
@@ -87,7 +108,7 @@ soak:
 	dune build @soak
 
 check: all test campaign-smoke faultinject-smoke telemetry-smoke \
-  bench-exec-smoke proptest-smoke
+  serve-smoke bench-exec-smoke proptest-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -100,4 +121,4 @@ artifacts:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 .PHONY: all test bench examples artifacts campaign-smoke faultinject-smoke \
-  telemetry-smoke bench-exec-smoke proptest-smoke soak check
+  telemetry-smoke serve-smoke bench-exec-smoke proptest-smoke soak check

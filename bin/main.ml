@@ -9,6 +9,14 @@ open Cmdliner
 module Core = Nakamoto_core
 module Sim = Nakamoto_sim
 module Campaign = Nakamoto_campaign
+module Serve = Nakamoto_serve
+
+(* NAKAMOTO_TELEMETRY_CLOCK=zero freezes every span at 0s — the hook
+   behind the byte-stable golden smoke checks. *)
+let telemetry_clock_env () =
+  match Sys.getenv_opt "NAKAMOTO_TELEMETRY_CLOCK" with
+  | Some "zero" -> Some (fun () -> 0.)
+  | _ -> None
 
 (* Shared argument definitions. *)
 
@@ -398,7 +406,7 @@ let confirm_cmd =
 
 let campaign_cmd =
   let run ps ns deltas nus trials rounds mode strategy jobs seed resume out
-      shard_size progress_interval retries fault telemetry =
+      shard_size progress_interval retries fault telemetry connect =
     let strategy =
       match strategy with
       | "idle" -> Ok Sim.Adversary.Idle
@@ -439,14 +447,44 @@ let campaign_cmd =
           shard_size;
         }
       in
+      match connect with
+      | Some sock -> (
+        (* Daemon mode: the coordinator and its workers do the computing
+           and the journaling; this process submits and watches. *)
+        if fault <> None then
+          `Error
+            (false, "--fault applies to compute processes; arm it on the \
+                     worker subcommand instead")
+        else if telemetry <> None then
+          `Error
+            (false, "--telemetry is configured on the serve daemon, not \
+                     per submission")
+        else
+          let on_progress (p : Nakamoto_wire.Message.progress) =
+            if progress_interval > 0. then
+              Printf.eprintf "campaign: %d/%d trials, %d/%d cells (daemon)\n%!"
+                p.Nakamoto_wire.Message.p_trials_done p.p_trials_total
+                p.p_cells_done p.p_cells_total
+          in
+          match
+            Serve.Client.submit ~socket:sock ?journal:out ~resume ~on_progress
+              spec
+          with
+          | Ok (table, journal) ->
+            print_string table;
+            (match journal with
+            | Some path -> Printf.printf "(journal: %s, daemon-side)\n" path
+            | None -> ());
+            `Ok ()
+          | Error e -> `Error (false, e)
+          | exception Unix.Unix_error (err, _, _) ->
+            `Error
+              ( false,
+                Printf.sprintf "cannot reach the daemon at %s: %s" sock
+                  (Unix.error_message err) ))
+      | None -> (
       let jobs = if jobs = 0 then None else Some jobs in
-      (* NAKAMOTO_TELEMETRY_CLOCK=zero freezes every span at 0s — the
-         hook behind the byte-stable golden smoke check. *)
-      let telemetry_clock =
-        match Sys.getenv_opt "NAKAMOTO_TELEMETRY_CLOCK" with
-        | Some "zero" -> Some (fun () -> 0.)
-        | _ -> None
-      in
+      let telemetry_clock = telemetry_clock_env () in
       match
         Campaign.Campaign.run ?jobs ?journal_path:out ~resume ~retries ?fault
           ~progress_interval ?telemetry ?telemetry_clock spec
@@ -468,7 +506,7 @@ let campaign_cmd =
         (match telemetry with
         | Some dir -> Printf.printf "(telemetry: %s)\n" dir
         | None -> ());
-        `Ok ())
+        `Ok ()))
   in
   let list_of names cv ~default ~doc =
     Arg.(value & opt (list cv) default & info names ~docv:"LIST" ~doc)
@@ -552,19 +590,150 @@ let campaign_cmd =
                    shard timings, executor phase spans, journal fsync \
                    latency) into DIR when the campaign completes.")
   in
+  let connect_arg =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCK"
+             ~doc:"Submit to a serve daemon at this Unix-domain socket \
+                   instead of computing in-process.  --out then names a \
+                   daemon-side journal path.")
+  in
   let term =
     Term.(
       ret
         (const run $ ps_arg $ ns_arg $ deltas_arg $ nus_arg $ trials_arg
         $ rounds_arg $ mode_arg $ strategy_arg $ jobs_arg $ seed_arg
         $ resume_arg $ out_arg $ shard_arg $ progress_arg $ retries_arg
-        $ fault_arg $ telemetry_arg))
+        $ fault_arg $ telemetry_arg $ connect_arg))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run a parallel Monte Carlo campaign over a (p, n, Delta, nu) grid \
           and compare observed violation rates with the analytic regions.")
+    term
+
+(* serve *)
+
+let serve_cmd =
+  let run socket max_campaigns lease_timeout telemetry verbose =
+    setup_logging verbose;
+    let max_campaigns = if max_campaigns = 0 then None else Some max_campaigns in
+    let telemetry_clock = telemetry_clock_env () in
+    match
+      Serve.Coordinator.serve ~socket ?max_campaigns ~lease_timeout ?telemetry
+        ?telemetry_clock ()
+    with
+    | served ->
+      Printf.printf "served %d campaign%s\n" served
+        (if served = 1 then "" else "s");
+      `Ok ()
+    | exception Invalid_argument m -> `Error (false, m)
+    | exception Unix.Unix_error (err, fn, arg) ->
+      `Error
+        ( false,
+          Printf.sprintf "%s %s: %s" fn arg (Unix.error_message err) )
+  in
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"SOCK"
+             ~doc:"Unix-domain socket path to listen on (stale files are \
+                   unlinked).")
+  in
+  let max_campaigns_arg =
+    Arg.(value & opt int 0
+         & info [ "max-campaigns" ] ~docv:"N"
+             ~doc:"Exit cleanly after N campaigns complete; 0 = serve \
+                   forever.")
+  in
+  let lease_timeout_arg =
+    Arg.(value & opt float 30.
+         & info [ "lease-timeout" ] ~docv:"SEC"
+             ~doc:"Reassign a granted shard whose worker has not answered \
+                   within SEC seconds.")
+  in
+  let telemetry_arg =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"DIR"
+             ~doc:"Write telemetry.prom and telemetry.jsonl (lease and \
+                   frame counters, fold spans, the workers' shard \
+                   instruments) into DIR at each campaign completion.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ socket_arg $ max_campaigns_arg $ lease_timeout_arg
+        $ telemetry_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: accept specs over a Unix-domain socket, \
+          lease cells to worker processes, fold results and journal them.")
+    term
+
+(* worker *)
+
+let worker_cmd =
+  let run socket fault connect_timeout verbose =
+    setup_logging verbose;
+    let fault =
+      match fault with
+      | None -> Ok None
+      | Some s -> (
+        match Campaign.Faultplan.of_string s with
+        | Ok plan -> Ok (Some plan)
+        | Error e -> Error e)
+    in
+    match fault with
+    | Error e -> `Error (false, e)
+    | Ok fault -> (
+      let telemetry_clock = telemetry_clock_env () in
+      match
+        Serve.Worker.run ~socket ~connect_timeout ?fault ?telemetry_clock ()
+      with
+      | shards ->
+        Printf.printf "worker done: %d shard%s computed\n" shards
+          (if shards = 1 then "" else "s");
+        `Ok ()
+      | exception Campaign.Faultplan.Injected_crash msg ->
+        Printf.eprintf "worker: injected crash: %s\n%!" msg;
+        exit 70
+      | exception Failure msg -> `Error (false, msg)
+      | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot reach the daemon at %s: %s" socket
+              (Unix.error_message err) ))
+  in
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCK"
+             ~doc:"The serve daemon's Unix-domain socket.")
+  in
+  let fault_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fault" ] ~docv:"PLAN"
+             ~doc:"Arm a fault-injection plan (testing): \
+                   raising-worker=TASK[:FAILURES] kills this worker when \
+                   it leases shard TASK — the coordinator reassigns the \
+                   lease.")
+  in
+  let connect_timeout_arg =
+    Arg.(value & opt float 10.
+         & info [ "connect-timeout" ] ~docv:"SEC"
+             ~doc:"Keep retrying the connection for SEC seconds (covers \
+                   starting the worker before the daemon).")
+  in
+  let term =
+    Term.(
+      ret (const run $ socket_arg $ fault_arg $ connect_timeout_arg
+           $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run a compute worker: lease shards from a serve daemon, execute \
+          them, return aggregates.  Start as many as you want cores used.")
     term
 
 (* verify *)
@@ -609,7 +778,7 @@ let () =
       [
         bound_cmd; numax_cmd; figure1_cmd; figure2_cmd; table1_cmd; remark1_cmd;
         simulate_cmd; montecarlo_cmd; campaign_cmd; verify_cmd; confirm_cmd;
-        trace_cmd; sweep_cmd; assess_cmd;
+        trace_cmd; sweep_cmd; assess_cmd; serve_cmd; worker_cmd;
       ]
   in
   exit (Cmd.eval group)

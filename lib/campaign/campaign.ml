@@ -139,40 +139,21 @@ let run ?jobs ?journal_path ?(resume = false) ?(retries = 2) ?fault
       in
       if not resume then fresh ()
       else begin
-        match Journal.load ~path with
-        | Journal.No_file -> fresh ()
-        | Journal.Unusable reason ->
-          log
-            (Printf.sprintf
-               "journal %s holds no usable state (%s); starting fresh" path
-               reason);
-          fresh ()
-        | Journal.Loaded { l_header = header; entries; torn } ->
-          if header.Journal.fingerprint <> Spec.fingerprint spec then
-            invalid_arg
-              "Campaign.run: journal fingerprint does not match the spec \
-               (resume must reuse the exact grid, seed and trial counts)";
-          (match torn with
-          | None -> ()
-          | Some t ->
-            Journal.repair ~path t;
-            log
-              (Printf.sprintf
-                 "journal %s: repaired torn tail (dropped %d partial bytes \
-                  at offset %d); the interrupted cell will be recomputed"
-                 path t.Journal.dropped_bytes t.Journal.valid_bytes));
-          List.iter
-            (fun ((cell : Spec.cell), snap) ->
+        match
+          Journal.fold ~log ~path ~fingerprint:(Spec.fingerprint spec)
+            ~init:() (fun () (cell : Spec.cell) snap ->
               if cell.Spec.index < 0 || cell.Spec.index >= ncells then
-                failwith "Campaign.run: journal cell index out of range";
+                failwith
+                  (Printf.sprintf "journal %s: cell index out of range" path);
               completed.(cell.Spec.index) <- Some (Aggregate.of_snapshot snap);
               from_journal.(cell.Spec.index) <- true;
               written.(cell.Spec.index) <- true)
-            entries;
+        with
+        | Journal.Fresh _ -> fresh ()
+        | Journal.Recovered { entries; _ } ->
           log
             (Printf.sprintf "resuming %s: %d of %d cells recovered from %s"
-               (Spec.describe spec)
-               (List.length entries) ncells path);
+               (Spec.describe spec) entries ncells path);
           Some (Journal.create_writer ?telemetry:tel ~path ~fresh:false ())
       end
   in

@@ -96,6 +96,20 @@ val run :
     duplicate header — never a torn tail).
     @raise Faultplan.Injected_crash when an armed crash plan fires. *)
 
+val run_shard :
+  ?telemetry:Nakamoto_telemetry.Registry.t ->
+  Spec.t ->
+  Spec.cell array ->
+  Shard.t ->
+  Aggregate.t
+(** [run_shard spec cells sh] executes one work-queue shard — the trials
+    [sh.trial_start .. sh.trial_stop - 1] of cell
+    [cells.(sh.cell_index)] — and returns its aggregate.  Pure in
+    [(spec.seed, cell, trial)]: this is the unit the in-process worker
+    pool and the socket workers of the serve subsystem both execute, so
+    a shard computed by a remote process is bit-identical to one
+    computed here.  [cells] must be [Spec.cells spec]. *)
+
 val region : Spec.cell -> string
 (** ["SAFE"] when [c] clears the neat bound [2mu/ln(mu/nu)], ["ATTACK"]
     when [nu] exceeds the PSS attack threshold at this [c], ["GAP"] for

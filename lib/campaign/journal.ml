@@ -25,13 +25,7 @@ let header_of_spec (spec : Spec.t) =
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* %.17g round-trips every finite double; OCaml's float_of_string reads
-   the inf/-inf/nan tokens back natively. *)
-let float_str f =
-  if Float.is_nan f then "nan"
-  else if f = Float.infinity then "inf"
-  else if f = Float.neg_infinity then "-inf"
-  else Printf.sprintf "%.17g" f
+let float_str = Json.float_str
 
 let summary_str (r : Stats.Summary.raw) =
   Printf.sprintf "[%d,%s,%s,%s,%s]" r.Stats.Summary.n
@@ -63,210 +57,69 @@ let render = function
       (summary_str s.Aggregate.s_reorg)
 
 (* ------------------------------------------------------------------ *)
-(* Parser: recursive descent over the JSON subset we emit              *)
+(* Parser: the shared campaign JSON dialect (see {!Json})              *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Jnum of string  (** unconverted token: caller picks int/float/int64 *)
-  | Jstr of string
-  | Jbool of bool
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Malformed of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
-      advance ()
-    done
-  in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some d when d = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c; advance ()
-        | Some 'n' -> Buffer.add_char b '\n'; advance ()
-        | Some 't' -> Buffer.add_char b '\t'; advance ()
-        | _ -> fail "unsupported escape");
-        go ()
-      | Some c -> Buffer.add_char b c; advance (); go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let is_num_char c =
-    (c >= '0' && c <= '9')
-    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    (* the letters of inf / nan *)
-    || c = 'i' || c = 'n' || c = 'f' || c = 'a'
-  in
-  let parse_number () =
-    let start = !pos in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected a number";
-    Jnum (String.sub s start (!pos - start))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then (advance (); Jobj [])
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); members ((key, v) :: acc)
-          | Some '}' -> advance (); List.rev ((key, v) :: acc)
-          | _ -> fail "expected , or } in object"
-        in
-        Jobj (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then (advance (); Jarr [])
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); elements (v :: acc)
-          | Some ']' -> advance (); List.rev (v :: acc)
-          | _ -> fail "expected , or ] in array"
-        in
-        Jarr (elements [])
-      end
-    | Some 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
-      pos := !pos + 4;
-      Jbool true
-    | Some 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
-      pos := !pos + 5;
-      Jbool false
-    | Some _ -> parse_number ()
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* Field accessors. *)
-
-let field obj key =
-  match obj with
-  | Jobj kvs -> (
-    match List.assoc_opt key kvs with
-    | Some v -> v
-    | None -> raise (Malformed ("missing field " ^ key)))
-  | _ -> raise (Malformed "expected an object")
-
-let as_int = function
-  | Jnum tok -> (
-    try int_of_string tok
-    with _ -> raise (Malformed ("not an int: " ^ tok)))
-  | _ -> raise (Malformed "expected an int")
-
-let as_float = function
-  | Jnum tok -> (
-    try float_of_string tok
-    with _ -> raise (Malformed ("not a float: " ^ tok)))
-  | _ -> raise (Malformed "expected a float")
-
-let as_int64_str = function
-  | Jstr tok -> (
-    try Int64.of_string tok
-    with _ -> raise (Malformed ("not an int64: " ^ tok)))
-  | _ -> raise (Malformed "expected a quoted int64")
-
 let as_summary = function
-  | Jarr [ n; mu; m2s; lo; hi ] ->
+  | Json.Arr [ n; mu; m2s; lo; hi ] ->
     {
-      Stats.Summary.n = as_int n;
-      mu = as_float mu;
-      m2s = as_float m2s;
-      lo = as_float lo;
-      hi = as_float hi;
+      Stats.Summary.n = Json.to_int n;
+      mu = Json.to_float mu;
+      m2s = Json.to_float m2s;
+      lo = Json.to_float lo;
+      hi = Json.to_float hi;
     }
-  | _ -> raise (Malformed "expected a 5-element summary array")
+  | _ -> raise (Json.Malformed "expected a 5-element summary array")
 
-let as_int_array = function
-  | Jarr xs -> Array.of_list (List.map as_int xs)
-  | _ -> raise (Malformed "expected an int array")
+let as_int_array j = Array.of_list (List.map Json.to_int (Json.to_list j))
 
 let parse text =
   try
-    let j = parse_json text in
+    let j = Json.parse text in
     match j with
-    | Jobj kvs when List.mem_assoc "journal" kvs ->
-      (match field j "journal" with
-      | Jstr "nakamoto-campaign" -> ()
-      | _ -> raise (Malformed "not a nakamoto-campaign journal"));
+    | Json.Obj kvs when List.mem_assoc "journal" kvs ->
+      (match Json.member j "journal" with
+      | Json.Str "nakamoto-campaign" -> ()
+      | _ -> raise (Json.Malformed "not a nakamoto-campaign journal"));
       Header
         {
-          version = as_int (field j "version");
-          fingerprint = as_int64_str (field j "fingerprint");
-          cells = as_int (field j "cells");
-          trials_per_cell = as_int (field j "trials_per_cell");
-          seed = as_int64_str (field j "seed");
+          version = Json.to_int (Json.member j "version");
+          fingerprint = Json.to_int64_string (Json.member j "fingerprint");
+          cells = Json.to_int (Json.member j "cells");
+          trials_per_cell = Json.to_int (Json.member j "trials_per_cell");
+          seed = Json.to_int64_string (Json.member j "seed");
         }
-    | Jobj _ ->
+    | Json.Obj _ ->
       let cell =
         {
-          Spec.index = as_int (field j "cell");
-          p = as_float (field j "p");
-          n = as_int (field j "n");
-          delta = as_int (field j "delta");
-          nu = as_float (field j "nu");
+          Spec.index = Json.to_int (Json.member j "cell");
+          p = Json.to_float (Json.member j "p");
+          n = Json.to_int (Json.member j "n");
+          delta = Json.to_int (Json.member j "delta");
+          nu = Json.to_float (Json.member j "nu");
         }
       in
       let snapshot =
         {
-          Aggregate.s_trials = as_int (field j "trials");
-          s_total_rounds = as_int (field j "rounds");
-          s_audited_trials = as_int (field j "audited");
-          s_violations = as_int (field j "violations");
-          s_convergence_opportunities = as_int (field j "conv");
-          s_adversary_blocks = as_int (field j "adv");
-          s_honest_blocks = as_int (field j "honest");
-          s_h_rounds = as_int (field j "h");
-          s_h1_rounds = as_int (field j "h1");
-          s_max_reorg_depth = as_int (field j "max_reorg");
-          s_reorg_hist = as_int_array (field j "hist");
-          s_growth = as_summary (field j "growth");
-          s_quality = as_summary (field j "quality");
-          s_reorg = as_summary (field j "reorg");
+          Aggregate.s_trials = Json.to_int (Json.member j "trials");
+          s_total_rounds = Json.to_int (Json.member j "rounds");
+          s_audited_trials = Json.to_int (Json.member j "audited");
+          s_violations = Json.to_int (Json.member j "violations");
+          s_convergence_opportunities = Json.to_int (Json.member j "conv");
+          s_adversary_blocks = Json.to_int (Json.member j "adv");
+          s_honest_blocks = Json.to_int (Json.member j "honest");
+          s_h_rounds = Json.to_int (Json.member j "h");
+          s_h1_rounds = Json.to_int (Json.member j "h1");
+          s_max_reorg_depth = Json.to_int (Json.member j "max_reorg");
+          s_reorg_hist = as_int_array (Json.member j "hist");
+          s_growth = as_summary (Json.member j "growth");
+          s_quality = as_summary (Json.member j "quality");
+          s_reorg = as_summary (Json.member j "reorg");
         }
       in
       Cell (cell, snapshot)
-    | _ -> raise (Malformed "journal lines are JSON objects")
-  with Malformed msg -> failwith ("Journal.parse: " ^ msg)
+    | _ -> raise (Json.Malformed "journal lines are JSON objects")
+  with Json.Malformed msg -> failwith ("Journal.parse: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
 (* Writer: one open descriptor for the campaign's lifetime, fsync     *)
@@ -384,6 +237,12 @@ let segments text =
   go 0 []
 
 let load ~path =
+  (* Every fatal message names the file: campaigns juggle several
+     journals (resume legs, fault legs, server-side submissions), and a
+     path-less "duplicate header line" is undebuggable. *)
+  let fail fmt =
+    Printf.ksprintf (fun msg -> failwith (Printf.sprintf "journal %s: %s" path msg)) fmt
+  in
   if not (Sys.file_exists path) then No_file
   else begin
     let text = read_file path in
@@ -394,13 +253,11 @@ let load ~path =
       else begin
         match parse first with
         | exception Failure _ when rest = [] -> Unusable "unparseable header line"
-        | exception Failure msg -> failwith msg
-        | Cell _ -> failwith "Journal.load: journal does not start with a header"
+        | exception Failure msg -> fail "%s" msg
+        | Cell _ -> fail "journal does not start with a header"
         | Header h ->
           if h.version <> version then
-            failwith
-              (Printf.sprintf "Journal.load: unsupported journal version %d (expected %d)"
-                 h.version version);
+            fail "unsupported journal version %d (expected %d)" h.version version;
           (* Walk the cell lines.  A final segment that is unterminated or
              fails to parse is a torn tail — the footprint of an [append]
              cut short by SIGKILL or power loss — and is reported, not
@@ -418,11 +275,11 @@ let load ~path =
               else begin
                 match parse line with
                 | Cell (c, s) -> entries := (c, s) :: !entries; walk tl
-                | Header _ -> failwith "Journal.load: duplicate header line"
+                | Header _ -> fail "duplicate header line"
                 | exception Failure msg ->
                   if last then
                     torn := Some { valid_bytes = off; dropped_bytes = String.length text - off }
-                  else failwith msg
+                  else fail "%s" msg
               end
           in
           walk rest;
@@ -431,3 +288,41 @@ let load ~path =
   end
 
 let repair ~path (t : torn_tail) = Unix.truncate path t.valid_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Resume fold: the one loader both resume paths share                 *)
+(* ------------------------------------------------------------------ *)
+
+type 'a resume = Fresh of string option | Recovered of { acc : 'a; entries : int }
+
+let default_fold_log msg = Printf.eprintf "journal: %s\n%!" msg
+
+let fold ?(log = default_fold_log) ~path ~fingerprint ~init f =
+  match load ~path with
+  | No_file -> Fresh None
+  | Unusable reason ->
+    log
+      (Printf.sprintf "journal %s holds no usable state (%s); starting fresh"
+         path reason);
+    Fresh (Some reason)
+  | Loaded { l_header; entries; torn } ->
+    if l_header.fingerprint <> fingerprint then
+      invalid_arg
+        (Printf.sprintf
+           "journal %s: fingerprint %Ld does not match the spec's %Ld (resume \
+            must reuse the exact grid, seed and trial counts)"
+           path l_header.fingerprint fingerprint);
+    (match torn with
+    | None -> ()
+    | Some t ->
+      repair ~path t;
+      log
+        (Printf.sprintf
+           "journal %s: repaired torn tail (dropped %d partial bytes at \
+            offset %d); the interrupted cell will be recomputed"
+           path t.dropped_bytes t.valid_bytes));
+    Recovered
+      {
+        acc = List.fold_left (fun acc (c, s) -> f acc c s) init entries;
+        entries = List.length entries;
+      }

@@ -107,3 +107,33 @@ val repair : path:string -> torn_tail -> unit
     repair the journal is byte-identical to one whose last append never
     started, so appending the recomputed cell reproduces the
     uninterrupted file exactly. *)
+
+(** {2 Resume fold}
+
+    The one loader every resume path shares: the CLI's [--resume], and
+    the serve coordinator's server-side resume.  It composes
+    {!load}/{!repair} with the fingerprint check and the operator
+    logging, so the two paths cannot drift in how they treat a torn
+    tail, an unusable file or a mismatched spec. *)
+
+type 'a resume =
+  | Fresh of string option
+      (** no usable journal: [None] = no file, [Some reason] = the
+          {!Unusable} payload (already logged) *)
+  | Recovered of { acc : 'a; entries : int }
+
+val fold :
+  ?log:(string -> unit) ->
+  path:string ->
+  fingerprint:int64 ->
+  init:'a ->
+  ('a -> Spec.cell -> Aggregate.snapshot -> 'a) ->
+  'a resume
+(** [fold ~path ~fingerprint ~init f] loads the journal and folds [f]
+    over its cell entries in file order.  A torn tail is repaired in
+    place first (logged, with the path); an absent or unusable file
+    yields [Fresh] (unusable is logged too); [log] defaults to [stderr]
+    prefixed with ["journal: "].  Every message names [path].
+    @raise Invalid_argument when the journal's fingerprint differs from
+    [fingerprint] — resuming against an edited spec.
+    @raise Failure as {!load} (mid-file corruption stays fatal). *)

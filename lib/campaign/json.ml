@@ -1,0 +1,202 @@
+type t =
+  | Num of string
+  | Str of string
+  | Bool of bool
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Malformed of string
+
+(* %.17g round-trips every finite double; OCaml's float_of_string reads
+   the inf/-inf/nan tokens back natively. *)
+let float_str f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.17g" f
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Num tok -> Buffer.add_string b tok
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | Bool bo -> Buffer.add_string b (if bo then "true" else "false")
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          go x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          go (Str k);
+          Buffer.add_char b ':';
+          go x)
+        kvs;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r')
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | _ -> fail "unsupported escape");
+        go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let is_num_char c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    (* the letters of inf / nan *)
+    || c = 'i' || c = 'n' || c = 'f' || c = 'a'
+  in
+  let parse_number () =
+    let start = !pos in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    Num (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Arr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (elements [])
+      end
+    | Some 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
+      pos := !pos + 4;
+      Bool true
+    | Some 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
+      pos := !pos + 5;
+      Bool false
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member v key =
+  match v with
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some x -> x
+    | None -> raise (Malformed ("missing field " ^ key)))
+  | _ -> raise (Malformed "expected an object")
+
+let member_opt v key =
+  match v with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_int = function
+  | Num tok -> (
+    try int_of_string tok
+    with _ -> raise (Malformed ("not an int: " ^ tok)))
+  | _ -> raise (Malformed "expected an int")
+
+let to_float = function
+  | Num tok -> (
+    try float_of_string tok
+    with _ -> raise (Malformed ("not a float: " ^ tok)))
+  | _ -> raise (Malformed "expected a float")
+
+let to_int64_string = function
+  | Str tok -> (
+    try Int64.of_string tok
+    with _ -> raise (Malformed ("not an int64: " ^ tok)))
+  | _ -> raise (Malformed "expected a quoted int64")
+
+let to_string = function
+  | Str s -> s
+  | _ -> raise (Malformed "expected a string")
+
+let to_list = function
+  | Arr xs -> xs
+  | _ -> raise (Malformed "expected an array")

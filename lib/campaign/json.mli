@@ -1,0 +1,55 @@
+(** The campaign layer's shared JSON dialect.
+
+    One parser and one set of rendering conventions, used by both the
+    journal lines and the {!Spec} codec so that every serialized spec —
+    journal header, wire payload, fingerprint input — is the {e same}
+    bytes.  The dialect is the subset the writers emit: objects, arrays,
+    numbers (including the bare [inf]/[-inf]/[nan] tokens), strings with
+    the quote/backslash/slash/newline/tab escapes, and booleans.
+    Hand-rolled recursive descent; no external dependency. *)
+
+type t =
+  | Num of string  (** unconverted token: the caller picks int/float/int64 *)
+  | Str of string
+  | Bool of bool
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Malformed of string
+(** Every accessor and the parser fail through this; callers wrap it
+    into their own error discipline. *)
+
+val parse : string -> t
+(** @raise Malformed on anything outside the dialect, including trailing
+    garbage. *)
+
+(** {2 Canonical rendering}
+
+    [render] emits no whitespace, object keys in the order given, floats
+    through {!float_str} — so equal values render to equal bytes, the
+    property the spec fingerprint and the journal goldens rely on. *)
+
+val render : t -> string
+
+val float_str : float -> string
+(** [%.17g], round-trip precise for every finite double; [inf]/[-inf]/
+    [nan] as bare tokens. *)
+
+val escape : string -> string
+(** The escaping [render] applies inside string literals. *)
+
+(** {2 Accessors}
+
+    All raise {!Malformed} with the offending key or token in the
+    message. *)
+
+val member : t -> string -> t
+val member_opt : t -> string -> t option
+val to_int : t -> int
+val to_float : t -> float
+val to_int64_string : t -> int64
+(** 64-bit values travel as decimal strings (a double cannot carry them
+    exactly). *)
+
+val to_string : t -> string
+val to_list : t -> t list

@@ -121,34 +121,110 @@ let trial_rng t cell ~trial =
     invalid_arg "Spec.trial_rng: trial outside [0, trials_per_cell)";
   Rng.of_path ~seed:t.seed [ cell.index; trial ]
 
-(* Fold every field through the SplitMix64 finalizer.  Structural rather
-   than cryptographic: its only job is to make accidental spec drift
-   across a resume loudly detectable. *)
+(* ------------------------------------------------------------------ *)
+(* Canonical JSON codec                                                *)
+(* ------------------------------------------------------------------ *)
+
+let codec_version = 1
+
+let strategy_to_json = function
+  | Sim.Adversary.Idle -> Json.Obj [ ("kind", Json.Str "idle") ]
+  | Sim.Adversary.Private_chain { reorg_target } ->
+    Json.Obj
+      [ ("kind", Json.Str "private_chain");
+        ("reorg_target", Json.Num (string_of_int reorg_target)) ]
+  | Sim.Adversary.Balance { group_boundary } ->
+    Json.Obj
+      [ ("kind", Json.Str "balance");
+        ("group_boundary", Json.Num (string_of_int group_boundary)) ]
+  | Sim.Adversary.Selfish_mining -> Json.Obj [ ("kind", Json.Str "selfish_mining") ]
+
+let strategy_of_json j =
+  match Json.to_string (Json.member j "kind") with
+  | "idle" -> Sim.Adversary.Idle
+  | "private_chain" ->
+    Sim.Adversary.Private_chain
+      { reorg_target = Json.to_int (Json.member j "reorg_target") }
+  | "balance" ->
+    Sim.Adversary.Balance
+      { group_boundary = Json.to_int (Json.member j "group_boundary") }
+  | "selfish_mining" -> Sim.Adversary.Selfish_mining
+  | other -> raise (Json.Malformed ("unknown strategy kind " ^ other))
+
+let to_json t =
+  let num_int i = Json.Num (string_of_int i) in
+  let num_float f = Json.Num (Json.float_str f) in
+  Json.render
+    (Json.Obj
+       [
+         ("spec", Json.Str "nakamoto-campaign");
+         ("version", num_int codec_version);
+         ("ps", Json.Arr (List.map num_float t.ps));
+         ("ns", Json.Arr (List.map num_int t.ns));
+         ("deltas", Json.Arr (List.map num_int t.deltas));
+         ("nus", Json.Arr (List.map num_float t.nus));
+         ("trials_per_cell", num_int t.trials_per_cell);
+         ("rounds", num_int t.rounds);
+         ( "mode",
+           Json.Str
+             (match t.mode with
+             | Full_protocol -> "full"
+             | State_process -> "state") );
+         ("strategy", strategy_to_json t.strategy);
+         ("truncate", num_int t.truncate);
+         ("seed", Json.Str (Int64.to_string t.seed));
+         ("shard_size", num_int t.shard_size);
+       ])
+
+let of_json text =
+  match Json.parse text with
+  | exception Json.Malformed msg -> Error ("Spec.of_json: " ^ msg)
+  | j -> (
+    try
+      (match Json.to_string (Json.member j "spec") with
+      | "nakamoto-campaign" -> ()
+      | other -> raise (Json.Malformed ("not a campaign spec: " ^ other)));
+      let v = Json.to_int (Json.member j "version") in
+      if v <> codec_version then
+        raise
+          (Json.Malformed
+             (Printf.sprintf "unsupported spec codec version %d (expected %d)"
+                v codec_version));
+      Ok
+        {
+          ps = List.map Json.to_float (Json.to_list (Json.member j "ps"));
+          ns = List.map Json.to_int (Json.to_list (Json.member j "ns"));
+          deltas = List.map Json.to_int (Json.to_list (Json.member j "deltas"));
+          nus = List.map Json.to_float (Json.to_list (Json.member j "nus"));
+          trials_per_cell = Json.to_int (Json.member j "trials_per_cell");
+          rounds = Json.to_int (Json.member j "rounds");
+          mode =
+            (match Json.to_string (Json.member j "mode") with
+            | "full" -> Full_protocol
+            | "state" -> State_process
+            | other -> raise (Json.Malformed ("unknown mode " ^ other)));
+          strategy = strategy_of_json (Json.member j "strategy");
+          truncate = Json.to_int (Json.member j "truncate");
+          seed = Json.to_int64_string (Json.member j "seed");
+          shard_size = Json.to_int (Json.member j "shard_size");
+        }
+    with Json.Malformed msg -> Error ("Spec.of_json: " ^ msg))
+
+(* The fingerprint hashes the canonical serialization byte by byte
+   through the SplitMix64 finalizer.  Structural rather than
+   cryptographic: its only job is to make accidental spec drift across a
+   resume (or across the wire) loudly detectable — and because the input
+   is [to_json], any field that changes the campaign changes the bytes
+   and therefore the fingerprint, with no second field list to keep in
+   sync. *)
 let fingerprint t =
-  let mix acc x = Rng.splitmix64 (Int64.add acc x) in
-  let mix_int acc i = mix acc (Int64.of_int i) in
-  let mix_float acc f = mix acc (Int64.bits_of_float f) in
-  let mix_floats acc fs = List.fold_left mix_float (mix_int acc 0x5F) fs in
-  let mix_ints acc is = List.fold_left mix_int (mix_int acc 0x5B) is in
-  let strategy_tag =
-    match t.strategy with
-    | Sim.Adversary.Idle -> (1, 0)
-    | Sim.Adversary.Private_chain { reorg_target } -> (2, reorg_target)
-    | Sim.Adversary.Balance { group_boundary } -> (3, group_boundary)
-    | Sim.Adversary.Selfish_mining -> (4, 0)
-  in
-  let acc = mix 0x6E616B616D6F746FL t.seed in
-  let acc = mix_floats acc t.ps in
-  let acc = mix_ints acc t.ns in
-  let acc = mix_ints acc t.deltas in
-  let acc = mix_floats acc t.nus in
-  let acc = mix_int acc t.trials_per_cell in
-  let acc = mix_int acc t.rounds in
-  let acc = mix_int acc (match t.mode with Full_protocol -> 1 | State_process -> 2) in
-  let acc = mix_int acc (fst strategy_tag) in
-  let acc = mix_int acc (snd strategy_tag) in
-  let acc = mix_int acc t.truncate in
-  mix_int acc t.shard_size
+  let s = to_json t in
+  let acc = ref 0x6E616B616D6F746FL in
+  String.iter
+    (fun c ->
+      acc := Rng.splitmix64 (Int64.logxor !acc (Int64.of_int (Char.code c))))
+    s;
+  !acc
 
 let describe t =
   Printf.sprintf "%d cells x %d trials x %d rounds, seed %Ld, fingerprint %Ld"

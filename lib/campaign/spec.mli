@@ -69,11 +69,26 @@ val trial_rng : t -> cell -> trial:int -> Nakamoto_prob.Rng.t
 (** The deterministic stream for a [State_process] trial, addressed by
     [(seed, cell_index, trial_index)]. *)
 
+val to_json : t -> string
+(** The canonical serialization: one JSON object, no whitespace, fixed
+    key order, floats rendered round-trip precisely ({!Json.float_str}),
+    64-bit seeds as decimal strings.  Equal specs always produce equal
+    bytes — the journal header, the wire protocol's campaign submission
+    and {!fingerprint} all consume exactly this string, so there is one
+    serialization to audit rather than three ad-hoc ones. *)
+
+val of_json : string -> (t, string) result
+(** Inverse of {!to_json} (also accepts semantically equal documents
+    with different whitespace).  [Error] carries a one-line reason:
+    malformed JSON, a missing field, an unknown [mode]/[strategy] kind,
+    or an unsupported codec version. *)
+
 val fingerprint : t -> int64
-(** A SplitMix64 hash-chain over every field.  Two specs with the same
-    fingerprint run identical campaigns; the journal stores it so that a
-    resume against a different spec is rejected rather than silently
-    mixing incompatible results. *)
+(** A SplitMix64 hash-chain over the bytes of {!to_json} — the spec's
+    identity {e is} its canonical serialization.  Two specs with the
+    same fingerprint run identical campaigns; the journal stores it so
+    that a resume against a different spec is rejected rather than
+    silently mixing incompatible results. *)
 
 val describe : t -> string
 (** One-line human summary — grid size, trials, rounds, seed and

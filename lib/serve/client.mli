@@ -1,0 +1,35 @@
+(** The submitting side of the serve protocol.
+
+    [submit] drives one campaign end to end: connect, handshake, send
+    the spec, relay streamed [Progress] frames to a callback, and return
+    the rendered summary table from the terminal [Done] frame.  The
+    heavy lifting — simulation, journaling, telemetry — happens in the
+    daemon and its workers; this process only watches. *)
+
+val submit :
+  socket:string ->
+  ?connect_timeout:float ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?on_progress:(Nakamoto_wire.Message.progress -> unit) ->
+  Nakamoto_campaign.Spec.t ->
+  (string * string option, string) result
+(** [submit ~socket spec] returns [(rendered_table, journal_path)] on
+    completion.  [journal] names a {e daemon-side} path for the
+    fsync-on-append journal; with [resume] the daemon folds that journal
+    first and recomputes only the missing cells.  [Error] carries the
+    server's typed refusal (busy, invalid spec, fingerprint mismatch) or
+    a transport failure. *)
+
+val assess :
+  socket:string ->
+  ?connect_timeout:float ->
+  nu:float ->
+  c:float ->
+  n:float ->
+  delta:float ->
+  unit ->
+  (Nakamoto_wire.Message.assess_reply, string) result
+(** One [Query_assess] round trip: the daemon computes
+    {!Nakamoto_core.Assessment.assess} and replies with the structured
+    verdict plus its human rendering. *)

@@ -1,0 +1,32 @@
+module Frame = Nakamoto_wire.Frame
+module Msg = Nakamoto_wire.Message
+
+let connect ~socket ~timeout =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.EINTR), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      go ()
+    | exception e ->
+      Unix.close fd;
+      raise e
+  in
+  go ()
+
+let handshake ~role ch =
+  Msg.send ch (Msg.Hello { version = Frame.protocol_version; role });
+  match Msg.recv ~timeout:10. ch with
+  | `Msg (Msg.Hello_ack _) -> Ok ()
+  | `Msg (Msg.Error e) -> Error e
+  | `Msg _ -> Error "unexpected reply to hello"
+  | `Eof -> Error "server closed the connection during handshake"
+  | `Timeout -> Error "handshake timed out"
+  | `Bad m -> Error m

@@ -1,0 +1,21 @@
+(** Client-side connection establishment for the serve protocol.
+
+    Both the worker and the submitting client start the same way: dial
+    the coordinator's Unix-domain socket (with a bounded retry loop, so
+    a process launched moments before the daemon still connects) and
+    run the version handshake.  SIGPIPE is switched to ignore here —
+    every peer of a socket protocol must survive the other end dying
+    mid-write. *)
+
+val connect : socket:string -> timeout:float -> Unix.file_descr
+(** Dial [socket], retrying on [ENOENT]/[ECONNREFUSED] every 50 ms
+    until [timeout] seconds have passed.
+    @raise Unix.Unix_error when the deadline expires. *)
+
+val handshake :
+  role:Nakamoto_wire.Message.role ->
+  Nakamoto_wire.Frame.Channel.t ->
+  (unit, string) result
+(** Send [Hello] at {!Nakamoto_wire.Frame.protocol_version} and await
+    [Hello_ack].  [Error] carries the server's typed refusal (version
+    mismatch) or a transport failure. *)

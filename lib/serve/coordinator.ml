@@ -1,0 +1,583 @@
+module Frame = Nakamoto_wire.Frame
+module Msg = Nakamoto_wire.Message
+module Spec = Nakamoto_campaign.Spec
+module Shard = Nakamoto_campaign.Shard
+module Aggregate = Nakamoto_campaign.Aggregate
+module Journal = Nakamoto_campaign.Journal
+module Campaign = Nakamoto_campaign.Campaign
+module Core = Nakamoto_core
+module Tel = Nakamoto_telemetry
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_dec : Frame.Decoder.t;
+  c_buf : Bytes.t;
+  mutable c_hello : bool;
+}
+
+type lease_info = { l_plan : int; l_conn : int; l_deadline : float }
+
+(* One in-flight campaign.  The arrays mirror [Campaign.run]'s local
+   state exactly: that is the point — the fold must be the same fold. *)
+type campaign = {
+  g_spec : Spec.t;
+  g_cells : Spec.cell array;
+  g_slots : int;  (** shards per cell *)
+  g_plan : Shard.t array;
+  g_completed : Aggregate.t option array;
+  g_from_journal : bool array;
+  g_written : bool array;
+  g_writer : Journal.writer option;
+  g_journal_path : string option;
+  mutable g_next_flush : int;
+  g_shard_results : Aggregate.t option array array;
+  g_shards_done : int array;
+  g_shard_snaps : Tel.Registry.Snapshot.t array;
+  mutable g_pending : int list;  (** plan indices awaiting a lease *)
+  g_leases : (int, lease_info) Hashtbl.t;
+  mutable g_trials_done : int;
+  mutable g_cells_done : int;
+  g_resumed_cells : int;
+  g_fresh_trials : int;
+  g_client : int;  (** conn id of the submitter, for progress / done *)
+  g_started : float;
+  g_workers : (int, unit) Hashtbl.t;  (** conn ids ever granted a lease *)
+}
+
+exception Done_serving
+
+let default_log msg = Printf.eprintf "serve: %s\n%!" msg
+
+let write_text_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let serve ~socket ?max_campaigns ?(lease_timeout = 30.) ?telemetry
+    ?(telemetry_clock = Unix.gettimeofday) ?(log = default_log) () =
+  (match max_campaigns with
+  | Some n when n < 1 ->
+    invalid_arg "Coordinator.serve: max_campaigns must be >= 1"
+  | _ -> ());
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let tel =
+    Option.map (fun _ -> Tel.Registry.create ~clock:telemetry_clock ()) telemetry
+  in
+  let counter name = Option.map (fun r -> Tel.Registry.counter r name) tel in
+  let c_frames_in = counter "serve_frames_in_total" in
+  let c_frames_out = counter "serve_frames_out_total" in
+  let c_granted = counter "serve_leases_granted_total" in
+  let c_expired = counter "serve_leases_expired_total" in
+  let c_stale = counter "serve_stale_results_total" in
+  let sp_fold = Option.map (fun r -> Tel.Registry.span r "serve_fold_seconds") tel in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 16;
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+  let next_conn = ref 0 in
+  let next_lease = ref 0 in
+  let campaigns_served = ref 0 in
+  let current : campaign option ref = ref None in
+
+  (* --- connection plumbing --------------------------------------- *)
+  let release_leases g ~conn_id ~reason =
+    let stale =
+      Hashtbl.fold
+        (fun id l acc -> if l.l_conn = conn_id then (id, l) :: acc else acc)
+        g.g_leases []
+    in
+    List.iter
+      (fun (id, l) ->
+        Hashtbl.remove g.g_leases id;
+        g.g_pending <- l.l_plan :: g.g_pending;
+        log
+          (Printf.sprintf "lease %d (shard %d) released: %s; requeued" id
+             g.g_plan.(l.l_plan).Shard.id reason))
+      stale
+  in
+  let drop_conn conn reason =
+    if Hashtbl.mem conns conn.c_id then begin
+      Hashtbl.remove conns conn.c_id;
+      (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+      Option.iter
+        (fun g -> release_leases g ~conn_id:conn.c_id ~reason)
+        !current;
+      if reason <> "eof" then
+        log (Printf.sprintf "connection %d dropped: %s" conn.c_id reason)
+    end
+  in
+  let send_msg conn m =
+    try
+      let tag, payload = Msg.encode m in
+      Frame.write conn.c_fd ~tag ~payload;
+      Option.iter Tel.Counter.incr c_frames_out
+    with
+    | Unix.Unix_error _ -> drop_conn conn "write failed"
+    | Sys_error _ -> drop_conn conn "write failed"
+  in
+  let send_progress g =
+    match Hashtbl.find_opt conns g.g_client with
+    | None -> ()
+    | Some client ->
+      send_msg client
+        (Msg.Progress
+           {
+             Msg.p_trials_done = g.g_trials_done;
+             p_trials_total = Spec.trial_count g.g_spec;
+             p_cells_done = g.g_cells_done;
+             p_cells_total = Array.length g.g_cells;
+           })
+  in
+
+  (* --- journal flush: strictly in cell order --------------------- *)
+  let flush_prefix g =
+    let ncells = Array.length g.g_cells in
+    while
+      g.g_next_flush < ncells && g.g_completed.(g.g_next_flush) <> None
+    do
+      let i = g.g_next_flush in
+      (match g.g_writer with
+      | Some w when not g.g_written.(i) ->
+        (match g.g_completed.(i) with
+        | Some agg ->
+          Journal.append w (Journal.Cell (g.g_cells.(i), Aggregate.snapshot agg))
+        | None -> assert false);
+        g.g_written.(i) <- true
+      | _ -> ());
+      g.g_next_flush <- g.g_next_flush + 1
+    done
+  in
+
+  (* --- campaign completion --------------------------------------- *)
+  let finalize g =
+    Option.iter Journal.close_writer g.g_writer;
+    let results =
+      Array.mapi
+        (fun i cell ->
+          match g.g_completed.(i) with
+          | Some aggregate ->
+            { Campaign.cell; aggregate; from_journal = g.g_from_journal.(i) }
+          | None -> assert false)
+        g.g_cells
+    in
+    let telemetry_snapshot =
+      match tel with
+      | None -> None
+      | Some reg ->
+        Some
+          (Array.fold_left Tel.Registry.Snapshot.merge
+             (Tel.Registry.snapshot reg) g.g_shard_snaps)
+    in
+    let outcome =
+      {
+        Campaign.spec = g.g_spec;
+        cells = results;
+        fresh_trials = g.g_fresh_trials;
+        resumed_cells = g.g_resumed_cells;
+        jobs = max 1 (Hashtbl.length g.g_workers);
+        elapsed = Unix.gettimeofday () -. g.g_started;
+        telemetry = telemetry_snapshot;
+      }
+    in
+    let table =
+      Nakamoto_numerics.Table.render (Campaign.summary_table outcome)
+    in
+    (match (telemetry, telemetry_snapshot) with
+    | Some dir, Some snap ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      write_text_file
+        (Filename.concat dir "telemetry.prom")
+        (Tel.Export.prometheus snap);
+      write_text_file
+        (Filename.concat dir "telemetry.jsonl")
+        (Tel.Export.jsonl ~emitted_at:(Unix.gettimeofday ()) snap)
+    | _ -> ());
+    (match Hashtbl.find_opt conns g.g_client with
+    | None -> ()
+    | Some client ->
+      send_msg client (Msg.Done { table; journal = g.g_journal_path }));
+    incr campaigns_served;
+    current := None;
+    log
+      (Printf.sprintf "campaign %d complete: %s" !campaigns_served
+         (Spec.describe g.g_spec));
+    match max_campaigns with
+    | Some n when !campaigns_served >= n -> raise Done_serving
+    | _ -> ()
+  in
+  let maybe_finish g =
+    if g.g_cells_done = Array.length g.g_cells then begin
+      flush_prefix g;
+      finalize g
+    end
+  in
+
+  (* --- message handlers ------------------------------------------ *)
+  let start_campaign conn (s : Msg.submit) =
+    match !current with
+    | Some _ -> send_msg conn (Msg.Error "busy: a campaign is already running")
+    | None -> (
+      match Spec.validate s.Msg.sub_spec with
+      | exception Invalid_argument m -> send_msg conn (Msg.Error m)
+      | () -> (
+        let spec = s.Msg.sub_spec in
+        let cells = Spec.cells spec in
+        let ncells = Array.length cells in
+        let completed : Aggregate.t option array = Array.make ncells None in
+        let from_journal = Array.make ncells false in
+        let written = Array.make ncells false in
+        match
+          match s.Msg.sub_journal with
+          | None -> Ok None
+          | Some path -> (
+            let fresh () =
+              let w = Journal.create_writer ?telemetry:tel ~path ~fresh:true () in
+              (try
+                 Journal.append w
+                   (Journal.Header (Journal.header_of_spec spec))
+               with e ->
+                 Journal.close_writer w;
+                 raise e);
+              Ok (Some w)
+            in
+            if not s.Msg.sub_resume then fresh ()
+            else
+              match
+                Journal.fold ~log ~path ~fingerprint:(Spec.fingerprint spec)
+                  ~init:() (fun () (cell : Spec.cell) snap ->
+                    if cell.Spec.index < 0 || cell.Spec.index >= ncells then
+                      failwith
+                        (Printf.sprintf "journal %s: cell index out of range"
+                           path);
+                    completed.(cell.Spec.index) <-
+                      Some (Aggregate.of_snapshot snap);
+                    from_journal.(cell.Spec.index) <- true;
+                    written.(cell.Spec.index) <- true)
+              with
+              | Journal.Fresh _ -> fresh ()
+              | Journal.Recovered { entries; _ } ->
+                log
+                  (Printf.sprintf
+                     "resuming %s: %d of %d cells recovered from %s"
+                     (Spec.describe spec) entries ncells path);
+                Ok (Some (Journal.create_writer ?telemetry:tel ~path ~fresh:false ()))
+              | exception Invalid_argument m -> Error m
+              | exception Failure m -> Error m)
+        with
+        | Error m -> send_msg conn (Msg.Error m)
+        | Ok writer ->
+          let resumed_cells =
+            Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+              from_journal
+          in
+          let plan =
+            Shard.plan ~cells:ncells ~trials_per_cell:spec.Spec.trials_per_cell
+              ~shard_size:spec.Spec.shard_size
+              ~skip:(fun i -> completed.(i) <> None)
+          in
+          let slots =
+            Shard.per_cell ~trials_per_cell:spec.Spec.trials_per_cell
+              ~shard_size:spec.Spec.shard_size
+          in
+          let g =
+            {
+              g_spec = spec;
+              g_cells = cells;
+              g_slots = slots;
+              g_plan = plan;
+              g_completed = completed;
+              g_from_journal = from_journal;
+              g_written = written;
+              g_writer = writer;
+              g_journal_path = s.Msg.sub_journal;
+              g_next_flush = 0;
+              g_shard_results =
+                Array.init ncells (fun _ -> Array.make slots None);
+              g_shards_done = Array.make ncells 0;
+              g_shard_snaps =
+                Array.make (Array.length plan) Tel.Registry.Snapshot.empty;
+              g_pending = List.init (Array.length plan) Fun.id;
+              g_leases = Hashtbl.create 16;
+              g_trials_done = resumed_cells * spec.Spec.trials_per_cell;
+              g_cells_done = resumed_cells;
+              g_resumed_cells = resumed_cells;
+              g_fresh_trials =
+                Array.fold_left (fun acc sh -> acc + Shard.trials sh) 0 plan;
+              g_client = conn.c_id;
+              g_started = Unix.gettimeofday ();
+              g_workers = Hashtbl.create 8;
+            }
+          in
+          flush_prefix g;
+          current := Some g;
+          log
+            (Printf.sprintf "campaign submitted by connection %d: %s"
+               conn.c_id (Spec.describe spec));
+          send_progress g;
+          maybe_finish g))
+  in
+  let handle_lease_request conn =
+    match !current with
+    | None -> send_msg conn (Msg.No_work { retry_after = 0.2 })
+    | Some g -> (
+      match g.g_pending with
+      | [] -> send_msg conn (Msg.No_work { retry_after = 0.05 })
+      | pi :: rest ->
+        g.g_pending <- rest;
+        let id = !next_lease in
+        incr next_lease;
+        Hashtbl.replace g.g_leases id
+          {
+            l_plan = pi;
+            l_conn = conn.c_id;
+            l_deadline = Unix.gettimeofday () +. lease_timeout;
+          };
+        Hashtbl.replace g.g_workers conn.c_id ();
+        Option.iter Tel.Counter.incr c_granted;
+        send_msg conn
+          (Msg.Lease_grant
+             { grant = { Msg.lease_id = id; shard = g.g_plan.(pi) };
+               spec = g.g_spec }))
+  in
+  let handle_cell_result conn (r : Msg.cell_result) =
+    match !current with
+    | None -> Option.iter Tel.Counter.incr c_stale
+    | Some g -> (
+      match Hashtbl.find_opt g.g_leases r.Msg.res_lease with
+      | None ->
+        (* Expired and reassigned, or a duplicate: deterministic shards
+           make the first-landed copy authoritative. *)
+        Option.iter Tel.Counter.incr c_stale;
+        log
+          (Printf.sprintf "ignoring stale result for lease %d (shard %d)"
+             r.Msg.res_lease r.Msg.res_shard)
+      | Some l -> (
+        Hashtbl.remove g.g_leases r.Msg.res_lease;
+        let sh = g.g_plan.(l.l_plan) in
+        if sh.Shard.id <> r.Msg.res_shard then begin
+          send_msg conn
+            (Msg.Error
+               (Printf.sprintf "lease %d covers shard %d, not %d"
+                  r.Msg.res_lease sh.Shard.id r.Msg.res_shard));
+          g.g_pending <- l.l_plan :: g.g_pending;
+          drop_conn conn "shard id mismatch"
+        end
+        else
+          match
+            ( Aggregate.of_snapshot r.Msg.res_aggregate,
+              Tel.Registry.Snapshot.of_entries r.Msg.res_telemetry )
+          with
+          | exception Invalid_argument m ->
+            send_msg conn (Msg.Error ("malformed result: " ^ m));
+            g.g_pending <- l.l_plan :: g.g_pending;
+            drop_conn conn "malformed result"
+          | agg, snap ->
+            let ci = sh.Shard.cell_index in
+            g.g_shard_results.(ci).(sh.Shard.slot) <- Some agg;
+            g.g_shard_snaps.(l.l_plan) <- snap;
+            g.g_shards_done.(ci) <- g.g_shards_done.(ci) + 1;
+            g.g_trials_done <- g.g_trials_done + Shard.trials sh;
+            if g.g_shards_done.(ci) = g.g_slots then begin
+              (* Merge in slot order — never completion order. *)
+              let t0 =
+                match sp_fold with Some _ -> telemetry_clock () | None -> 0.
+              in
+              let merged =
+                Array.fold_left
+                  (fun acc slot ->
+                    match (acc, slot) with
+                    | None, Some a -> Some a
+                    | Some m, Some a -> Some (Aggregate.merge m a)
+                    | _, None -> assert false)
+                  None
+                  g.g_shard_results.(ci)
+              in
+              (match sp_fold with
+              | Some sp ->
+                Tel.Span.record sp (Float.max 0. (telemetry_clock () -. t0))
+              | None -> ());
+              g.g_completed.(ci) <- merged;
+              g.g_cells_done <- g.g_cells_done + 1;
+              flush_prefix g;
+              send_progress g;
+              maybe_finish g
+            end))
+  in
+  let handle_assess conn (q : Msg.assess_params) =
+    match
+      Core.Params.of_c ~n:q.Msg.q_n ~delta:q.Msg.q_delta ~nu:q.Msg.q_nu
+        ~c:q.Msg.q_c
+    with
+    | exception Invalid_argument m -> send_msg conn (Msg.Error m)
+    | p ->
+      let a = Core.Assessment.assess p in
+      send_msg conn
+        (Msg.Assess_reply
+           {
+             Msg.a_zone = Core.Assessment.zone_to_string a.Core.Assessment.zone;
+             a_neat_threshold = a.neat_threshold;
+             a_neat_margin = a.neat_margin;
+             a_attack_threshold = a.attack_threshold;
+             a_confirmations =
+               Option.map
+                 (fun (c : Core.Confirmation.assessment) ->
+                   c.Core.Confirmation.confirmations)
+                 a.confirmations;
+             a_rendered = Format.asprintf "%a" Core.Assessment.pp a;
+           })
+  in
+  let handle_msg conn (m : Msg.t) =
+    if not conn.c_hello then begin
+      match m with
+      | Msg.Hello { version; _ } when version = Frame.protocol_version ->
+        conn.c_hello <- true;
+        send_msg conn (Msg.Hello_ack { version = Frame.protocol_version })
+      | Msg.Hello { version; _ } ->
+        send_msg conn
+          (Msg.Error
+             (Printf.sprintf
+                "protocol version mismatch: server speaks %d, peer sent %d"
+                Frame.protocol_version version));
+        drop_conn conn "version mismatch"
+      | _ ->
+        send_msg conn (Msg.Error "expected hello");
+        drop_conn conn "no hello"
+    end
+    else
+      match m with
+      | Msg.Hello _ ->
+        send_msg conn (Msg.Error "duplicate hello");
+        drop_conn conn "duplicate hello"
+      | Msg.Submit_campaign s -> start_campaign conn s
+      | Msg.Lease_request -> handle_lease_request conn
+      | Msg.Cell_result r -> handle_cell_result conn r
+      | Msg.Query_assess q -> handle_assess conn q
+      | Msg.Error e -> log (Printf.sprintf "peer %d error: %s" conn.c_id e)
+      | Msg.Hello_ack _ | Msg.Lease_grant _ | Msg.No_work _
+      | Msg.Assess_reply _ | Msg.Progress _ | Msg.Done _ ->
+        send_msg conn (Msg.Error "unexpected message for a server");
+        drop_conn conn "protocol violation"
+  in
+
+  (* --- the read path --------------------------------------------- *)
+  let rec drain conn =
+    if Hashtbl.mem conns conn.c_id then begin
+      match Frame.Decoder.next conn.c_dec with
+      | `Awaiting -> ()
+      | `Bad msg ->
+        send_msg conn (Msg.Error msg);
+        drop_conn conn msg
+      | `Frame (tag, payload) ->
+        Option.iter Tel.Counter.incr c_frames_in;
+        (match Msg.decode ~tag ~payload with
+        | Ok m -> handle_msg conn m
+        | Error msg ->
+          (* Unknown tag or undecodable payload: a typed reply, and the
+             connection survives — the framing itself was clean. *)
+          send_msg conn (Msg.Error msg));
+        drain conn
+    end
+  in
+  let handle_readable conn =
+    match Unix.read conn.c_fd conn.c_buf 0 (Bytes.length conn.c_buf) with
+    | 0 ->
+      if Frame.Decoder.available conn.c_dec > 0 then
+        drop_conn conn "eof mid-frame"
+      else drop_conn conn "eof"
+    | n ->
+      Frame.Decoder.feed conn.c_dec (Bytes.sub_string conn.c_buf 0 n);
+      drain conn
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      drop_conn conn "connection reset"
+  in
+  let accept () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      let id = !next_conn in
+      incr next_conn;
+      Hashtbl.replace conns id
+        {
+          c_id = id;
+          c_fd = fd;
+          c_dec = Frame.Decoder.create ();
+          c_buf = Bytes.create 65536;
+          c_hello = false;
+        }
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+  in
+  let expire_leases g =
+    let now = Unix.gettimeofday () in
+    let expired =
+      Hashtbl.fold
+        (fun id l acc -> if l.l_deadline <= now then (id, l) :: acc else acc)
+        g.g_leases []
+    in
+    List.iter
+      (fun (id, l) ->
+        Hashtbl.remove g.g_leases id;
+        g.g_pending <- l.l_plan :: g.g_pending;
+        Option.iter Tel.Counter.incr c_expired;
+        log
+          (Printf.sprintf
+             "lease %d (shard %d, connection %d) expired after %.1fs; \
+              requeued"
+             id g.g_plan.(l.l_plan).Shard.id l.l_conn lease_timeout))
+      expired
+  in
+
+  (* --- the loop ---------------------------------------------------- *)
+  let cleanup () =
+    Hashtbl.iter
+      (fun _ conn -> try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+      conns;
+    Hashtbl.reset conns;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink socket with Unix.Unix_error _ -> ()
+  in
+  log (Printf.sprintf "listening on %s" socket);
+  (try
+     while true do
+       let timeout =
+         match !current with
+         | Some g when Hashtbl.length g.g_leases > 0 ->
+           let now = Unix.gettimeofday () in
+           let next =
+             Hashtbl.fold
+               (fun _ l acc -> Float.min acc l.l_deadline)
+               g.g_leases infinity
+           in
+           Float.max 0.01 (next -. now)
+         | _ -> -1.
+       in
+       let fds =
+         listen_fd :: Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) conns []
+       in
+       let readable, _, _ =
+         match Unix.select fds [] [] timeout with
+         | r -> r
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       List.iter
+         (fun fd ->
+           if fd = listen_fd then accept ()
+           else
+             let conn =
+               Hashtbl.fold
+                 (fun _ c acc -> if c.c_fd = fd then Some c else acc)
+                 conns None
+             in
+             Option.iter handle_readable conn)
+         readable;
+       Option.iter expire_leases !current
+     done
+   with
+  | Done_serving -> cleanup ()
+  | e ->
+    cleanup ();
+    raise e);
+  !campaigns_served

@@ -1,0 +1,45 @@
+(** The campaign daemon: a single-threaded [Unix.select] event loop on a
+    Unix-domain socket.
+
+    One coordinator serves three kinds of peers over the same wire
+    protocol: clients submitting campaign specs and streaming progress
+    back, worker processes leasing shards and returning aggregate +
+    telemetry snapshots, and assessment queries.  The campaign fold is
+    the in-process engine's, relocated: shard aggregates merge in slot
+    order, telemetry snapshots in plan order, and journal lines flush
+    strictly in cell order through the same fsync-on-append
+    {!Nakamoto_campaign.Journal} writer — so the journal a daemon-run
+    campaign produces is byte-identical to the one [Campaign.run] writes
+    in process, for any number of workers.
+
+    Leases carry a deadline: a shard whose worker disconnects or fails
+    to answer within [lease_timeout] goes back to the head of the
+    pending queue and is granted to the next worker that asks.  A result
+    arriving for an expired (reassigned) lease is ignored — shard
+    results are deterministic, so whichever copy lands first is the
+    result, and the duplicate carries no new information. *)
+
+val serve :
+  socket:string ->
+  ?max_campaigns:int ->
+  ?lease_timeout:float ->
+  ?telemetry:string ->
+  ?telemetry_clock:(unit -> float) ->
+  ?log:(string -> unit) ->
+  unit ->
+  int
+(** [serve ~socket ()] binds [socket] (unlinking any stale file first)
+    and runs the event loop; returns the number of campaigns served.
+
+    With [max_campaigns] (>= 1) the daemon exits cleanly — connections
+    closed, socket unlinked — after that many campaigns complete; without
+    it the loop runs until the process is killed.  [lease_timeout]
+    (default 30 s) bounds how long a granted shard may stay unanswered
+    before reassignment.  [telemetry] names a directory that receives
+    [telemetry.prom] / [telemetry.jsonl] at each campaign completion:
+    the daemon's own instruments (leases granted/expired, frames in/out,
+    the [serve_fold_seconds] span around every plan-order merge) merged
+    with the workers' shard snapshots in plan order.  [log] receives
+    one-line operational messages (default: [stderr] prefixed with
+    ["serve: "]).
+    @raise Invalid_argument on [max_campaigns < 1]. *)

@@ -1,0 +1,77 @@
+module Frame = Nakamoto_wire.Frame
+module Msg = Nakamoto_wire.Message
+module Spec = Nakamoto_campaign.Spec
+module Shard = Nakamoto_campaign.Shard
+module Aggregate = Nakamoto_campaign.Aggregate
+module Campaign = Nakamoto_campaign.Campaign
+module Faultplan = Nakamoto_campaign.Faultplan
+module Tel = Nakamoto_telemetry
+
+let default_log msg = Printf.eprintf "worker[%d]: %s\n%!" (Unix.getpid ()) msg
+
+let run ~socket ?(connect_timeout = 10.) ?fault
+    ?(telemetry_clock = Unix.gettimeofday) ?(log = default_log) () =
+  let fd = Conn.connect ~socket ~timeout:connect_timeout in
+  let ch = Frame.Channel.of_fd fd in
+  (match Conn.handshake ~role:Msg.Worker ch with
+  | Ok () -> ()
+  | Error e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    failwith ("handshake failed: " ^ e));
+  let fault = Option.map Faultplan.arm fault in
+  (* Cache the decoded grid: every lease of one campaign carries the
+     same spec, and [cells] must be recomputed only when it changes. *)
+  let cache : (string * Spec.t * Spec.cell array) option ref = ref None in
+  let cells_of spec =
+    let key = Spec.to_json spec in
+    match !cache with
+    | Some (k, s, c) when k = key -> (s, c)
+    | _ ->
+      let c = Spec.cells spec in
+      cache := Some (key, spec, c);
+      (spec, c)
+  in
+  let computed = ref 0 in
+  let rec loop () =
+    Msg.send ch Msg.Lease_request;
+    match Msg.recv ch with
+    | `Msg (Msg.Lease_grant { grant = { Msg.lease_id; shard }; spec }) ->
+      let spec, cells = cells_of spec in
+      let sreg = Tel.Registry.create ~clock:telemetry_clock () in
+      let sp =
+        Tel.Registry.span sreg
+          ~labels:[ ("domain", string_of_int (Unix.getpid ())) ]
+          "campaign_shard_seconds"
+      in
+      let began = Tel.Span.start sp in
+      let agg =
+        Faultplan.wrap_task fault ~task:shard.Shard.id (fun () ->
+            Campaign.run_shard ~telemetry:sreg spec cells shard)
+      in
+      Tel.Span.stop sp began;
+      incr computed;
+      Msg.send ch
+        (Msg.Cell_result
+           {
+             Msg.res_lease = lease_id;
+             res_shard = shard.Shard.id;
+             res_aggregate = Aggregate.snapshot agg;
+             res_telemetry =
+               Tel.Registry.Snapshot.entries (Tel.Registry.snapshot sreg);
+           });
+      loop ()
+    | `Msg (Msg.No_work { retry_after }) ->
+      Unix.sleepf (Float.max 0.01 retry_after);
+      loop ()
+    | `Msg (Msg.Error e) -> failwith ("server error: " ^ e)
+    | `Msg _ -> failwith "unexpected message from the coordinator"
+    | `Timeout -> loop ()
+    | `Eof ->
+      (* The daemon served its campaigns and closed up: normal exit. *)
+      log (Printf.sprintf "coordinator closed; %d shards computed" !computed)
+    | `Bad m -> failwith ("protocol error: " ^ m)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop;
+  !computed

@@ -1,0 +1,30 @@
+(** A socket worker: lease shards from a coordinator, compute, return.
+
+    The compute step is {!Nakamoto_campaign.Campaign.run_shard} — the
+    exact unit the in-process pool runs — so a shard computed here is
+    bit-identical to one computed by [Campaign.run].  The worker is
+    deliberately fragile: any exception (including an armed
+    {!Nakamoto_campaign.Faultplan.Raising_worker}) escapes and kills the
+    process mid-lease, which is precisely the failure the coordinator's
+    lease expiry / EOF reassignment exists to absorb.  Retry policy
+    lives server-side, not here. *)
+
+val run :
+  socket:string ->
+  ?connect_timeout:float ->
+  ?fault:Nakamoto_campaign.Faultplan.t ->
+  ?telemetry_clock:(unit -> float) ->
+  ?log:(string -> unit) ->
+  unit ->
+  int
+(** [run ~socket ()] connects (retrying until [connect_timeout],
+    default 10 s), performs the hello handshake, then loops:
+    [Lease_request] → compute → [Cell_result], sleeping through
+    [No_work] backoffs.  Returns the number of shards computed when the
+    coordinator closes the connection (daemon shutdown) — the worker's
+    natural exit.  Each shard records into a private telemetry registry
+    ([campaign_shard_seconds{domain=<pid>}] plus the executor's [sim_*]
+    instruments) whose entries ride back on the result frame.
+    @raise Failure on a handshake refusal or a server [Error] frame.
+    @raise Nakamoto_campaign.Faultplan.Injected_crash / [Failure] when
+    an armed fault fires mid-shard. *)

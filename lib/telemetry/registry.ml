@@ -123,6 +123,28 @@ module Snapshot = struct
 
   let entries t = t
 
+  let of_entries es =
+    let es =
+      List.map
+        (fun ((k : key), v) ->
+          (* Re-derive the key so names are validated and labels land in
+             canonical sort order even if the wire peer shuffled them. *)
+          (make_key k.name k.labels, v))
+        es
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare_key a b) es in
+    let rec check = function
+      | (a, _) :: ((b, _) :: _ as tl) ->
+        if compare_key (a : key) b = 0 then
+          invalid_arg
+            (Printf.sprintf "Telemetry.Snapshot.of_entries: duplicate key %s"
+               a.name)
+        else check tl
+      | _ -> ()
+    in
+    check sorted;
+    sorted
+
   let find ?(labels = []) t name =
     let key = make_key name labels in
     List.assoc_opt key t

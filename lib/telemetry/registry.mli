@@ -67,6 +67,12 @@ module Snapshot : sig
   val entries : t -> (key * value) list
   (** Sorted by [(name, labels)] — deterministic export order. *)
 
+  val of_entries : (key * value) list -> t
+  (** Rebuild a snapshot from an {!entries} listing, in any order —
+      the decode half of a wire codec.  [of_entries (entries s) = s].
+      @raise Invalid_argument on a duplicate key or an invalid metric or
+      label name. *)
+
   val find : ?labels:(string * string) list -> t -> string -> value option
 
   val find_all : t -> string -> (key * value) list

@@ -1,0 +1,116 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents w = Buffer.contents w
+
+let add_u8 w v =
+  if v < 0 || v > 255 then invalid_arg "Codec.add_u8: outside [0, 255]";
+  Buffer.add_char w (Char.chr v)
+
+let add_i64 w v =
+  for i = 7 downto 0 do
+    Buffer.add_char w
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let add_int w v = add_i64 w (Int64.of_int v)
+let add_f64 w v = add_i64 w (Int64.bits_of_float v)
+let add_bool w v = Buffer.add_char w (if v then '\001' else '\000')
+
+let add_u32 w v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.add_u32: outside u32";
+  for i = 3 downto 0 do
+    Buffer.add_char w (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_string w s =
+  add_u32 w (String.length s);
+  Buffer.add_string w s
+
+let add_opt w f = function
+  | None -> add_bool w false
+  | Some v ->
+    add_bool w true;
+    f w v
+
+let add_list w f xs =
+  add_u32 w (List.length xs);
+  List.iter (f w) xs
+
+let add_array w f xs =
+  add_u32 w (Array.length xs);
+  Array.iter (f w) xs
+
+(* ------------------------------------------------------------------ *)
+
+type reader = { s : string; mutable pos : int }
+
+exception Error of string
+
+let reader s = { s; pos = 0 }
+let finished r = r.pos = String.length r.s
+
+let need r n =
+  if r.pos + n > String.length r.s then
+    raise
+      (Error
+         (Printf.sprintf "payload truncated: need %d bytes at offset %d of %d"
+            n r.pos (String.length r.s)))
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = ref 0L in
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.s.[r.pos]));
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let get_int r =
+  let v = get_i64 r in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then
+    raise (Error (Printf.sprintf "int64 %Ld does not fit a native int" v));
+  i
+
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | b -> raise (Error (Printf.sprintf "invalid bool byte %d" b))
+
+let get_u32 r =
+  need r 4;
+  let v = ref 0 in
+  for _ = 0 to 3 do
+    v := (!v lsl 8) lor Char.code r.s.[r.pos];
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let get_string r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_opt r f = if get_bool r then Some (f r) else None
+
+(* Explicit left-to-right loops: [List.init]/[Array.init] leave the
+   evaluation order of [f] unspecified, which a stateful reader cannot
+   tolerate. *)
+let get_list r f =
+  let n = get_u32 r in
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (f r :: acc) in
+  go 0 []
+
+let get_array r f = Array.of_list (get_list r f)

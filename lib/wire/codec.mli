@@ -1,0 +1,49 @@
+(** Binary payload primitives for the wire protocol.
+
+    Fixed-width big-endian encodings, chosen for auditability over
+    compactness: ints and floats travel as 8 bytes ([Int64], IEEE-754
+    bits), strings and sequences carry a u32 count.  Floats round-trip
+    {e bit-exactly} (including infinities and NaN payloads) because the
+    campaign determinism contract is byte-level: an aggregate that
+    crosses the wire must fold to the same journal bytes as one that
+    never left the process. *)
+
+(** {2 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val add_u8 : writer -> int -> unit
+val add_int : writer -> int -> unit
+val add_i64 : writer -> int64 -> unit
+val add_f64 : writer -> float -> unit
+val add_bool : writer -> bool -> unit
+val add_string : writer -> string -> unit
+val add_opt : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+val add_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val add_array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+
+(** {2 Reading} *)
+
+type reader
+
+exception Error of string
+(** Raised by every [get_*] on truncation or a malformed count; message
+    names the offset. *)
+
+val reader : string -> reader
+
+val finished : reader -> bool
+(** All bytes consumed — decoders check this to reject trailing
+    garbage. *)
+
+val get_u8 : reader -> int
+val get_int : reader -> int
+val get_i64 : reader -> int64
+val get_f64 : reader -> float
+val get_bool : reader -> bool
+val get_string : reader -> string
+val get_opt : reader -> (reader -> 'a) -> 'a option
+val get_list : reader -> (reader -> 'a) -> 'a list
+val get_array : reader -> (reader -> 'a) -> 'a array

@@ -8,4 +8,5 @@ let () =
       ("props", Test_props.suite);
       ("telemetry", Test_telemetry.suite);
       ("oracle", Test_oracle.suite);
+      ("wire", Test_wire_props.suite);
     ]

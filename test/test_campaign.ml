@@ -639,6 +639,138 @@ let test_region_verdicts () =
   check_true "attack region"
     (Campaign.Campaign.region (cell ~p:0.05 ~n:40 ~delta:4 ~nu:0.45) = "ATTACK")
 
+(* --- canonical spec JSON (the wire / journal / fingerprint codec) --- *)
+
+let test_spec_json_round_trip () =
+  let variants =
+    [
+      tiny_spec;
+      Spec.default;
+      { tiny_spec with Spec.mode = Spec.State_process; seed = Int64.min_int };
+      {
+        tiny_spec with
+        Spec.strategy = Nakamoto_sim.Adversary.Idle;
+        nus = [ 0.; 0.25 ];
+      };
+      {
+        tiny_spec with
+        Spec.strategy = Nakamoto_sim.Adversary.Balance { group_boundary = 7 };
+      };
+      { tiny_spec with Spec.strategy = Nakamoto_sim.Adversary.Selfish_mining };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let json = Spec.to_json spec in
+      match Spec.of_json json with
+      | Error e -> Alcotest.failf "of_json rejected its own output: %s" e
+      | Ok spec' ->
+        Alcotest.(check string) "canonical bytes stable" json
+          (Spec.to_json spec');
+        check_true "fingerprint stable"
+          (Spec.fingerprint spec = Spec.fingerprint spec'))
+    variants;
+  (* Whitespace-insensitive on input, canonical on output. *)
+  let replace ~sub ~by s =
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.failf "expected %S in the canonical json" sub
+    | Some i ->
+      String.sub s 0 i ^ by
+      ^ String.sub s (i + n) (String.length s - i - n)
+  in
+  let json = Spec.to_json tiny_spec in
+  (match Spec.of_json (replace ~sub:"," ~by:" ,\n " json) with
+  | Ok spec' ->
+    Alcotest.(check string) "whitespace tolerated" json (Spec.to_json spec')
+  | Error e -> Alcotest.failf "whitespace variant rejected: %s" e);
+  (match Spec.of_json "{" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed json must be rejected");
+  (match Spec.of_json "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields must be rejected");
+  match Spec.of_json (replace ~sub:"\"full\"" ~by:"\"woo\"" json) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown mode must be rejected"
+
+let test_journal_fold_resume () =
+  let path = temp_journal "fold" in
+  let messages = ref [] in
+  let log m = messages := m :: !messages in
+  (* No file yet: Fresh None, nothing logged. *)
+  (match
+     Journal.fold ~log ~path ~fingerprint:(Spec.fingerprint tiny_spec)
+       ~init:0
+       (fun acc _ _ -> acc + 1)
+   with
+  | Journal.Fresh None -> ()
+  | _ -> Alcotest.fail "no file must fold to Fresh None");
+  (* A journal with two cells folds them in file order. *)
+  let outcome =
+    Campaign.Campaign.run ~jobs:1 ~journal_path:path ~log:(fun _ -> ())
+      tiny_spec
+  in
+  (match
+     Journal.fold ~log ~path ~fingerprint:(Spec.fingerprint tiny_spec)
+       ~init:[]
+       (fun acc (cell : Spec.cell) _ -> cell.Spec.index :: acc)
+   with
+  | Journal.Recovered { acc; entries } ->
+    check_int "both cells folded" 2 entries;
+    check_true "file order" (List.rev acc = [ 0; 1 ])
+  | Journal.Fresh _ -> Alcotest.fail "a complete journal must recover");
+  ignore outcome;
+  (* Fingerprint mismatch is loud and names the path. *)
+  (match
+     Journal.fold ~log ~path ~fingerprint:1L ~init:() (fun () _ _ -> ())
+   with
+  | exception Invalid_argument m ->
+    check_true "mismatch names the journal path"
+      (contains_substring ~affix:path m)
+  | _ -> Alcotest.fail "fingerprint mismatch must raise");
+  (* A torn tail is repaired in place, with a logged line naming the
+     path, and the torn cell simply drops out of the fold. *)
+  let whole = read_file path in
+  let oc = open_out_bin path in
+  output_string oc (String.sub whole 0 (String.length whole - 7));
+  close_out oc;
+  messages := [];
+  (match
+     Journal.fold ~log ~path ~fingerprint:(Spec.fingerprint tiny_spec)
+       ~init:0
+       (fun acc _ _ -> acc + 1)
+   with
+  | Journal.Recovered { acc; entries } ->
+    check_int "torn final cell dropped" 1 entries;
+    check_int "acc matches entries" 1 acc;
+    check_true "repair logged with the path"
+      (List.exists
+         (fun m ->
+           contains_substring ~affix:"repaired torn tail" m
+           && contains_substring ~affix:path m)
+         !messages)
+  | Journal.Fresh _ -> Alcotest.fail "torn tail must still recover");
+  (* An unusable file (no complete header) folds Fresh with the reason. *)
+  let oc = open_out_bin path in
+  output_string oc "{\"v\":1";
+  close_out oc;
+  messages := [];
+  (match
+     Journal.fold ~log ~path ~fingerprint:(Spec.fingerprint tiny_spec)
+       ~init:() (fun () _ _ -> ())
+   with
+  | Journal.Fresh (Some _) ->
+    check_true "unusable logged with the path"
+      (List.exists (fun m -> contains_substring ~affix:path m) !messages)
+  | _ -> Alcotest.fail "a header-less file must fold Fresh (Some reason)");
+  cleanup path
+
 let suite =
   [
     case "spec cell enumeration" test_spec_cells_enumeration;
@@ -664,4 +796,7 @@ let suite =
     case "single-cell grid drains" test_single_cell_grid_drains;
     case "state mode matches direct runs" test_state_mode_matches_direct_runs;
     case "region verdicts" test_region_verdicts;
+    case "spec canonical json round-trips" test_spec_json_round_trip;
+    case "journal fold: fresh, recover, repair, reject"
+      test_journal_fold_resume;
   ]

@@ -1,0 +1,209 @@
+(* End-to-end serve subsystem tests: daemon, workers and client run in
+   separate domains talking over a real Unix-domain socket.  (Domains,
+   not forks: OCaml forbids [Unix.fork] once any domain has ever been
+   spawned, and the campaign engine spawns domains for [~jobs].)
+
+   The headline is topology independence: the same spec + seed must
+   produce a byte-identical journal whether the campaign runs in
+   process, through a daemon with one socket worker, or through a daemon
+   with several workers one of which dies mid-lease. *)
+
+open Helpers
+module Campaign = Nakamoto_campaign
+module Spec = Campaign.Spec
+module Serve = Nakamoto_serve
+module Frame = Nakamoto_wire.Frame
+module Msg = Nakamoto_wire.Message
+
+let tiny_spec =
+  {
+    Spec.default with
+    Spec.ps = [ 0.02 ];
+    ns = [ 8 ];
+    deltas = [ 2 ];
+    nus = [ 0.1; 0.3 ];
+    trials_per_cell = 4;
+    rounds = 120;
+    seed = 77L;
+    shard_size = 1;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let temp_path tag suffix =
+  let path = Filename.temp_file ("nakamoto_serve_" ^ tag) suffix in
+  Sys.remove path;
+  path
+
+let cleanup path = if Sys.file_exists path then Sys.remove path
+let silent _ = ()
+
+(* Domain bodies report an exit-code-like int so the assertions read the
+   same as they would for processes. *)
+let spawn_daemon ~socket ?telemetry () =
+  Domain.spawn (fun () ->
+      try
+        ignore
+          (Serve.Coordinator.serve ~socket ~max_campaigns:1 ~lease_timeout:5.
+             ?telemetry ~log:silent ());
+        0
+      with _ -> 3)
+
+let spawn_worker ~socket ?fault () =
+  Domain.spawn (fun () ->
+      try
+        ignore (Serve.Worker.run ~socket ?fault ~log:silent ());
+        0
+      with _ -> 70)
+
+let submit ?(resume = false) ?on_progress ~socket ~journal () =
+  match Serve.Client.submit ~socket ~journal ~resume ?on_progress tiny_spec with
+  | Ok (table, jpath) ->
+    check_true "table is rendered" (String.length table > 0);
+    check_true "journal path echoed" (jpath = Some journal)
+  | Error e -> Alcotest.failf "submit failed: %s" e
+
+let test_topology_independence () =
+  (* (a) in process *)
+  let j_inproc = temp_path "inproc" ".jsonl" in
+  ignore
+    (Campaign.Campaign.run ~jobs:2 ~journal_path:j_inproc ~log:silent
+       tiny_spec);
+  let oracle = read_file j_inproc in
+
+  (* (b) daemon + one socket worker, daemon-side telemetry on *)
+  let socket = temp_path "b" ".sock" in
+  let j_one = temp_path "one" ".jsonl" in
+  let teldir = Filename.temp_file "nakamoto_serve_tel" "" in
+  Sys.remove teldir;
+  let daemon = spawn_daemon ~socket ~telemetry:teldir () in
+  let worker = spawn_worker ~socket () in
+  let progress_frames = ref 0 in
+  submit ~socket ~journal:j_one ~on_progress:(fun _ -> incr progress_frames) ();
+  check_int "daemon exits cleanly" 0 (Domain.join daemon);
+  check_int "worker exits cleanly on daemon close" 0 (Domain.join worker);
+  check_true "progress was streamed" (!progress_frames > 0);
+  Alcotest.(check string) "one-worker journal = in-process journal" oracle
+    (read_file j_one);
+  let prom = read_file (Filename.concat teldir "telemetry.prom") in
+  check_true "daemon counters exported"
+    (contains_substring ~affix:"serve_leases_granted_total" prom);
+  check_true "fold span exported"
+    (contains_substring ~affix:"serve_fold_seconds" prom);
+  check_true "worker shard spans exported"
+    (contains_substring ~affix:"campaign_shard_seconds" prom);
+
+  (* (c) daemon + a worker that dies mid-lease + a healthy worker.  The
+     faulty worker joins alone first, so it necessarily leases shard 0
+     and dies computing it; the healthy worker then absorbs the
+     requeued lease. *)
+  let socket = temp_path "c" ".sock" in
+  let j_kill = temp_path "kill" ".jsonl" in
+  let daemon = spawn_daemon ~socket () in
+  let faulty =
+    spawn_worker ~socket
+      ~fault:(Campaign.Faultplan.Raising_worker { task = 0; failures = 1 })
+      ()
+  in
+  (* Submit from its own domain so this one can sequence worker startup
+     around the faulty worker's death. *)
+  let client =
+    Domain.spawn (fun () ->
+        match Serve.Client.submit ~socket ~journal:j_kill tiny_spec with
+        | Ok _ -> 0
+        | Error _ | (exception _) -> 4)
+  in
+  check_int "faulty worker died mid-lease" 70 (Domain.join faulty);
+  let healthy = spawn_worker ~socket () in
+  check_int "client saw Done" 0 (Domain.join client);
+  check_int "daemon exits cleanly" 0 (Domain.join daemon);
+  check_int "healthy worker exits cleanly" 0 (Domain.join healthy);
+  Alcotest.(check string) "kill-mid-lease journal = in-process journal"
+    oracle (read_file j_kill);
+
+  (* (d) server-side resume: a fresh daemon over the finished journal
+     recomputes nothing and the bytes stay identical. *)
+  let socket = temp_path "d" ".sock" in
+  let daemon = spawn_daemon ~socket () in
+  submit ~resume:true ~socket ~journal:j_kill ();
+  check_int "resume daemon exits cleanly" 0 (Domain.join daemon);
+  Alcotest.(check string) "resumed journal untouched" oracle
+    (read_file j_kill);
+
+  List.iter cleanup
+    [
+      j_inproc; j_one; j_kill;
+      Filename.concat teldir "telemetry.prom";
+      Filename.concat teldir "telemetry.jsonl";
+    ];
+  (try Unix.rmdir teldir with Unix.Unix_error _ -> ())
+
+let test_protocol_edges () =
+  let socket = temp_path "edges" ".sock" in
+  let daemon = spawn_daemon ~socket () in
+
+  (* Version mismatch: typed Error frame, then the server hangs up. *)
+  let fd = Serve.Conn.connect ~socket ~timeout:10. in
+  let ch = Frame.Channel.of_fd fd in
+  Msg.send ch (Msg.Hello { version = 99; role = Msg.Client });
+  (match Msg.recv ~timeout:10. ch with
+  | `Msg (Msg.Error e) ->
+    check_true "names both versions"
+      (contains_substring ~affix:"99" e
+      && contains_substring ~affix:"version" e)
+  | _ -> Alcotest.fail "version mismatch must get a typed Error frame");
+  (match Msg.recv ~timeout:10. ch with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "server must hang up after a version mismatch");
+  Unix.close fd;
+
+  (* Unknown tag after a clean handshake: typed Error, connection
+     survives and still answers queries. *)
+  let fd = Serve.Conn.connect ~socket ~timeout:10. in
+  let ch = Frame.Channel.of_fd fd in
+  (match Serve.Conn.handshake ~role:Msg.Client ch with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "handshake: %s" e);
+  Frame.Channel.write ch ~tag:200 ~payload:"junk";
+  (match Msg.recv ~timeout:10. ch with
+  | `Msg (Msg.Error e) ->
+    check_true "unknown tag named"
+      (contains_substring ~affix:"unknown message tag" e)
+  | _ -> Alcotest.fail "unknown tag must get a typed Error reply");
+  Msg.send ch
+    (Msg.Query_assess { Msg.q_nu = 0.25; q_c = 10.; q_n = 1e5; q_delta = 1e13 });
+  (match Msg.recv ~timeout:10. ch with
+  | `Msg (Msg.Assess_reply a) ->
+    Alcotest.(check string) "still serving after the bad frame" "SAFE"
+      a.Msg.a_zone
+  | _ -> Alcotest.fail "connection must survive an unknown tag");
+  Unix.close fd;
+
+  (* The public assess client. *)
+  (match Serve.Client.assess ~socket ~nu:0.4 ~c:0.2 ~n:1e5 ~delta:1e13 () with
+  | Ok a ->
+    Alcotest.(check string) "deep in attack territory" "BROKEN" a.Msg.a_zone;
+    check_true "rendered verdict included" (String.length a.Msg.a_rendered > 0)
+  | Error e -> Alcotest.failf "assess: %s" e);
+
+  (* Drain the daemon with a real campaign (it serves exactly one, then
+     returns) — the bad frames above must not have poisoned it. *)
+  let journal = temp_path "edges" ".jsonl" in
+  let worker = spawn_worker ~socket () in
+  submit ~socket ~journal ();
+  check_int "daemon exits cleanly after the abuse" 0 (Domain.join daemon);
+  check_int "worker exits cleanly" 0 (Domain.join worker);
+  cleanup journal;
+  cleanup socket
+
+let suite =
+  [
+    case "journal is byte-identical across topologies (incl. worker kill)"
+      test_topology_independence;
+    case "version mismatch and unknown tags get typed Error frames"
+      test_protocol_edges;
+  ]
