@@ -813,28 +813,64 @@ let regen_mcscale () =
    Fixed-delay policy with c held at 2.5 (so p scales as 1/n and the block
    rate per round is constant across n).  Exact mode walks every miner
    every round — O(n) — while Aggregate draws per-round counts and rides
-   the Δ-ring, so its row should stay flat as n grows. *)
+   the Δ-ring, so its row should stay flat as n grows; Skip only touches
+   event rounds, so its [processed_events] column collapses below the
+   simulated horizon.  A second cell group runs at the paper's sparse
+   operating point (c = 4, Delta = 64: most rounds carry nothing at all),
+   where skipping empty rounds is the entire cost. *)
 
-let execscale_config ~n ~rounds ~mode =
+type execscale_cell = {
+  es_n : int;
+  es_mode : Sim.Config.mining_mode;
+  es_c : float;
+  es_delta : int;
+  es_rounds : int;  (** simulated horizon *)
+  es_events : int;  (** rounds the executor actually processed *)
+  es_dt : float;
+  es_rate : float;  (** simulated rounds per second *)
+  es_blocks : int;
+}
+
+let mode_name = function
+  | Sim.Config.Exact -> "exact"
+  | Sim.Config.Aggregate -> "aggregate"
+  | Sim.Config.Skip -> "skip"
+
+let execscale_config ~n ~rounds ~mode ~c ~delta =
   Sim.Config.with_c
     {
       Sim.Config.default with
       n;
       nu = 0.25;
-      delta = 4;
+      delta;
       rounds;
       seed = 17L;
       snapshot_interval = max 1 rounds;
       delay_override = Some (Nakamoto_net.Network.Fixed 2);
       mining_mode = mode;
     }
-    ~c:2.5
+    ~c
 
 let time_run cfg =
   let t0 = Unix.gettimeofday () in
   let r = Sim.Execution.run cfg in
   let dt = Unix.gettimeofday () -. t0 in
   (r, dt)
+
+let measure_cell ~n ~mode ~rounds ~c ~delta =
+  let cfg = execscale_config ~n ~rounds ~mode ~c ~delta in
+  let r, dt = time_run cfg in
+  {
+    es_n = n;
+    es_mode = mode;
+    es_c = c;
+    es_delta = delta;
+    es_rounds = rounds;
+    es_events = r.Sim.Execution.processed_rounds;
+    es_dt = dt;
+    es_rate = (if dt > 0. then float_of_int rounds /. dt else infinity);
+    es_blocks = r.Sim.Execution.honest_blocks;
+  }
 
 (* Measured cells, also serialized to BENCH_EXECSCALE.json. *)
 let execscale_cells ~sizes =
@@ -844,85 +880,130 @@ let execscale_cells ~sizes =
          aggregate timer has something to chew on. *)
       let rounds = max 50 (200_000 / n) in
       List.map
-        (fun mode ->
-          let cfg = execscale_config ~n ~rounds ~mode in
-          let r, dt = time_run cfg in
-          let rate =
-            if dt > 0. then float_of_int rounds /. dt else infinity
-          in
-          (n, mode, rounds, dt, rate, r.Sim.Execution.honest_blocks))
-        [ Sim.Config.Exact; Sim.Config.Aggregate ])
+        (fun mode -> measure_cell ~n ~mode ~rounds ~c:2.5 ~delta:4)
+        [ Sim.Config.Exact; Sim.Config.Aggregate; Sim.Config.Skip ])
+    sizes
+
+(* The sparse paper-scale group: c = 1/(p n Delta) = 8 with Delta = 256
+   puts the per-round success probability near 1/2048 — block-bearing
+   rounds thousands of rounds apart, exactly the regime Skip exists for.
+   (Sparsity is what matters: both executors pay the same irreducible
+   price per block mined — miner materialization and fan-out delivery —
+   so Skip's advantage is the empty-round overhead divided by that
+   shared event cost.)  Exact mode is omitted: at these n it would
+   dominate the wall clock without informing the Aggregate-vs-Skip
+   comparison. *)
+let paperscale_cells ~sizes ~rounds =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun mode -> measure_cell ~n ~mode ~rounds ~c:8.0 ~delta:256)
+        [ Sim.Config.Aggregate; Sim.Config.Skip ])
     sizes
 
 let execscale_json cells ~path =
   let oc = open_out path in
-  let row (n, mode, rounds, dt, rate, blocks) =
+  let row cell =
     Printf.sprintf
-      "  {\"n\": %d, \"mode\": \"%s\", \"rounds\": %d, \"seconds\": %.6f, \
-       \"rounds_per_sec\": %.1f, \"honest_blocks\": %d}"
-      n
-      (match mode with Sim.Config.Exact -> "exact" | Sim.Config.Aggregate -> "aggregate")
-      rounds dt rate blocks
+      "  {\"n\": %d, \"mode\": \"%s\", \"c\": %.2f, \"delta\": %d, \
+       \"simulated_rounds\": %d, \"processed_events\": %d, \
+       \"seconds\": %.6f, \"rounds_per_sec\": %.1f, \"honest_blocks\": %d}"
+      cell.es_n (mode_name cell.es_mode) cell.es_c cell.es_delta
+      cell.es_rounds cell.es_events cell.es_dt cell.es_rate cell.es_blocks
   in
   Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row cells));
   close_out oc;
   Printf.printf "(json: %s)\n" path
 
-let regen_execscale () =
-  section "EXECSCALE: executor rounds/sec, Exact vs Aggregate (Fixed delay)";
-  let cells = execscale_cells ~sizes:[ 100; 1_000; 10_000; 100_000 ] in
+let execscale_table ~title cells =
   let t =
-    Table.create
-      ~title:"c = 2.5, nu = 0.25, Delta = 4, Fixed-2 delays; p scales as 1/n"
+    Table.create ~title
       ~columns:
-        [ "n"; "mode"; "rounds"; "seconds"; "rounds/s"; "speedup vs exact" ]
+        [
+          "n";
+          "mode";
+          "sim rounds";
+          "events";
+          "seconds";
+          "rounds/s";
+          "speedup";
+        ]
   in
-  let exact_rate = Hashtbl.create 8 in
+  (* Speedup is relative to the slowest mode measured for that n within
+     the group (exact when present, else aggregate). *)
+  let base_rate = Hashtbl.create 8 in
   List.iter
-    (fun (n, mode, rounds, dt, rate, _) ->
-      (match mode with
-      | Sim.Config.Exact -> Hashtbl.replace exact_rate n rate
-      | Sim.Config.Aggregate -> ());
-      let speedup =
-        match mode with
-        | Sim.Config.Exact -> Table.Text "1.0"
-        | Sim.Config.Aggregate ->
-          Table.Float (rate /. Hashtbl.find exact_rate n)
-      in
+    (fun cell ->
+      if not (Hashtbl.mem base_rate cell.es_n) then
+        Hashtbl.replace base_rate cell.es_n cell.es_rate;
       Table.add_row t
         [
-          Table.Int n;
-          Table.Text
-            (match mode with
-            | Sim.Config.Exact -> "exact"
-            | Sim.Config.Aggregate -> "aggregate");
-          Table.Int rounds;
-          Table.Float dt;
-          Table.Float rate;
-          speedup;
+          Table.Int cell.es_n;
+          Table.Text (mode_name cell.es_mode);
+          Table.Int cell.es_rounds;
+          Table.Int cell.es_events;
+          Table.Float cell.es_dt;
+          Table.Float cell.es_rate;
+          Table.Float (cell.es_rate /. Hashtbl.find base_rate cell.es_n);
         ])
     cells;
-  print_table t;
-  execscale_json cells ~path:"BENCH_EXECSCALE.json"
+  print_table t
+
+let regen_execscale () =
+  section "EXECSCALE: executor rounds/sec, Exact vs Aggregate vs Skip";
+  let cells = execscale_cells ~sizes:[ 100; 1_000; 10_000; 100_000 ] in
+  execscale_table
+    ~title:"c = 2.5, nu = 0.25, Delta = 4, Fixed-2 delays; p scales as 1/n"
+    cells;
+  let sparse = paperscale_cells ~sizes:[ 10_000; 100_000 ] ~rounds:400_000 in
+  execscale_table
+    ~title:
+      "paper-scale: c = 8, nu = 0.25, Delta = 256 — almost every round empty"
+    sparse;
+  execscale_json (cells @ sparse) ~path:"BENCH_EXECSCALE.json"
 
 (* Smoke mode (`--execscale-smoke`, wired into `make check`): a tiny
    EXECSCALE cell plus a sampler-scaling probe, with hard assertions —
    exits nonzero if the fast path stopped being fast. *)
 let execscale_smoke () =
-  section "EXECSCALE (smoke): aggregate must out-run exact at n = 10^4";
+  section
+    "EXECSCALE (smoke): aggregate must out-run exact, skip must out-run \
+     aggregate 20x at the paper scale (n = 10^4)";
   let cells = execscale_cells ~sizes:[ 10_000 ] in
-  execscale_json cells ~path:"BENCH_EXECSCALE.json";
-  let rate mode =
+  let sparse = paperscale_cells ~sizes:[ 10_000 ] ~rounds:400_000 in
+  execscale_json (cells @ sparse) ~path:"BENCH_EXECSCALE.json";
+  let rate cells mode =
     List.find_map
-      (fun (_, m, _, _, r, _) -> if m = mode then Some r else None)
+      (fun c -> if c.es_mode = mode then Some c.es_rate else None)
       cells
     |> Option.get
   in
-  let exact = rate Sim.Config.Exact and agg = rate Sim.Config.Aggregate in
+  let exact = rate cells Sim.Config.Exact
+  and agg = rate cells Sim.Config.Aggregate in
   Printf.printf "exact: %.1f rounds/s, aggregate: %.1f rounds/s (%.0fx)\n"
     exact agg (agg /. exact);
   if not (agg >= exact) then begin
     print_endline "FAIL: aggregate mode slower than exact at n = 10^4";
+    exit 1
+  end;
+  let agg_sparse = rate sparse Sim.Config.Aggregate
+  and skip_sparse = rate sparse Sim.Config.Skip in
+  let skip_events =
+    List.find_map
+      (fun c ->
+        if c.es_mode = Sim.Config.Skip then Some c.es_events else None)
+      sparse
+    |> Option.get
+  in
+  Printf.printf
+    "paper-scale: aggregate %.1f rounds/s, skip %.1f rounds/s (%.0fx; \
+     %d events for %d rounds)\n"
+    agg_sparse skip_sparse
+    (skip_sparse /. agg_sparse)
+    skip_events 400_000;
+  if not (skip_sparse >= 20. *. agg_sparse) then begin
+    print_endline
+      "FAIL: skip mode below 20x aggregate at the paper-scale cell";
     exit 1
   end;
   (* Binomial.sample must not be linear in trials: two BTPE draws at equal

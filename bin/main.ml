@@ -405,8 +405,8 @@ let confirm_cmd =
 (* campaign *)
 
 let campaign_cmd =
-  let run ps ns deltas nus trials rounds mode strategy jobs seed resume out
-      shard_size progress_interval retries fault telemetry connect =
+  let run ps ns deltas nus trials rounds mode strategy mining jobs seed resume
+      out shard_size progress_interval retries fault telemetry connect =
     let strategy =
       match strategy with
       | "idle" -> Ok Sim.Adversary.Idle
@@ -421,6 +421,13 @@ let campaign_cmd =
       | "state" -> Ok Campaign.Spec.State_process
       | other -> Error (Printf.sprintf "unknown mode %S" other)
     in
+    let mining =
+      match mining with
+      | "exact" -> Ok Sim.Config.Exact
+      | "aggregate" -> Ok Sim.Config.Aggregate
+      | "skip" -> Ok Sim.Config.Skip
+      | other -> Error (Printf.sprintf "unknown mining mode %S" other)
+    in
     let fault =
       match fault with
       | None -> Ok None
@@ -429,9 +436,11 @@ let campaign_cmd =
         | Ok plan -> Ok (Some plan)
         | Error e -> Error e)
     in
-    match (strategy, mode, fault) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
-    | Ok strategy, Ok mode, Ok fault -> (
+    match (strategy, mode, mining, fault) with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+      ->
+      `Error (false, e)
+    | Ok strategy, Ok mode, Ok mining_mode, Ok fault -> (
       let spec =
         {
           Campaign.Spec.ps;
@@ -442,6 +451,7 @@ let campaign_cmd =
           rounds;
           mode;
           strategy;
+          mining_mode;
           truncate = Campaign.Spec.default.Campaign.Spec.truncate;
           seed;
           shard_size;
@@ -546,6 +556,15 @@ let campaign_cmd =
          & info [ "strategy" ] ~docv:"S"
              ~doc:"Adversary for full mode: idle | private | balance | selfish.")
   in
+  let mining_arg =
+    Arg.(value & opt string "exact"
+         & info [ "mining" ] ~docv:"M"
+             ~doc:"Executor for full mode: exact (per-miner queries) | \
+                   aggregate (binomial counts + shared delivery lane) | \
+                   skip (aggregate that fast-forwards empty rounds; \
+                   O(events)).  aggregate and skip exclude the balance \
+                   strategy.")
+  in
   let jobs_arg =
     Arg.(value & opt int 0
          & info [ "jobs" ] ~docv:"J"
@@ -601,9 +620,9 @@ let campaign_cmd =
     Term.(
       ret
         (const run $ ps_arg $ ns_arg $ deltas_arg $ nus_arg $ trials_arg
-        $ rounds_arg $ mode_arg $ strategy_arg $ jobs_arg $ seed_arg
-        $ resume_arg $ out_arg $ shard_arg $ progress_arg $ retries_arg
-        $ fault_arg $ telemetry_arg $ connect_arg))
+        $ rounds_arg $ mode_arg $ strategy_arg $ mining_arg $ jobs_arg
+        $ seed_arg $ resume_arg $ out_arg $ shard_arg $ progress_arg
+        $ retries_arg $ fault_arg $ telemetry_arg $ connect_arg))
   in
   Cmd.v
     (Cmd.info "campaign"

@@ -12,6 +12,7 @@ type t = {
   rounds : int;
   mode : mode;
   strategy : Sim.Adversary.strategy;
+  mining_mode : Sim.Config.mining_mode;
   truncate : int;
   seed : int64;
   shard_size : int;
@@ -29,6 +30,7 @@ let default =
     rounds = 1_500;
     mode = Full_protocol;
     strategy = Sim.Adversary.Private_chain { reorg_target = 12 };
+    mining_mode = Sim.Config.Exact;
     truncate = 6;
     seed = 42L;
     shard_size = 2;
@@ -59,7 +61,19 @@ let validate t =
   if t.trials_per_cell < 1 then invalid_arg "Spec: trials_per_cell must be >= 1";
   if t.rounds < 1 then invalid_arg "Spec: rounds must be >= 1";
   if t.truncate < 0 then invalid_arg "Spec: truncate must be nonnegative";
-  if t.shard_size < 1 then invalid_arg "Spec: shard_size must be >= 1"
+  if t.shard_size < 1 then invalid_arg "Spec: shard_size must be >= 1";
+  (* The fast executors ride the shared delivery lane, which requires a
+     recipient-independent delay policy; Balance's cross-group routing is
+     inherently per-recipient.  Reject at spec level so the operator hears
+     about it before any trial runs (Config.validate would re-raise, per
+     cell, with the typed Config.Incompatible for Skip). *)
+  match (t.mode, t.mining_mode, t.strategy) with
+  | Full_protocol, (Sim.Config.Aggregate | Sim.Config.Skip), Sim.Adversary.Balance _
+    ->
+    invalid_arg
+      "Spec: aggregate/skip mining is incompatible with the balance strategy \
+       (its delay policy is per-recipient)"
+  | _ -> ()
 
 let cells t =
   let acc = ref [] in
@@ -103,6 +117,7 @@ let config_of_cell t cell ~trial =
     rounds = t.rounds;
     seed = Rng.seed_of_path ~seed:t.seed [ cell.index; trial ];
     strategy = t.strategy;
+    mining_mode = t.mining_mode;
     snapshot_interval = snapshot_interval_for t.rounds;
     truncate = t.truncate;
   }
@@ -151,12 +166,25 @@ let strategy_of_json j =
   | "selfish_mining" -> Sim.Adversary.Selfish_mining
   | other -> raise (Json.Malformed ("unknown strategy kind " ^ other))
 
+let mining_mode_name = function
+  | Sim.Config.Exact -> "exact"
+  | Sim.Config.Aggregate -> "aggregate"
+  | Sim.Config.Skip -> "skip"
+
 let to_json t =
   let num_int i = Json.Num (string_of_int i) in
   let num_float f = Json.Num (Json.float_str f) in
+  (* [mining_mode] is emitted only when it differs from the historical
+     default: every pre-existing exact-mode spec keeps its canonical
+     bytes, and therefore its fingerprint and journal compatibility. *)
+  let mining_mode =
+    match t.mining_mode with
+    | Sim.Config.Exact -> []
+    | m -> [ ("mining_mode", Json.Str (mining_mode_name m)) ]
+  in
   Json.render
     (Json.Obj
-       [
+       ([
          ("spec", Json.Str "nakamoto-campaign");
          ("version", num_int codec_version);
          ("ps", Json.Arr (List.map num_float t.ps));
@@ -174,7 +202,8 @@ let to_json t =
          ("truncate", num_int t.truncate);
          ("seed", Json.Str (Int64.to_string t.seed));
          ("shard_size", num_int t.shard_size);
-       ])
+        ]
+       @ mining_mode))
 
 let of_json text =
   match Json.parse text with
@@ -204,6 +233,16 @@ let of_json text =
             | "state" -> State_process
             | other -> raise (Json.Malformed ("unknown mode " ^ other)));
           strategy = strategy_of_json (Json.member j "strategy");
+          mining_mode =
+            (match Json.member_opt j "mining_mode" with
+            | None -> Sim.Config.Exact
+            | Some m -> (
+              match Json.to_string m with
+              | "exact" -> Sim.Config.Exact
+              | "aggregate" -> Sim.Config.Aggregate
+              | "skip" -> Sim.Config.Skip
+              | other ->
+                raise (Json.Malformed ("unknown mining_mode " ^ other))));
           truncate = Json.to_int (Json.member j "truncate");
           seed = Json.to_int64_string (Json.member j "seed");
           shard_size = Json.to_int (Json.member j "shard_size");

@@ -27,6 +27,10 @@ type t = {
   strategy : Nakamoto_sim.Adversary.strategy;
       (** adversary for [Full_protocol] trials; ignored by
           [State_process] *)
+  mining_mode : Nakamoto_sim.Config.mining_mode;
+      (** executor for [Full_protocol] trials ([Exact] by default;
+          [Aggregate]/[Skip] select the fast paths and exclude the
+          balance strategy); ignored by [State_process] *)
   truncate : int;  (** the [T] of the consistency audit *)
   seed : int64;  (** campaign master seed *)
   shard_size : int;  (** trials per work-queue shard, >= 1 *)
@@ -45,7 +49,9 @@ val default : t
     [Delta], three [nu] regimes). *)
 
 val validate : t -> unit
-(** @raise Invalid_argument when any axis is empty or out of range. *)
+(** @raise Invalid_argument when any axis is empty or out of range, or
+    when a fast mining mode ([Aggregate]/[Skip]) is paired with the
+    balance strategy, whose delay policy is per-recipient. *)
 
 val cells : t -> cell array
 (** [cells t] enumerates the grid in the canonical order. *)
@@ -72,7 +78,9 @@ val trial_rng : t -> cell -> trial:int -> Nakamoto_prob.Rng.t
 val to_json : t -> string
 (** The canonical serialization: one JSON object, no whitespace, fixed
     key order, floats rendered round-trip precisely ({!Json.float_str}),
-    64-bit seeds as decimal strings.  Equal specs always produce equal
+    64-bit seeds as decimal strings; [mining_mode] is emitted only when
+    it differs from the historical default [Exact], so pre-existing
+    exact-mode specs keep their bytes and fingerprints.  Equal specs always produce equal
     bytes — the journal header, the wire protocol's campaign submission
     and {!fingerprint} all consume exactly this string, so there is one
     serialization to audit rather than three ad-hoc ones. *)

@@ -82,3 +82,12 @@ let pop_due q ~now =
     | Some _ | None -> List.rev acc
   in
   drain []
+
+let drop_due q ~now =
+  let rec drain n =
+    match peek_time q with
+    | Some t when t <= now -> (
+      match pop q with Some _ -> drain (n + 1) | None -> n)
+    | Some _ | None -> n
+  in
+  drain 0

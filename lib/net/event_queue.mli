@@ -23,3 +23,9 @@ val pop_due : 'a t -> now:int -> 'a list
 
 val pop : 'a t -> (int * 'a) option
 (** [pop q] removes the earliest event. *)
+
+val drop_due : 'a t -> now:int -> int
+(** [drop_due q ~now] discards every event with [time <= now] and returns
+    how many were dropped.  Equivalent to [List.length (pop_due q ~now)]
+    without materializing the values; used to fast-forward auxiliary
+    indices across skipped spans. *)

@@ -29,6 +29,10 @@ type t = {
   rng : Nakamoto_prob.Rng.t;
   inboxes : message Event_queue.t array;
   mutable ring : ring option;
+  (* Opt-in index of direct-queue due times, so [next_due] can answer in
+     O(log pending) instead of scanning every inbox.  Entries are never
+     removed on delivery; [next_due] lazily drops the stale prefix. *)
+  mutable due_index : unit Event_queue.t option;
   mutable sent : int;
 }
 
@@ -42,6 +46,7 @@ let create ~delta ~players ~policy ~rng =
     rng;
     inboxes = Array.init players (fun _ -> Event_queue.create ());
     ring = None;
+    due_index = None;
     sent = 0;
   }
 
@@ -65,6 +70,13 @@ let enable_ring t =
 
 let ring_enabled t = t.ring <> None
 
+let enable_due_index t =
+  if t.due_index <> None then
+    invalid_arg "Network.enable_due_index: already enabled";
+  if t.sent > 0 then
+    invalid_arg "Network.enable_due_index: messages already in flight";
+  t.due_index <- Some (Event_queue.create ())
+
 let clamp_delay t d = max 1 (min t.delta d)
 
 let chosen_delay t ~recipient msg =
@@ -79,7 +91,11 @@ let chosen_delay t ~recipient msg =
   clamp_delay t raw
 
 let enqueue t ~recipient ~delay msg =
-  Event_queue.push t.inboxes.(recipient) ~time:(msg.sent_round + delay) msg;
+  let time = msg.sent_round + delay in
+  Event_queue.push t.inboxes.(recipient) ~time msg;
+  (match t.due_index with
+  | None -> ()
+  | Some idx -> Event_queue.push idx ~time ());
   t.sent <- t.sent + 1
 
 (* A shared enqueue stands for one delivery per player, minus the sender's
@@ -136,11 +152,14 @@ let deliver_shared t ~round =
   | Some ring ->
     if round <= ring.drained_through then []
     else begin
-      (* Drain every round up to [round] in order; buckets only ever hold
-         rounds within delta + 1 of the drain frontier, so a skipped-ahead
-         caller still sees each message exactly once and in due order. *)
+      (* Drain every round up to [round] in order.  Buckets only ever hold
+         rounds within delta + 1 of the drain frontier, so a caller that
+         skipped k >> delta rounds ahead still sees each message exactly
+         once and in due order while the scan stays bounded by delta + 1
+         slots — fast-forward is O(delta), not O(k). *)
       let acc = ref [] in
-      for r = ring.drained_through + 1 to round do
+      let hi = min round (ring.drained_through + t.delta + 1) in
+      for r = ring.drained_through + 1 to hi do
         let slot = r mod (t.delta + 1) in
         let due = List.rev ring.buckets.(slot) in
         ring.buckets.(slot) <- [];
@@ -153,6 +172,35 @@ let deliver_shared t ~round =
       ring.drained_through <- round;
       List.rev !acc
     end
+
+(* Earliest round with a pending delivery strictly after [now]: the ring
+   scan is bounded by delta + 1 slots (every pending due lies in
+   (drained_through, drained_through + delta + 1]) and the direct lane is
+   answered by the due index after dropping entries already delivered. *)
+let next_due t ~now =
+  let ring_due =
+    match t.ring with
+    | None -> max_int
+    | Some ring ->
+      let best = ref max_int in
+      let r = ref (ring.drained_through + 1) in
+      while !best = max_int && !r <= ring.drained_through + t.delta + 1 do
+        if ring.buckets.(!r mod (t.delta + 1)) <> [] then best := !r;
+        incr r
+      done;
+      if !best <= now then
+        invalid_arg "Network.next_due: ring delivery already overdue";
+      !best
+  in
+  let direct_due =
+    match t.due_index with
+    | None -> max_int
+    | Some idx -> (
+      ignore (Event_queue.drop_due idx ~now);
+      match Event_queue.peek_time idx with Some d -> d | None -> max_int)
+  in
+  let due = min ring_due direct_due in
+  if due = max_int then None else Some due
 
 let pending t =
   let ring_pending =

@@ -46,6 +46,12 @@ val enable_ring : t -> unit
 
 val ring_enabled : t -> bool
 
+val enable_due_index : t -> unit
+(** [enable_due_index t] switches on an auxiliary index of direct-queue
+    due times so {!next_due} can answer without scanning every inbox.
+    The skip executor turns this on; the other modes never need it.
+    @raise Invalid_argument if already enabled or after a send. *)
+
 val broadcast : t -> message -> unit
 (** [broadcast t msg] sends [msg] to every player except the sender, with
     per-recipient delays chosen by the policy (clamped to [[1, delta]]).
@@ -78,6 +84,15 @@ val deliver_shared : t -> round:int -> message list
     and returns their messages.  Each message is returned exactly once;
     the caller routes it to every player except its sender.  Returns [[]]
     when the ring is disabled or [round] was already drained. *)
+
+val next_due : t -> now:int -> int option
+(** [next_due t ~now] is the earliest round strictly after [now] at which
+    some delivery is due — ring lane or direct queues — or [None] when
+    nothing is in flight.  The ring side scans at most [delta + 1] slots;
+    the direct side needs {!enable_due_index} (without it only the ring
+    lane is reported).  Callers must have drained everything due at or
+    before [now]: a still-pending ring due [<= now] raises
+    [Invalid_argument]. *)
 
 val pending : t -> int
 (** [pending t] counts undelivered per-recipient deliveries: queued

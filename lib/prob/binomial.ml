@@ -216,3 +216,37 @@ let rec sample rng d =
     d.trials - sample rng { trials = d.trials; p = 1. -. d.p }
   else if mean d <= 64. || d.trials <= 256 then sample_by_inversion rng d
   else sample_btpe rng d
+
+(* Zero-truncated sampling, i.e. X | X >= 1.  The obvious rejection loop
+   costs 1/P(X >= 1) expected draws — exactly the gap length the skip
+   executor is trying not to pay — so when zeros dominate we instead run
+   sequential inversion started at k = 1 over the truncated law; its
+   expected work is O(1 + np / P(X >= 1)) = O(1) in the sparse regime.
+   When P(X = 0) < 1/2 plain rejection needs < 2 draws on average and
+   reuses the BTPE large-mean path. *)
+let sample_positive rng d =
+  if d.trials = 0 || d.p = 0. then
+    invalid_arg "Binomial.sample_positive: distribution has no positive mass";
+  if d.p = 1. then d.trials
+  else
+    let q0 = prob_zero d in
+    if q0 < 0.5 then begin
+      let rec draw () =
+        let k = sample rng d in
+        if k = 0 then draw () else k
+      in
+      draw ()
+    end
+    else begin
+      let u = Rng.float rng *. prob_positive d in
+      let ratio = d.p /. (1. -. d.p) in
+      let rec walk k pk acc =
+        if acc +. pk >= u || k >= d.trials then k
+        else
+          let pk' =
+            pk *. ratio *. float_of_int (d.trials - k) /. float_of_int (k + 1)
+          in
+          walk (k + 1) pk' (acc +. pk)
+      in
+      walk 1 (prob_one d) 0.
+    end

@@ -67,3 +67,14 @@ val sample : Rng.t -> t -> int
       old underflow of inversion's starting mass at [p] near 1).
 
     Every path is exact (no normal approximation). *)
+
+val sample_positive : Rng.t -> t -> int
+(** [sample_positive rng d] draws from the zero-truncated law
+    [X | X >= 1] in O(1) expected time even when [P(X = 0)] is close to 1
+    — the regime where naive rejection would cost [1 / P(X >= 1)] draws
+    per sample.  When zeros dominate it runs sequential inversion from
+    [k = 1] over the truncated masses; otherwise it rejection-samples on
+    {!sample} (< 2 expected draws).  The skip executor uses this for the
+    success count of a block-bearing round.
+    @raise Invalid_argument if [trials = 0] or [p = 0] (no positive
+    mass). *)

@@ -88,7 +88,7 @@ let spec_valid s =
     ignore (Adversary.create ~strategy:s.Scenarios.strategy ~honest_count);
     match cfg.Config.mining_mode with
     | Config.Exact -> ()
-    | Config.Aggregate -> (
+    | Config.Aggregate | Config.Skip -> (
       let policy =
         match cfg.Config.delay_override with
         | Some p -> p
@@ -99,10 +99,11 @@ let spec_valid s =
       match policy with
       | Network.Immediate | Network.Fixed _ | Network.Maximal -> ()
       | Network.Uniform_random | Network.Per_recipient _ ->
-        invalid_arg "aggregate mining with a recipient-dependent policy")
+        invalid_arg "aggregate/skip mining with a recipient-dependent policy")
   with
   | () -> true
   | exception Invalid_argument _ -> false
+  | exception Config.Incompatible _ -> false
 
 (* Record shrinking: simplify one dimension at a time (strategy to Idle,
    overrides off, numbers toward their floors), keeping only candidates
@@ -133,6 +134,12 @@ let shrink_spec (s : Scenarios.spec) =
     match s.mining_mode with
     | Config.Exact -> Seq.empty
     | Config.Aggregate -> Seq.return { s with mining_mode = Config.Exact }
+    | Config.Skip ->
+      List.to_seq
+        [
+          { s with mining_mode = Config.Exact };
+          { s with mining_mode = Config.Aggregate };
+        ]
   in
   let nus = if s.nu > 0. then Seq.return { s with nu = 0.; strategy = Adversary.Idle } else Seq.empty in
   let numeric =
@@ -167,7 +174,7 @@ let spec_gen ~dual_mode rng =
   in
   let mining_mode =
     if dual_mode then Config.Exact
-    else Gen.oneof_value [ Config.Exact; Config.Aggregate ] rng
+    else Gen.oneof_value [ Config.Exact; Config.Aggregate; Config.Skip ] rng
   in
   let seed = Rng.bits64 rng in
   let s =

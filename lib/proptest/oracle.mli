@@ -1,8 +1,9 @@
 (** The differential oracle: one generated scenario, every implementation.
 
-    The repo carries three independent implementations of the same
+    The repo carries four independent implementations of the same
     Δ-delay mining law (the full-network [Exact] executor, the
-    [Aggregate] fast path, and the network-free state process) and four
+    [Aggregate] fast path, the round-skipping [Skip] fast path, and the
+    network-free state process) and four
     independent derivations of the stationary convergence-opportunity
     probability (explicit chain by linear solve, by power iteration, the
     product formula Eq. 40, and the closed form Eq. 44).  The oracle runs
@@ -13,9 +14,11 @@
       binomial laws — agreement with theory implies pairwise agreement;
     - per-round honest-block-count histograms and
       convergence-opportunity rates are compared pairwise
-      (chi-square homogeneity / proportions);
-    - Exact-vs-Aggregate chain growth is compared (the state lane has no
-      chains);
+      (chi-square homogeneity / proportions; the [Skip] lane's skipped
+      rounds are provably empty and are reconciled into the zero bin
+      first);
+    - Exact-vs-Aggregate and Exact-vs-Skip chain growth are compared
+      (the state lane has no chains);
     - every lane's convergence-opportunity count must sit in a generous
       envelope around Eq. 26's expectation.
 
@@ -23,7 +26,7 @@
     ({!Stat.assert_family}), so a scenario either passes deterministically
     at its seed or names the offending lane and statistic. *)
 
-type lane = Exact_lane | Aggregate_lane | State_lane
+type lane = Exact_lane | Aggregate_lane | Skip_lane | State_lane
 
 type lane_stats = {
   lane : lane;
@@ -41,12 +44,13 @@ type report = {
   spec : Nakamoto_sim.Scenarios.spec;
   exact : lane_stats;
   aggregate : lane_stats;
+  skip : lane_stats;
   state : lane_stats;
   checks : Stat.check list;
 }
 
 val report : Nakamoto_sim.Scenarios.spec -> report
-(** [report spec] runs the three lanes (each under an independent seed
+(** [report spec] runs the four lanes (each under an independent seed
     derived from [spec.seed] by the audited path derivation) and collects
     every cross-check.  The spec's own [mining_mode] is ignored.
     @raise Invalid_argument if the spec cannot run in every lane (use

@@ -204,6 +204,24 @@ let act t ~round ~successes =
   | Balance { group_boundary } -> act_balance t ~round ~successes ~group_boundary
   | Selfish_mining -> act_selfish t ~round ~successes
 
+(* Every strategy is event-driven: with no successes and no observation
+   since the previous [act], a further [act ~successes:0] can only re-run
+   the (idempotent) normalization it already ran and can never schedule a
+   release — releases require either fresh honest progress (delivered via
+   [observe] at a simulated round) or fresh adversarial blocks.  One real
+   [act] call at the head of the span both performs that normalization and
+   verifies the claim at run time, so a future time-dependent strategy
+   fails loudly here instead of silently losing its releases. *)
+let advance_empty t ~round ~rounds =
+  if round < 0 || rounds < 0 then
+    invalid_arg "Adversary.advance_empty: negative input";
+  if rounds > 0 then
+    match act t ~round ~successes:0 with
+    | [] -> ()
+    | _ :: _ ->
+      failwith
+        "Adversary.advance_empty: strategy released during an empty span"
+
 let delay_policy_for strategy ~delta ~honest_count:_ =
   match strategy with
   | Idle | Selfish_mining -> Nakamoto_net.Network.Immediate

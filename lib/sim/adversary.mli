@@ -63,6 +63,19 @@ val act :
     creations (its binomial draw for the round) and returns the releases
     it wants delivered.  @raise Invalid_argument on negative inputs. *)
 
+val advance_empty : t -> round:int -> rounds:int -> unit
+(** [advance_empty t ~round ~rounds] fast-forwards the adversary across
+    [rounds] consecutive rounds (the first being [round]) in which it
+    mines nothing and observes nothing — the skip executor's bulk
+    advance.  Equivalent to [rounds] calls of [act ~successes:0]: every
+    strategy is event-driven, so those calls are idempotent no-ops past
+    the first.  The single head call is executed for real, which also
+    verifies the quiescence contract at run time.
+    @raise Invalid_argument on negative inputs.
+    @raise Failure if the strategy tries to release during the span
+    (impossible for the shipped strategies; a guard for future
+    time-dependent ones). *)
+
 val delay_policy_for :
   strategy -> delta:int -> honest_count:int -> Nakamoto_net.Network.delay_policy
 (** [delay_policy_for strategy ~delta ~honest_count] is the delay rule the

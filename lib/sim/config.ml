@@ -1,4 +1,18 @@
-type mining_mode = Exact | Aggregate
+type mining_mode = Exact | Aggregate | Skip
+
+exception Incompatible of { mode : mining_mode; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Incompatible { mode; reason } ->
+      let mode_name =
+        match mode with
+        | Exact -> "exact"
+        | Aggregate -> "aggregate"
+        | Skip -> "skip"
+      in
+      Some (Printf.sprintf "Config.Incompatible(%s): %s" mode_name reason)
+    | _ -> None)
 
 type t = {
   n : int;
@@ -30,10 +44,39 @@ let validate t =
     invalid_arg "Config: snapshot_interval must be >= 1";
   if t.truncate < 0 then invalid_arg "Config: truncate must be nonnegative";
   if honest_count t <= 0 then invalid_arg "Config: no honest miners left";
-  match t.strategy with
+  (match t.strategy with
   | Adversary.Idle | Adversary.Private_chain _ | Adversary.Balance _
   | Adversary.Selfish_mining ->
-    ()
+    ());
+  (* Skip mode samples the gap to the next block-bearing round and
+     fast-forwards everything in between, so per-round adversarial delay
+     choices ([Uniform_random], [Per_recipient]) have no round to inspect.
+     Reject the combination here, typed, instead of silently degrading. *)
+  match t.mining_mode with
+  | Exact | Aggregate -> ()
+  | Skip -> (
+    let policy =
+      match t.delay_override with
+      | Some policy -> policy
+      | None ->
+        Adversary.delay_policy_for t.strategy ~delta:t.delta
+          ~honest_count:(honest_count t)
+    in
+    match policy with
+    | Nakamoto_net.Network.Immediate | Nakamoto_net.Network.Fixed _
+    | Nakamoto_net.Network.Maximal ->
+      ()
+    | Nakamoto_net.Network.Uniform_random | Nakamoto_net.Network.Per_recipient _
+      ->
+      raise
+        (Incompatible
+           {
+             mode = Skip;
+             reason =
+               "Skip mining requires a recipient-independent delay policy \
+                (Immediate, Fixed or Maximal); the effective policy needs \
+                per-round inspection";
+           }))
 
 let c t = 1. /. (t.p *. float_of_int t.n *. float_of_int t.delta)
 

@@ -20,6 +20,25 @@ type mining_mode =
           cost is O(blocks mined + messages due) instead of O(n).
           Requires a recipient-independent delay policy ([Immediate],
           [Fixed] or [Maximal]) *)
+  | Skip
+      (** the O(events) path on top of [Aggregate]: the executor never
+          iterates empty rounds.  It samples the gap to the next
+          block-bearing round from Geometric(1 - (1-p)^(honest + adv))
+          jointly with the conditional success counts, fast-forwards the
+          Δ-ring, the adversary and the convergence pattern across the
+          span in O(1), and simulates only rounds where blocks appear or
+          deliveries fall due.  Distribution-identical to [Aggregate]
+          (not bit-identical: the RNG is consumed per event, not per
+          round); [on_round] fires only for simulated rounds.  Same
+          delay-policy restriction as [Aggregate], enforced as a typed
+          {!Incompatible} error at {!validate} time *)
+
+exception Incompatible of { mode : mining_mode; reason : string }
+(** Raised by {!validate} when a mining mode cannot faithfully execute
+    the configuration (rather than silently degrading) — currently
+    [Skip] with a delay policy that needs per-round inspection
+    ([Uniform_random] or [Per_recipient], whether from [delay_override]
+    or the strategy's default, e.g. [Balance]). *)
 
 type t = {
   n : int;  (** total miners; the paper requires [n >= 4] *)
@@ -47,7 +66,9 @@ type t = {
 val validate : t -> unit
 (** @raise Invalid_argument on any out-of-range field.  [nu = 0.] is
     allowed (pure honest run) even though the paper's theorems assume
-    [nu > 0]. *)
+    [nu > 0].
+    @raise Incompatible when [mining_mode] cannot execute the
+    configuration faithfully (see {!Incompatible}). *)
 
 val adversary_count : t -> int
 (** [floor (nu * n)]. *)

@@ -27,6 +27,7 @@ type result = {
   adversary_releases : int;
   messages_sent : int;
   orphans_remaining : int;
+  processed_rounds : int;
 }
 
 type round_report = {
@@ -108,11 +109,24 @@ let phase_stop instr span =
   | None -> ()
   | Some i -> Tel.Span.stop (span i) i.phase_started
 
-(* End-of-round bookkeeping shared by both executors; [releases] is the
+(* A convergence opportunity completed: record the gap since the previous
+   one.  [conv_round] is the true completion round — for the per-round
+   executors that is the round being observed, but skip mode can complete
+   an opportunity strictly inside a fast-forwarded span. *)
+let note_convergence i ~conv_count ~conv_round =
+  if conv_count > i.last_conv_count then begin
+    if i.last_conv_round > 0 then
+      Tel.Histogram.observe i.i_conv_gap
+        (float_of_int (conv_round - i.last_conv_round));
+    i.last_conv_count <- conv_count;
+    i.last_conv_round <- conv_round
+  end
+
+(* End-of-round bookkeeping shared by the executors; [releases] is the
    round's release list (burst sizes), the rest are this round's already
    computed statistics. *)
-let observe_round instr ~round ~h ~successes ~releases ~round_reorg
-    ~best_height ~conv_count =
+let observe_round ?conv_round instr ~round ~h ~successes ~releases
+    ~round_reorg ~best_height ~conv_count =
   match instr with
   | None -> ()
   | Some i ->
@@ -135,13 +149,8 @@ let observe_round instr ~round ~h ~successes ~releases ~round_reorg
           (float_of_int (round - i.last_block_round));
       i.last_block_round <- round
     end;
-    if conv_count > i.last_conv_count then begin
-      if i.last_conv_round > 0 then
-        Tel.Histogram.observe i.i_conv_gap
-          (float_of_int (round - i.last_conv_round));
-      i.last_conv_count <- conv_count;
-      i.last_conv_round <- round
-    end;
+    note_convergence i ~conv_count
+      ~conv_round:(Option.value conv_round ~default:round);
     if best_height > i.last_best_height then begin
       Tel.Counter.add i.i_height_growth (best_height - i.last_best_height);
       i.last_best_height <- best_height
@@ -318,6 +327,7 @@ let run_exact ?on_round ~instr config =
     messages_sent = Network.messages_sent network;
     orphans_remaining =
       Array.fold_left (fun acc m -> acc + Miner.orphan_count m) 0 miners;
+    processed_rounds = config.rounds;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -560,6 +570,334 @@ let run_aggregate ?on_round ~instr config =
         (fun _ m acc -> acc + Miner.orphan_count m)
         materialized
         (if crowd_live () then Miner.orphan_count crowd else 0);
+    processed_rounds = config.rounds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Skip mode: the O(events) path on top of Aggregate.
+
+   At the paper's operating point c = 1/(p n Delta) almost every round is
+   empty — no honest or adversarial success and no delivery due — yet
+   Aggregate still pays O(1) per round.  Skip never iterates an empty
+   round:
+
+   - The gap to the next block-bearing round is one draw from
+     Geometric(1 - q0) on {0, 1, ...} where q0 = (1-p)^(mu n + nu n) is
+     the probability a round mines nothing on either side; the success
+     counts of that round are drawn from the exact conditional law
+     (H, A) | H + A > 0, split as: with probability (1 - qh)/(1 - q0) a
+     zero-truncated binom(mu n, p) honest count paired with an
+     unconditional binom(nu n, p) adversary count, else an honest zero
+     paired with a zero-truncated binom(nu n, p).  Multiplying out
+     recovers P(H = h) P(A = a) / (1 - q0) exactly, so the per-round
+     joint law matches Aggregate's two independent draws conditioned on
+     the round being non-empty — and empty rounds carry no other
+     randomness.  Zero-truncated sampling is O(1) expected
+     (Binomial.sample_positive): rejection would cost the gap length
+     back.
+   - The next simulated round is the earliest of {sampled mining round,
+     next due delivery (Network.next_due: ring scan bounded by delta + 1
+     slots plus the direct-queue due index)}.  Releases are the third
+     event source in principle, but every strategy is event-driven —
+     Adversary.advance_empty verifies at run time that no release can
+     originate inside an empty span, so releases always surface at a
+     simulated round and are visible to next_due the moment they are
+     routed.
+   - The span in between is fast-forwarded in O(1): the geometric draw
+     stands for its mining randomness, Pattern.observe_empty advances
+     the convergence detector (reporting a mid-span completion at its
+     true round), the adversary is advanced by one verified no-op act,
+     telemetry adds the span to the round counter, and snapshot-cadence
+     rounds inside the span replay the (unchanged) current tips.
+
+   Because mining is i.i.d. per round, a sampled mining round stays
+   valid across intermediate delivery-only rounds (memorylessness); it
+   is resampled only after being consumed.  Results are
+   distribution-identical to Aggregate, not bit-identical: the RNG is
+   consumed per event rather than per round.  [on_round] fires only for
+   simulated rounds — consumers reconstruct the skipped all-zero rounds
+   from [processed_rounds] vs [config.rounds].                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_skip ?on_round ~instr config =
+  let honest_n = Config.honest_count config in
+  let adv_n = Config.adversary_count config in
+  let rng = Rng.create ~seed:config.seed in
+  (* Keep the stream layout of the other modes (oracle seed, then the
+     network split) so the modes draw from decorrelated streams per seed. *)
+  let _oracle_seed = Rng.bits64 rng in
+  let net_rng = Rng.split rng in
+  let adversary = Adversary.create ~strategy:config.strategy ~honest_count:honest_n in
+  let policy =
+    match config.delay_override with
+    | Some policy -> policy
+    | None ->
+      Adversary.delay_policy_for config.strategy ~delta:config.delta
+        ~honest_count:honest_n
+  in
+  (* Config.validate rejected recipient-dependent policies (typed). *)
+  let network =
+    Network.create ~delta:config.delta ~players:honest_n ~policy ~rng:net_rng
+  in
+  Network.enable_ring network;
+  Network.enable_due_index network;
+  let honest_dist = Binomial.create ~trials:honest_n ~p:config.p in
+  let adv_dist = Binomial.create ~trials:adv_n ~p:config.p in
+  let crowd = Miner.create ~tie_break:config.tie_break ~id:(-1) () in
+  let materialized : (int, Miner.t) Hashtbl.t = Hashtbl.create 64 in
+  let pool = Array.init honest_n Fun.id in
+  let pattern = Pattern.create ~delta:config.delta in
+  let god = Adversary.view adversary in
+  let snapshots = ref [] in
+  let honest_blocks = ref 0 in
+  let adversary_blocks = ref 0 in
+  let h_rounds = ref 0 in
+  let h1_rounds = ref 0 in
+  let max_reorg = ref 0 in
+  let processed = ref 0 in
+  let receive_tracked miner blocks ~track_round_reorg =
+    if blocks <> [] then begin
+      let old_tip = Miner.best_tip miner in
+      Miner.receive miner blocks;
+      let new_tip = Miner.best_tip miner in
+      if not (Block.equal old_tip new_tip) then begin
+        let meet = Block_tree.common_prefix_height god old_tip new_tip in
+        let rolled_back = old_tip.Block.height - meet in
+        (match track_round_reorg with
+        | Some cell -> if rolled_back > !cell then cell := rolled_back
+        | None -> ());
+        if rolled_back > !max_reorg then max_reorg := rolled_back
+      end
+    end
+  in
+  let crowd_live () = Hashtbl.length materialized < honest_n in
+  let deliver_round round ~track_round_reorg =
+    let shared = Network.deliver_shared network ~round in
+    let shared_blocks =
+      List.concat_map (fun (m : Network.message) -> m.blocks) shared
+    in
+    if crowd_live () then
+      receive_tracked crowd shared_blocks ~track_round_reorg;
+    Hashtbl.iter
+      (fun id miner ->
+        let own_filtered =
+          if shared = [] then []
+          else
+            List.concat_map
+              (fun (m : Network.message) ->
+                if m.sender = id then [] else m.blocks)
+              shared
+        in
+        let direct = Network.deliver network ~recipient:id ~round in
+        let blocks =
+          own_filtered
+          @ List.concat_map (fun (m : Network.message) -> m.blocks) direct
+        in
+        receive_tracked miner blocks ~track_round_reorg)
+      materialized
+  in
+  let materialize id =
+    match Hashtbl.find_opt materialized id with
+    | Some miner -> miner
+    | None ->
+      let miner = Miner.clone crowd ~id in
+      Hashtbl.add materialized id miner;
+      miner
+  in
+  let tip_of id =
+    match Hashtbl.find_opt materialized id with
+    | Some miner -> Miner.best_tip miner
+    | None -> Miner.best_tip crowd
+  in
+  let last_snap_round = ref 0 in
+  let take_snapshot round =
+    snapshots := { round; tips = Array.init honest_n tip_of } :: !snapshots;
+    last_snap_round := round
+  in
+  (* Snapshot-cadence rounds inside a skipped span see exactly the state
+     after the last simulated round, so they can be emitted lazily from
+     the current tips. *)
+  let next_snap = ref config.snapshot_interval in
+  let emit_snapshots_through r =
+    while !next_snap <= r do
+      take_snapshot !next_snap;
+      next_snap := !next_snap + config.snapshot_interval
+    done
+  in
+  (* The joint gap law. *)
+  let log_q0 =
+    Binomial.log_prob_zero honest_dist +. Binomial.log_prob_zero adv_dist
+  in
+  let one_minus_q0 = -.Float.expm1 log_q0 in
+  let p_honest_branch =
+    (* P(H > 0 | H + A > 0); pinned to 1 when the adversary has no miners
+       so the truncated adversary draw is provably never reached. *)
+    if adv_n = 0 then 1.
+    else Binomial.prob_positive honest_dist /. one_minus_q0
+  in
+  let horizon = config.rounds in
+  let sample_gap () =
+    if log_q0 = neg_infinity then 0
+    else begin
+      (* Inversion: floor (log u / log q0) with u in (0, 1] is
+         Geometric(1 - q0) on {0, 1, ...}. *)
+      let u = 1. -. Rng.float rng in
+      let g = Float.log u /. log_q0 in
+      if g > float_of_int horizon then horizon else int_of_float g
+    end
+  in
+  let sample_event_successes () =
+    if Rng.float rng < p_honest_branch then
+      (Binomial.sample_positive rng honest_dist, Binomial.sample rng adv_dist)
+    else (0, Binomial.sample_positive rng adv_dist)
+  in
+  let advance_empty_span ~first ~len =
+    if len > 0 then begin
+      Pattern.observe_empty pattern ~rounds:len;
+      Adversary.advance_empty adversary ~round:first ~rounds:len;
+      (match instr with
+      | None -> ()
+      | Some i ->
+        Tel.Counter.add i.i_rounds len;
+        note_convergence i ~conv_count:(Pattern.count pattern)
+          ~conv_round:(Pattern.last_count_round pattern));
+      emit_snapshots_through (first + len - 1)
+    end
+  in
+  let cursor = ref 0 in
+  let next_mining = ref None in
+  while !cursor < horizon do
+    let nm =
+      match !next_mining with
+      | Some r -> r
+      | None ->
+        let gap = sample_gap () in
+        (* horizon + 1 is the "no mining within the horizon" sentinel. *)
+        let r =
+          if gap > horizon - !cursor - 1 then horizon + 1
+          else !cursor + 1 + gap
+        in
+        next_mining := Some r;
+        r
+    in
+    let nd =
+      match Network.next_due network ~now:!cursor with
+      | Some d -> d
+      | None -> max_int
+    in
+    let target = min nm nd in
+    if target > horizon then begin
+      advance_empty_span ~first:(!cursor + 1) ~len:(horizon - !cursor);
+      cursor := horizon
+    end
+    else begin
+      advance_empty_span ~first:(!cursor + 1) ~len:(target - !cursor - 1);
+      let round = target in
+      incr processed;
+      let round_reorg = ref 0 in
+      phase_start instr (fun i -> i.sp_delivery);
+      deliver_round round ~track_round_reorg:(Some round_reorg);
+      phase_stop instr (fun i -> i.sp_delivery);
+      phase_start instr (fun i -> i.sp_mining);
+      let h, successes =
+        if round = nm then begin
+          next_mining := None;
+          sample_event_successes ()
+        end
+        else (0, 0) (* delivery-only round; the sampled mining round keeps *)
+        (* its law by memorylessness and is consumed later. *)
+      in
+      let mined_this_round = ref [] in
+      for i = 0 to h - 1 do
+        let j = i + Rng.int rng ~bound:(honest_n - i) in
+        let winner = pool.(j) in
+        pool.(j) <- pool.(i);
+        pool.(i) <- winner;
+        let miner = materialize winner in
+        let block = Miner.extend_tip miner ~round ~nonce:winner in
+        mined_this_round := block :: !mined_this_round;
+        Network.broadcast network
+          { Network.sender = winner; sent_round = round; blocks = [ block ] }
+      done;
+      phase_stop instr (fun i -> i.sp_mining);
+      honest_blocks := !honest_blocks + h;
+      if h > 0 then incr h_rounds;
+      if h = 1 then incr h1_rounds;
+      Pattern.observe pattern (Round_state.of_block_count h);
+      Adversary.observe adversary !mined_this_round;
+      phase_start instr (fun i -> i.sp_adversary);
+      adversary_blocks := !adversary_blocks + successes;
+      let releases = Adversary.act adversary ~round ~successes in
+      if releases <> [] then
+        Log.debug (fun m ->
+            m "round %d: adversary issued %d release(s) (%d successes this round)"
+              round (List.length releases) successes);
+      List.iter
+        (fun { Adversary.audience; delay; blocks } ->
+          let msg = { Network.sender = -1; sent_round = round; blocks } in
+          match audience with
+          | Adversary.All_honest -> Network.broadcast_all network ~delay msg
+          | Adversary.Only recipients ->
+            List.iter
+              (fun recipient ->
+                ignore (materialize recipient);
+                Network.send_direct network ~recipient ~delay msg)
+              recipients)
+        releases;
+      phase_stop instr (fun i -> i.sp_adversary);
+      if Option.is_some on_round || Option.is_some instr then begin
+        let best_height =
+          Hashtbl.fold
+            (fun _ m acc -> max acc (Miner.chain_length m))
+            materialized
+            (Miner.chain_length crowd)
+        in
+        (match on_round with
+        | None -> ()
+        | Some report ->
+          report
+            {
+              round_number = round;
+              honest_mined = h;
+              adversary_successes = successes;
+              releases_issued = List.length releases;
+              best_height;
+              reorg_depth = !round_reorg;
+            });
+        observe_round
+          ~conv_round:(Pattern.last_count_round pattern)
+          instr ~round ~h ~successes ~releases ~round_reorg:!round_reorg
+          ~best_height
+          ~conv_count:(Pattern.count pattern)
+      end;
+      emit_snapshots_through round;
+      cursor := round
+    end
+  done;
+  emit_snapshots_through horizon;
+  if horizon > 0 && !last_snap_round <> horizon then take_snapshot horizon;
+  for round = config.rounds + 1 to config.rounds + config.delta do
+    deliver_round round ~track_round_reorg:None
+  done;
+  {
+    config;
+    snapshots = List.rev !snapshots;
+    god_view = god;
+    final_tips = Array.init honest_n tip_of;
+    convergence_opportunities = Pattern.count pattern;
+    adversary_blocks = !adversary_blocks;
+    honest_blocks = !honest_blocks;
+    h_rounds = !h_rounds;
+    h1_rounds = !h1_rounds;
+    max_reorg_depth = !max_reorg;
+    adversary_releases = Adversary.reorgs_caused adversary;
+    messages_sent = Network.messages_sent network;
+    orphans_remaining =
+      Hashtbl.fold
+        (fun _ m acc -> acc + Miner.orphan_count m)
+        materialized
+        (if crowd_live () then Miner.orphan_count crowd else 0);
+    processed_rounds = !processed;
   }
 
 let run ?on_round ?telemetry config =
@@ -568,3 +906,4 @@ let run ?on_round ?telemetry config =
   match config.mining_mode with
   | Config.Exact -> run_exact ?on_round ~instr config
   | Config.Aggregate -> run_aggregate ?on_round ~instr config
+  | Config.Skip -> run_skip ?on_round ~instr config

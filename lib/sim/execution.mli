@@ -9,7 +9,7 @@
     tips are snapshotted on a configurable cadence for the consistency
     audit in {!Metrics}.
 
-    Two executors implement the same round semantics
+    Three executors implement the same round semantics
     (see {!Config.mining_mode}):
 
     - [Exact] walks every honest miner and every sequential adversary
@@ -22,7 +22,16 @@
       O(blocks mined + messages due) per round.  Distribution-identical
       to [Exact] (same law for every statistic in {!result}), not
       bit-identical, and restricted to recipient-independent delay
-      policies ([Immediate], [Fixed], [Maximal]). *)
+      policies ([Immediate], [Fixed], [Maximal]).
+    - [Skip] is Aggregate that never iterates an empty round: the gap to
+      the next block-bearing round is sampled from
+      Geometric(1 - (1-p)^(mu n + nu n)) jointly with the conditional
+      success counts, the Δ-ring / adversary / convergence pattern are
+      fast-forwarded across the span in O(1), and only rounds where
+      blocks appear or deliveries fall due are simulated — O(events)
+      total.  Distribution-identical to [Aggregate]; [on_round] fires
+      only for simulated rounds (compare [processed_rounds] with
+      [config.rounds]). *)
 
 type snapshot = {
   round : int;
@@ -46,6 +55,11 @@ type result = {
   adversary_releases : int;
   messages_sent : int;
   orphans_remaining : int;  (** undeliverable blocks at the end (should be 0) *)
+  processed_rounds : int;
+      (** rounds the executor actually simulated: equals [config.rounds]
+          for [Exact] and [Aggregate]; for [Skip] it is the event count —
+          block-bearing rounds plus delivery-due rounds — and the skipped
+          remainder were provably all-empty *)
 }
 
 type round_report = {
@@ -67,7 +81,9 @@ val run :
     [orphans_remaining] is [0] under any delay policy and [final_tips]
     describe a settled network.  [on_round], if given, is called once per
     mining round (not the quiescence rounds) after the adversary has
-    acted — the hook behind {!Trace.capture}.
+    acted — the hook behind {!Trace.capture}.  Under [Skip] mining it
+    fires only for simulated rounds; every unsimulated round had zero
+    honest and adversarial successes, zero releases and no deliveries.
 
     [telemetry], if given, registers the executor's instruments
     ([sim_*] counters, histograms and phase spans) in the registry and
@@ -78,4 +94,6 @@ val run :
     and no allocation on its behalf.
     @raise Invalid_argument when the configuration is invalid, or when
     [config.mining_mode] is [Aggregate] and the effective delay policy
-    depends on the recipient ([Uniform_random] or [Per_recipient]). *)
+    depends on the recipient ([Uniform_random] or [Per_recipient]).
+    @raise Config.Incompatible when [config.mining_mode] is [Skip] with
+    such a policy (the typed variant of the same rejection). *)

@@ -5,11 +5,20 @@ type t = {
   mutable armed_at : int;  (** round of a qualifying H1, or -1 *)
   mutable round : int;
   mutable count : int;
+  mutable last_count_round : int;  (** round of the latest completion, or 0 *)
 }
 
 let create ~delta =
   if delta < 1 then invalid_arg "Pattern.create: delta must be >= 1";
-  { delta; n_run = 0; ever_h = false; armed_at = -1; round = 0; count = 0 }
+  {
+    delta;
+    n_run = 0;
+    ever_h = false;
+    armed_at = -1;
+    round = 0;
+    count = 0;
+    last_count_round = 0;
+  }
 
 let observe t (s : Round_state.t) =
   t.round <- t.round + 1;
@@ -26,10 +35,29 @@ let observe t (s : Round_state.t) =
     t.n_run <- t.n_run + 1;
     if t.armed_at >= 0 && t.round = t.armed_at + t.delta then begin
       t.count <- t.count + 1;
+      t.last_count_round <- t.round;
       t.armed_at <- -1
     end
 
+(* A span of [rounds] consecutive N rounds collapses to O(1): the only
+   state an N round can change is the run length, the round counter and a
+   pending completion at armed_at + delta — which, when armed, lies
+   strictly after the current round, so at most one completion can fall
+   inside the span.  Equivalent to [rounds] calls of [observe t N]. *)
+let observe_empty t ~rounds =
+  if rounds < 0 then invalid_arg "Pattern.observe_empty: negative rounds";
+  if rounds > 0 then begin
+    if t.armed_at >= 0 && t.armed_at + t.delta <= t.round + rounds then begin
+      t.count <- t.count + 1;
+      t.last_count_round <- t.armed_at + t.delta;
+      t.armed_at <- -1
+    end;
+    t.n_run <- t.n_run + rounds;
+    t.round <- t.round + rounds
+  end
+
 let count t = t.count
+let last_count_round t = t.last_count_round
 let rounds_seen t = t.round
 let observe_all t states = Array.iter (observe t) states
 

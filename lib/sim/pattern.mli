@@ -20,8 +20,22 @@ val create : delta:int -> t
 val observe : t -> Round_state.t -> unit
 (** [observe t s] feeds the next round's state. *)
 
+val observe_empty : t -> rounds:int -> unit
+(** [observe_empty t ~rounds] feeds [rounds] consecutive [N] rounds in
+    O(1) — the skip executor's bulk advance across a block-free span.
+    Equivalent to calling [observe t N] that many times; at most one
+    armed opportunity can complete inside the span, and its true
+    completion round is reported by {!last_count_round}.
+    @raise Invalid_argument on negative [rounds]. *)
+
 val count : t -> int
 (** [count t] is the number of convergence opportunities completed so far. *)
+
+val last_count_round : t -> int
+(** [last_count_round t] is the round at which the most recent convergence
+    opportunity completed, or [0] if none has.  With {!observe_empty} a
+    completion can fall strictly inside a skipped span; this reports its
+    true round so telemetry's convergence-gap histogram stays exact. *)
 
 val rounds_seen : t -> int
 

@@ -129,7 +129,8 @@ let spec_to_string s =
     | Nakamoto_chain.Block_tree.First_seen -> "first-seen")
     (match s.mining_mode with
     | Config.Exact -> "exact"
-    | Config.Aggregate -> "aggregate")
+    | Config.Aggregate -> "aggregate"
+    | Config.Skip -> "skip")
 
 let split_world ~seed =
   let cfg =

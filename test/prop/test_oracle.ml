@@ -1,7 +1,9 @@
 (* The differential oracle tier: generated scenarios through every
-   executor lane, four-way stationary cross-checks, and the Δ-ring
-   versus per-recipient-queue network equivalence (the cross-lane leg of
-   the adversarial strategies that cannot share a mining mode). *)
+   executor lane (Exact, Aggregate, Skip, state process), four-way
+   stationary cross-checks, the sampled-gap law behind the Skip
+   executor, and the Δ-ring versus per-recipient-queue network
+   equivalence (the cross-lane leg of the adversarial strategies that
+   cannot share a mining mode). *)
 
 open Prop_helpers
 module P = Nakamoto_proptest
@@ -201,14 +203,77 @@ let prop_ring_matches_queues s =
   if Network.pending queue_net <> 0 || Network.pending ring_net <> 0 then
     failwith "undelivered messages after the horizon"
 
+(* --- the Skip executor's sampled gap law --- *)
+
+(* Mining is iid per round: a round bears a block (honest or
+   adversarial) with probability 1 - q0, q0 = (1-p)^n, independently of
+   every other round — so the gaps between consecutive block-bearing
+   rounds are Geometric(1 - q0) on {1, 2, ...}.  The Skip executor
+   *samples* those gaps (inversion on Geometric, then the conditional
+   success law), so this pins the sampler itself: collect the realized
+   inter-event gaps of a Skip run and chi-square them against the
+   geometric masses at the family alpha. *)
+let test_skip_gap_law () =
+  let spec =
+    {
+      Scenarios.default_spec with
+      Scenarios.n = 48;
+      nu = 0.25;
+      c = 4.;
+      delta = 2;
+      rounds = sized ~fast:30_000 ~soak:120_000;
+      seed = 20260807L;
+      strategy = Adversary.Idle;
+      mining_mode = Config.Skip;
+    }
+  in
+  let cfg = Scenarios.of_spec spec in
+  let last_event = ref 0 in
+  let gaps = ref [] in
+  let (_ : Execution.result) =
+    Execution.run
+      ~on_round:(fun (rr : Execution.round_report) ->
+        (* Skip also simulates delivery-only rounds; mining events are
+           exactly the rounds where some query succeeded. *)
+        if rr.honest_mined + rr.adversary_successes > 0 then begin
+          gaps := (rr.round_number - !last_event) :: !gaps;
+          last_event := rr.round_number
+        end)
+      cfg
+  in
+  let gaps = !gaps in
+  let total = List.length gaps in
+  let q0 = (1. -. cfg.Config.p) ** float_of_int cfg.Config.n in
+  (* Observed gap counts for k = 1..bins, last bin = everything >= bins;
+     expected carries the same total, so the GOF preconditions hold and
+     Stats' automatic pooling keeps every compared cell >= 5 expected. *)
+  let bins = 36 in
+  let observed = Array.make bins 0 in
+  List.iter
+    (fun g -> observed.(min (bins - 1) (g - 1)) <- observed.(min (bins - 1) (g - 1)) + 1)
+    gaps;
+  let expected =
+    Array.init bins (fun i ->
+        let k = i + 1 in
+        if k < bins then
+          float_of_int total *. (q0 ** float_of_int (k - 1)) *. (1. -. q0)
+        else float_of_int total *. (q0 ** float_of_int (bins - 1)))
+  in
+  P.Stat.assert_family ~family:"skip executor gap law"
+    [
+      P.Stat.chi_square_gof
+        ~label:"inter-event gaps vs Geometric(1 - (1-p)^n)" ~observed
+        ~expected;
+    ]
+
 (* --- end-to-end cross-lane distribution equality per strategy --- *)
 
-(* Selfish mining and the private-chain attack run under both executors
-   (their delay policies are recipient-independent); [runs] paired
-   executions per lane must agree on every pooled statistic.  The balance
-   attack is queue-lane-only by construction — its ring-lane leg is the
-   schedule property above, which exercises exactly the traffic shapes it
-   emits (split [Direct] views plus [Release] catch-ups). *)
+(* Selfish mining and the private-chain attack run under all three full
+   executors (their delay policies are recipient-independent); [runs]
+   paired executions per lane must agree on every pooled statistic.  The
+   balance attack is queue-lane-only by construction — its ring-lane leg
+   is the schedule property above, which exercises exactly the traffic
+   shapes it emits (split [Direct] views plus [Release] catch-ups). *)
 let cross_lane_strategy ~label ~strategy ~tie_break () =
   let base =
     {
@@ -233,6 +298,7 @@ let cross_lane_strategy ~label ~strategy ~tie_break () =
   in
   let exact = lane Config.Exact 1 in
   let aggregate = lane Config.Aggregate 2 in
+  let skip = lane Config.Skip 3 in
   let sum f lane = Array.fold_left (fun acc r -> acc + f r) 0 lane in
   let cfg = Scenarios.of_spec base in
   let honest = Config.honest_count cfg in
@@ -246,11 +312,13 @@ let cross_lane_strategy ~label ~strategy ~tie_break () =
         |> float_of_int)
       lane
   in
-  let prop_check name f trials =
-    P.Stat.proportions ~label:(label ^ ": " ^ name) ~hits_a:(sum f exact)
-      ~trials_a:trials ~hits_b:(sum f aggregate) ~trials_b:trials
-  in
-  P.Stat.assert_family ~family:(label ^ " cross-lane")
+  let lane_checks (vs_name, vs) =
+    let prop_check name f trials =
+      P.Stat.proportions
+        ~label:(Printf.sprintf "%s: %s (exact vs %s)" label name vs_name)
+        ~hits_a:(sum f exact) ~trials_a:trials ~hits_b:(sum f vs)
+        ~trials_b:trials
+    in
     [
       prop_check "H rounds" (fun r -> r.Execution.h_rounds) round_trials;
       prop_check "H1 rounds" (fun r -> r.Execution.h1_rounds) round_trials;
@@ -260,14 +328,21 @@ let cross_lane_strategy ~label ~strategy ~tie_break () =
       prop_check "honest blocks"
         (fun r -> r.Execution.honest_blocks)
         (round_trials * honest);
-      P.Stat.ks ~label:(label ^ ": final heights") (heights exact)
-        (heights aggregate);
+      P.Stat.ks
+        ~label:(Printf.sprintf "%s: final heights (exact vs %s)" label vs_name)
+        (heights exact) (heights vs);
     ]
+  in
+  P.Stat.assert_family ~family:(label ^ " cross-lane")
+    (List.concat_map lane_checks
+       [ ("aggregate", aggregate); ("skip", skip) ])
 
 let suite =
   [
-    prop "differential oracle across the three executors" ~count:50
+    prop "differential oracle across the four executor lanes" ~count:50
       P.Domain_gen.oracle_spec prop_differential_oracle;
+    case "skip executor: sampled inter-event gaps are Geometric(1 - (1-p)^n)"
+      test_skip_gap_law;
     case "suffix chain stationary: closed form vs solve vs power iteration"
       test_suffix_stationary_sweep;
     prop "concatenated chain stationary: four derivations agree" ~count:15
@@ -275,11 +350,11 @@ let suite =
       prop_conv_stationary;
     prop "Δ-ring lane delivers the same multisets as per-recipient queues"
       ~count:200 schedule_arb prop_ring_matches_queues;
-    case "selfish mining: Exact and Aggregate lanes agree"
+    case "selfish mining: Exact, Aggregate and Skip lanes agree"
       (cross_lane_strategy ~label:"selfish mining"
          ~strategy:Adversary.Selfish_mining
          ~tie_break:Nakamoto_chain.Block_tree.Prefer_honest);
-    case "private-chain attack: Exact and Aggregate lanes agree"
+    case "private-chain attack: Exact, Aggregate and Skip lanes agree"
       (cross_lane_strategy ~label:"private chain"
          ~strategy:(Adversary.Private_chain { reorg_target = 3 })
          ~tie_break:Nakamoto_chain.Block_tree.First_seen);

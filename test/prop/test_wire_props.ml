@@ -61,6 +61,14 @@ let gen_spec rng =
           Gen.return Nakamoto_sim.Adversary.Selfish_mining;
         ]
         rng;
+    mining_mode =
+      Gen.oneof_value
+        [
+          Nakamoto_sim.Config.Exact;
+          Nakamoto_sim.Config.Aggregate;
+          Nakamoto_sim.Config.Skip;
+        ]
+        rng;
     truncate = Gen.int_range ~lo:1 ~hi:100 rng;
     seed =
       Gen.oneof_value [ 0L; 1L; -1L; Int64.min_int; Int64.max_int; 77L ] rng;

@@ -186,6 +186,58 @@ let test_view_is_omniscient () =
   (* god view holds genesis + honest + all withheld private blocks. *)
   check_int "god view size" 5 (Block_tree.block_count (Adversary.view a))
 
+let test_advance_empty_matches_repeated_acts () =
+  (* advance_empty over k quiet rounds must leave the adversary in the
+     same state as k explicit [act ~successes:0] calls — the Skip
+     executor's bulk advance, checked for every shipped strategy. *)
+  let strategies =
+    [
+      ("idle", Adversary.Idle);
+      ("private chain", Adversary.Private_chain { reorg_target = 4 });
+      ("selfish", Adversary.Selfish_mining);
+      ("balance", Adversary.Balance { group_boundary = 3 });
+    ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let prime ad =
+        (* Identical non-trivial history on both lanes: one honest block
+           observed, one mining round with two successes. *)
+        Adversary.observe ad
+          [ honest_block ~parent:Block.genesis ~miner:0 ~round:1 ];
+        ignore (Adversary.act ad ~round:1 ~successes:2)
+      in
+      let a = Adversary.create ~strategy ~honest_count:6 in
+      let b = Adversary.create ~strategy ~honest_count:6 in
+      prime a;
+      prime b;
+      Adversary.advance_empty a ~round:2 ~rounds:10;
+      for r = 2 to 11 do
+        check_true
+          (Printf.sprintf "%s: quiet round %d releases nothing" name r)
+          (Adversary.act b ~round:r ~successes:0 = [])
+      done;
+      check_int
+        (Printf.sprintf "%s: same blocks mined" name)
+        (Adversary.blocks_mined b) (Adversary.blocks_mined a);
+      check_int
+        (Printf.sprintf "%s: same god view" name)
+        (Block_tree.block_count (Adversary.view b))
+        (Block_tree.block_count (Adversary.view a));
+      (* The two lanes must stay in lockstep on the next real event. *)
+      let ra = Adversary.act a ~round:12 ~successes:1 in
+      let rb = Adversary.act b ~round:12 ~successes:1 in
+      check_int
+        (Printf.sprintf "%s: same releases after the span" name)
+        (List.length rb) (List.length ra);
+      check_int
+        (Printf.sprintf "%s: same blocks after the span" name)
+        (Adversary.blocks_mined b) (Adversary.blocks_mined a))
+    strategies;
+  let a = Adversary.create ~strategy:Adversary.Idle ~honest_count:2 in
+  check_raises_invalid "negative span" (fun () ->
+      Adversary.advance_empty a ~round:1 ~rounds:(-1))
+
 let suite =
   [
     case "create validation" test_create_validation;
@@ -199,4 +251,6 @@ let suite =
     case "selfish abandons when passed" test_selfish_abandons_when_passed;
     case "delay policies per strategy" test_delay_policy_for;
     case "omniscient view" test_view_is_omniscient;
+    case "advance_empty matches repeated quiet acts"
+      test_advance_empty_matches_repeated_acts;
   ]

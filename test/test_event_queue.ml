@@ -46,6 +46,33 @@ let test_negative_time_rejected () =
   check_raises_invalid "negative time" (fun () ->
       Event_queue.push q ~time:(-1) "x")
 
+let test_drop_due () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.push q ~time:t t) [ 2; 4; 6; 8 ];
+  check_int "drops the due prefix" 2 (Event_queue.drop_due q ~now:5);
+  check_int "rest remain" 2 (Event_queue.length q);
+  check_true "next is 6" (Event_queue.peek_time q = Some 6);
+  check_int "idempotent at the same now" 0 (Event_queue.drop_due q ~now:5);
+  check_int "drains the rest" 2 (Event_queue.drop_due q ~now:100);
+  check_true "empty afterwards" (Event_queue.is_empty q);
+  check_int "empty queue drops nothing" 0 (Event_queue.drop_due q ~now:100)
+
+let test_drop_due_matches_pop_due () =
+  (* drop_due ~now must discard exactly the entries pop_due ~now would
+     have returned — the due-index fast-forward contract. *)
+  let mk times =
+    let q = Event_queue.create () in
+    List.iter (fun t -> Event_queue.push q ~time:t t) times;
+    q
+  in
+  let times = [ 3; 1; 7; 7; 2; 9; 4 ] in
+  let a = mk times and b = mk times in
+  let popped = List.length (Event_queue.pop_due a ~now:6) in
+  check_int "same count" popped (Event_queue.drop_due b ~now:6);
+  check_true "same frontier"
+    (Event_queue.peek_time a = Event_queue.peek_time b);
+  check_int "same remainder" (Event_queue.length a) (Event_queue.length b)
+
 let test_heap_growth () =
   let q = Event_queue.create () in
   for i = 999 downto 0 do
@@ -79,6 +106,8 @@ let suite =
     case "pop_due threshold" test_pop_due_threshold;
     case "empty queue" test_empty;
     case "negative time rejected" test_negative_time_rejected;
+    case "drop_due threshold" test_drop_due;
+    case "drop_due matches pop_due" test_drop_due_matches_pop_due;
     case "heap growth" test_heap_growth;
   ]
   @ props

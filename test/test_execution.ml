@@ -375,6 +375,163 @@ let test_aggregate_balance_no_phantom_orphans () =
       check_int (label ^ ": no orphans after quiescence") 0 r.orphans_remaining)
     [ ("exact", Sim.Config.Exact); ("aggregate", Sim.Config.Aggregate) ]
 
+(* ------------------------------------------------------------------ *)
+(* Skip-mode tests: the round-skipping executor must be deterministic,
+   reject recipient-dependent delays with the typed error, match the
+   aggregate path in distribution, and report how few rounds it actually
+   simulated.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let skip_config ?(nu = 0.25) ?(rounds = 800) ?(strategy = Sim.Adversary.Idle)
+    ?(seed = 7L) () =
+  {
+    Sim.Config.default with
+    nu;
+    rounds;
+    strategy;
+    seed;
+    snapshot_interval = 50;
+    mining_mode = Sim.Config.Skip;
+  }
+
+let test_skip_determinism () =
+  let summary (r : Sim.Execution.result) =
+    ( r.honest_blocks,
+      r.adversary_blocks,
+      r.convergence_opportunities,
+      r.max_reorg_depth,
+      r.messages_sent,
+      r.processed_rounds,
+      Array.map
+        (fun (b : Block.t) -> Nakamoto_chain.Hash.to_int64 b.Block.hash)
+        r.final_tips )
+  in
+  let cfg =
+    skip_config ~strategy:(Sim.Adversary.Private_chain { reorg_target = 4 }) ()
+  in
+  check_true "skip deterministic per seed"
+    (summary (Sim.Execution.run cfg) = summary (Sim.Execution.run cfg))
+
+let test_skip_typed_incompatibility_error () =
+  let expect_incompatible label cfg =
+    match ignore (Sim.Execution.run cfg) with
+    | () -> Alcotest.fail (label ^ ": expected Config.Incompatible")
+    | exception Sim.Config.Incompatible { mode; reason } ->
+      check_true (label ^ ": mode is Skip") (mode = Sim.Config.Skip);
+      Alcotest.(check string)
+        (label ^ ": actionable reason")
+        "Skip mining requires a recipient-independent delay policy \
+         (Immediate, Fixed or Maximal); the effective policy needs \
+         per-round inspection"
+        reason
+  in
+  expect_incompatible "balance default policy"
+    (skip_config ~strategy:(Sim.Adversary.Balance { group_boundary = 10 }) ());
+  expect_incompatible "uniform-random override"
+    {
+      (skip_config ()) with
+      delay_override = Some Nakamoto_net.Network.Uniform_random;
+    }
+
+let test_skip_matches_aggregate_in_distribution () =
+  (* Same bounds rationale as the exact-vs-aggregate test: every counter
+     is an iid-sum statistic, checked to ~4 sigma of a two-run
+     difference. *)
+  let rounds = 20_000 in
+  let agg = Sim.Execution.run (aggregate_config ~rounds ~seed:11L ()) in
+  let skip = Sim.Execution.run (skip_config ~rounds ~seed:12L ()) in
+  let per_round x = float_of_int x /. float_of_int rounds in
+  check_true
+    (Printf.sprintf "honest blocks close (%d vs %d)" agg.honest_blocks
+       skip.honest_blocks)
+    (abs (agg.honest_blocks - skip.honest_blocks) < 250);
+  check_true
+    (Printf.sprintf "adversary blocks close (%d vs %d)" agg.adversary_blocks
+       skip.adversary_blocks)
+    (abs (agg.adversary_blocks - skip.adversary_blocks) < 150);
+  check_true
+    (Printf.sprintf "h-round rate close (%.4f vs %.4f)" (per_round agg.h_rounds)
+       (per_round skip.h_rounds))
+    (Float.abs (per_round agg.h_rounds -. per_round skip.h_rounds) < 0.012);
+  check_true
+    (Printf.sprintf "h1-round rate close (%.4f vs %.4f)"
+       (per_round agg.h1_rounds) (per_round skip.h1_rounds))
+    (Float.abs (per_round agg.h1_rounds -. per_round skip.h1_rounds) < 0.012);
+  check_true
+    (Printf.sprintf "convergence-opportunity rate close (%.4f vs %.4f)"
+       (per_round agg.convergence_opportunities)
+       (per_round skip.convergence_opportunities))
+    (Float.abs
+       (per_round agg.convergence_opportunities
+       -. per_round skip.convergence_opportunities)
+    < 0.012)
+
+let test_skip_invariants () =
+  let r = Sim.Execution.run (skip_config ()) in
+  check_int "no orphans (idle)" 0 r.orphans_remaining;
+  check_int "tips array sized n_honest" 30 (Array.length r.final_tips);
+  Array.iter
+    (fun (tip : Block.t) ->
+      check_true "final tip in god view" (Block_tree.mem r.god_view tip.hash))
+    r.final_tips;
+  List.iter
+    (fun (snap : Sim.Execution.snapshot) ->
+      check_int "snapshot sized n_honest" 30 (Array.length snap.tips);
+      Array.iter
+        (fun (tip : Block.t) ->
+          check_true "snapshot tip in god view" (Block_tree.mem r.god_view tip.hash))
+        snap.tips)
+    r.snapshots;
+  let counted = ref 0 in
+  Block_tree.iter_blocks r.god_view (fun b ->
+      if (not (Block.is_genesis b)) && b.Block.miner_class = Block.Honest then
+        incr counted);
+  check_int "honest block conservation" r.honest_blocks !counted
+
+let test_processed_rounds_semantics () =
+  (* Exact and aggregate touch every round; skip touches only event
+     rounds, so it must report strictly fewer than [rounds] at the
+     default block density (1/(c*delta) ~ 1/16) while still accounting
+     the full horizon in its statistics. *)
+  let rounds = 2_000 in
+  let exact = Sim.Execution.run (quick_config ~rounds ()) in
+  check_int "exact processes every round" rounds exact.processed_rounds;
+  let agg = Sim.Execution.run (aggregate_config ~rounds ()) in
+  check_int "aggregate processes every round" rounds agg.processed_rounds;
+  let skip = Sim.Execution.run (skip_config ~rounds ()) in
+  check_true
+    (Printf.sprintf "skip processes fewer rounds (%d of %d)"
+       skip.processed_rounds rounds)
+    (skip.processed_rounds > 0 && skip.processed_rounds < rounds)
+
+let test_skip_snapshot_cadence () =
+  (* Snapshots fall on the configured cadence even when the rounds they
+     name were fast-forwarded over. *)
+  let r = Sim.Execution.run (skip_config ~rounds:200 ()) in
+  check_int "snapshot count" 4 (List.length r.snapshots);
+  let rounds = List.map (fun (s : Sim.Execution.snapshot) -> s.round) r.snapshots in
+  Alcotest.(check (list int)) "snapshot rounds" [ 50; 100; 150; 200 ] rounds
+
+let test_skip_attack_runs () =
+  let r =
+    Sim.Execution.run
+      (skip_config ~rounds:4_000 ~nu:0.4
+         ~strategy:(Sim.Adversary.Private_chain { reorg_target = 2 })
+         ())
+  in
+  check_true "adversary mined" (r.adversary_blocks > 0);
+  check_true "releases happened" (r.adversary_releases > 0);
+  check_true "reorgs witnessed" (r.max_reorg_depth >= 2);
+  check_int "no orphans" 0 r.orphans_remaining
+
+let test_skip_honest_convergence () =
+  let r = Sim.Execution.run (skip_config ~rounds:2_000 ()) in
+  let heights = Array.map (fun (b : Block.t) -> b.height) r.final_tips in
+  let min_h = Array.fold_left min max_int heights in
+  let max_h = Array.fold_left max 0 heights in
+  check_true "tips within one block of each other" (max_h - min_h <= 1);
+  check_true "chain grew" (max_h > 50)
+
 let suite =
   [
     case "config validation" test_config_validation;
@@ -400,4 +557,15 @@ let suite =
     case "aggregate honest convergence" test_aggregate_honest_convergence;
     case "aggregate balance has no phantom crowd orphans"
       test_aggregate_balance_no_phantom_orphans;
+    case "skip determinism" test_skip_determinism;
+    case "skip raises the typed incompatibility error"
+      test_skip_typed_incompatibility_error;
+    case "skip matches aggregate in distribution"
+      test_skip_matches_aggregate_in_distribution;
+    case "skip invariants" test_skip_invariants;
+    case "processed_rounds semantics across modes"
+      test_processed_rounds_semantics;
+    case "skip snapshot cadence" test_skip_snapshot_cadence;
+    case "skip attack runs" test_skip_attack_runs;
+    case "skip honest convergence" test_skip_honest_convergence;
   ]

@@ -203,6 +203,64 @@ let test_ring_recipient_dependent_policy_stays_queued () =
   done;
   check_int "all copies through the queues" 3 !got
 
+let test_ring_fast_forward_equals_single_steps () =
+  (* Skipping k >> delta rounds in one deliver_shared call yields the
+     same messages, in the same order, as k single-round drains — the
+     Skip executor's fast-forward contract. *)
+  let fill n =
+    Network.enable_ring n;
+    Network.broadcast n (msg ~sender:0 ~round:1 ());
+    Network.broadcast_all n ~delay:3
+      { Network.sender = -1; sent_round = 1; blocks = [] };
+    Network.broadcast n (msg ~sender:2 ~round:2 ())
+  in
+  let jump = make ~delta:4 ~players:3 ~policy:Network.Immediate () in
+  let step = make ~delta:4 ~players:3 ~policy:Network.Immediate () in
+  fill jump;
+  fill step;
+  let jumped = Network.deliver_shared jump ~round:1000 in
+  let stepped = ref [] in
+  for r = 2 to 1000 do
+    stepped := !stepped @ Network.deliver_shared step ~round:r
+  done;
+  let senders l = List.map (fun (m : Network.message) -> m.Network.sender) l in
+  Alcotest.(check (list int))
+    "same messages in due order" (senders !stepped) (senders jumped);
+  check_int "jump drained everything" 0 (Network.pending jump);
+  (* The frontier really moved: a post-jump broadcast lands cleanly in a
+     recycled slot. *)
+  Network.broadcast jump (msg ~sender:1 ~round:1000 ());
+  check_int "recycled slot after the jump" 1
+    (List.length (Network.deliver_shared jump ~round:1001))
+
+let test_next_due () =
+  let n = make ~delta:4 ~players:3 ~policy:Network.Maximal () in
+  Network.enable_ring n;
+  Network.enable_due_index n;
+  check_true "idle network: no due" (Network.next_due n ~now:0 = None);
+  Network.broadcast n (msg ~sender:0 ~round:1 ());
+  (* Maximal policy: due at 1 + delta = 5, via the ring lane. *)
+  check_true "ring due at 5" (Network.next_due n ~now:1 = Some 5);
+  Network.send_direct n ~recipient:2 ~delay:2 (msg ~sender:(-1) ~round:1 ());
+  check_true "earlier direct due wins" (Network.next_due n ~now:1 = Some 3);
+  ignore (Network.deliver n ~recipient:2 ~round:3);
+  check_true "after direct delivery the ring remains"
+    (Network.next_due n ~now:3 = Some 5);
+  check_raises_invalid "overdue ring delivery is a caller bug" (fun () ->
+      ignore (Network.next_due n ~now:5));
+  ignore (Network.deliver_shared n ~round:5);
+  check_true "fully drained: no due" (Network.next_due n ~now:5 = None)
+
+let test_due_index_guards () =
+  let n = make ~delta:4 ~players:3 ~policy:Network.Immediate () in
+  Network.enable_due_index n;
+  check_raises_invalid "double enable" (fun () ->
+      Network.enable_due_index n);
+  let busy = make ~delta:4 ~players:3 ~policy:Network.Immediate () in
+  Network.broadcast busy (msg ~sender:0 ~round:1 ());
+  check_raises_invalid "enable after traffic" (fun () ->
+      Network.enable_due_index busy)
+
 let suite =
   [
     case "create validation" test_create_validation;
@@ -222,4 +280,8 @@ let suite =
     case "ring and queue lanes coexist" test_ring_direct_sends_stay_queued;
     case "ring ignores recipient-dependent broadcasts"
       test_ring_recipient_dependent_policy_stays_queued;
+    case "ring fast-forward equals single-round drains"
+      test_ring_fast_forward_equals_single_steps;
+    case "next_due across both lanes" test_next_due;
+    case "due-index enable rules" test_due_index_guards;
   ]
