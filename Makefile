@@ -34,6 +34,12 @@ campaign-smoke:
 bench-exec-smoke:
 	dune exec bench/main.exe -- --execscale-smoke
 
+# The Delta = 500 MARKOVSCALE column with hard assertions: GTH censoring
+# must out-run the dense LU stationary solve 10x and every solver must
+# sit within 1e-9 of the Eq. 37 closed form.  Emits BENCH_MARKOVSCALE.json.
+markov-smoke:
+	dune exec bench/main.exe -- --markovscale-smoke
+
 # Crash-recovery smoke: the campaign-smoke run, but killed by an injected
 # fault and then resumed.  Leg 1 crashes after the first two fsynced
 # appends (header + one cell); leg 2 tears the final cell append in half
@@ -106,12 +112,16 @@ serve-smoke:
 # generated scenarios through Exact / Aggregate / state-process lanes),
 # the stationary cross-checks, and the Δ-ring vs queue-lane equivalence.
 # The telemetry leg pins the snapshot-merge monoid laws (1000 cases per
-# instrument) and the interarrival-vs-geometric distribution check.
+# instrument) and the interarrival-vs-geometric distribution check.  The
+# markov leg runs 1000 random banded ergodic chains through the sparse
+# solvers against the dense LU and power references (1e-12 agreement),
+# plus CSR round-trip and parallel bit-identity properties.
 # Failures print a PROPTEST_SEED / PROPTEST_REPLAY one-liner; see
 # DESIGN.md §8.
 proptest-smoke:
 	dune exec test/prop/prop_main.exe -- test oracle
 	dune exec test/prop/prop_main.exe -- test telemetry
+	dune exec test/prop/prop_main.exe -- test markov
 
 # Opt-in statistical soak: every property rerun with PROPTEST_TRIALS=500
 # via the @soak alias.  Not part of `check` — run before releases or when
@@ -120,7 +130,7 @@ soak:
 	dune build @soak
 
 check: all test campaign-smoke faultinject-smoke telemetry-smoke \
-  serve-smoke bench-exec-smoke proptest-smoke
+  serve-smoke bench-exec-smoke markov-smoke proptest-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -133,4 +143,5 @@ artifacts:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 .PHONY: all test bench examples artifacts campaign-smoke faultinject-smoke \
-  telemetry-smoke serve-smoke bench-exec-smoke proptest-smoke soak check
+  telemetry-smoke serve-smoke bench-exec-smoke markov-smoke proptest-smoke \
+  soak check

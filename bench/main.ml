@@ -1034,6 +1034,185 @@ let execscale_smoke () =
   print_endline "execscale smoke OK"
 
 (* ------------------------------------------------------------------ *)
+(* MARKOVSCALE: stationary solvers on the suffix ladder                *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per (Delta, solver): seconds per stationary solve of the
+   suffix chain C_F and the resulting states/sec, with every solver
+   checked against the Eq. 37 closed form.  Dense LU factorizes the full
+   (Delta+1)^2 matrix — O(states^3) — while the banded CSR routes pay
+   O(nnz) (GTH censoring along the ladder) or O(nnz * iters) (power with
+   Aitken extrapolation), so the sparse rows should pull away cubically
+   as Delta grows.  Alphas shrink with Delta to keep abar^Delta ~ e^-4,
+   the regime the paper's tables actually probe (deep suffix mass far
+   from underflow). *)
+
+type markovscale_cell = {
+  ms_delta : int;
+  ms_alpha : float;
+  ms_states : int;
+  ms_method : string;
+  ms_dt : float;  (** seconds per solve (averaged when fast) *)
+  ms_err : float;  (** max abs deviation from the Eq. 37 closed form *)
+  ms_rate : float;  (** states per second *)
+}
+
+(* Single-shot timing of a microsecond-scale solve is all clock noise;
+   rerun until ~50ms of work has accumulated and average.  The dense LU
+   rows exceed the floor in one shot and are never repeated. *)
+let time_solver f =
+  let t0 = Unix.gettimeofday () in
+  let pi = f () in
+  let dt0 = Unix.gettimeofday () -. t0 in
+  if dt0 >= 0.05 then (pi, dt0)
+  else begin
+    let reps = max 1 (int_of_float (0.05 /. Float.max dt0 1e-7)) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    (pi, dt)
+  end
+
+let markovscale_cell ~delta ~alpha meth =
+  let exact = Core.Suffix_chain.stationary_closed_form ~delta ~alpha in
+  let finish label (pi, dt) =
+    let states = Array.length pi in
+    {
+      ms_delta = delta;
+      ms_alpha = alpha;
+      ms_states = states;
+      ms_method = label;
+      ms_dt = dt;
+      ms_err = Nakamoto_numerics.Linalg.max_abs_diff pi exact;
+      ms_rate = float_of_int states /. Float.max dt 1e-9;
+    }
+  in
+  match meth with
+  | `Dense ->
+    let chain = Core.Suffix_chain.build ~delta ~alpha in
+    finish "dense-lu"
+      (time_solver (fun () -> Markov.Chain.stationary_linear_solve chain))
+  | `Censor ->
+    let sp = Core.Suffix_chain.build_sparse ~delta ~alpha in
+    finish "gth-censor"
+      (time_solver (fun () ->
+           Option.get (Markov.Sparse.stationary_censor sp)))
+  | `Power ->
+    let sp = Core.Suffix_chain.build_sparse ~delta ~alpha in
+    finish "power"
+      (time_solver (fun () -> Markov.Sparse.stationary_power sp))
+  | `Power_pool jobs ->
+    let sp = Core.Suffix_chain.build_sparse ~delta ~alpha in
+    Markov.Sparse.Pool.with_pool ~jobs (fun pool ->
+        finish
+          (Printf.sprintf "power-x%d" jobs)
+          (time_solver (fun () -> Markov.Sparse.stationary_power ~pool sp)))
+
+let markovscale_json cells ~path =
+  let oc = open_out path in
+  let row c =
+    Printf.sprintf
+      "  {\"delta\": %d, \"alpha\": %g, \"states\": %d, \"method\": \"%s\", \
+       \"seconds\": %.6g, \"states_per_sec\": %.1f, \"max_err_vs_eq37\": \
+       %.3e}"
+      c.ms_delta c.ms_alpha c.ms_states c.ms_method c.ms_dt c.ms_rate
+      c.ms_err
+  in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row cells));
+  close_out oc;
+  Printf.printf "(json: %s)\n" path
+
+let markovscale_table ~title cells =
+  let t =
+    Table.create ~title
+      ~columns:
+        [
+          "delta";
+          "states";
+          "method";
+          "seconds";
+          "states/s";
+          "max|err| vs Eq.37";
+          "speedup";
+        ]
+  in
+  (* Speedup relative to the first solver measured for that Delta (dense
+     LU when present, else the censoring baseline). *)
+  let base_rate = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem base_rate c.ms_delta) then
+        Hashtbl.replace base_rate c.ms_delta c.ms_rate;
+      Table.add_row t
+        [
+          Table.Int c.ms_delta;
+          Table.Int c.ms_states;
+          Table.Text c.ms_method;
+          Table.Float c.ms_dt;
+          Table.Float c.ms_rate;
+          Table.Float c.ms_err;
+          Table.Float (c.ms_rate /. Hashtbl.find base_rate c.ms_delta);
+        ])
+    cells;
+  print_table t
+
+let markovscale_cells ~points ~jobs =
+  List.concat_map
+    (fun (delta, alpha) ->
+      (* Dense LU is O(states^3): past Delta = 500 it would dominate the
+         wall clock without adding information. *)
+      let methods =
+        (if delta <= 500 then [ `Dense ] else [])
+        @ [ `Censor; `Power; `Power_pool jobs ]
+      in
+      List.map (markovscale_cell ~delta ~alpha) methods)
+    points
+
+let regen_markovscale () =
+  section "MARKOVSCALE: suffix-ladder stationary solves, dense vs sparse";
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let cells =
+    markovscale_cells
+      ~points:[ (64, 0.05); (500, 0.008); (2000, 0.002) ]
+      ~jobs
+  in
+  markovscale_table
+    ~title:
+      "suffix chain C_F; alpha chosen so abar^Delta ~ e^-4; dense rows \
+       omitted past Delta = 500"
+    cells;
+  markovscale_json cells ~path:"BENCH_MARKOVSCALE.json"
+
+(* Smoke mode (`--markovscale-smoke`, wired into `make check` via
+   `make markov-smoke`): the Delta = 500 column with hard assertions —
+   exits nonzero if the banded solvers stop beating dense LU or drift
+   off the closed form. *)
+let markovscale_smoke () =
+  section
+    "MARKOVSCALE (smoke): GTH censoring must out-run dense LU 10x at \
+     Delta = 500, all solvers within 1e-9 of Eq. 37";
+  let cells = markovscale_cells ~points:[ (500, 0.008) ] ~jobs:2 in
+  markovscale_json cells ~path:"BENCH_MARKOVSCALE.json";
+  markovscale_table ~title:"Delta = 500, alpha = 0.008" cells;
+  let rate m = (List.find (fun c -> c.ms_method = m) cells).ms_rate in
+  let worst = List.fold_left (fun acc c -> Float.max acc c.ms_err) 0. cells in
+  Printf.printf "worst deviation from Eq. 37 across solvers: %.3e\n" worst;
+  if not (worst <= 1e-9) then begin
+    print_endline "FAIL: a stationary solver drifted off the closed form";
+    exit 1
+  end;
+  let dense = rate "dense-lu" and censor = rate "gth-censor" in
+  Printf.printf "dense-lu: %.0f states/s, gth-censor: %.0f states/s (%.0fx)\n"
+    dense censor (censor /. dense);
+  if not (censor >= 10. *. dense) then begin
+    print_endline "FAIL: sparse censoring below 10x dense LU at Delta = 500";
+    exit 1
+  end;
+  print_endline "markovscale smoke OK"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing benches                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1139,6 +1318,10 @@ let () =
     execscale_smoke ();
     exit 0
   end;
+  if Array.exists (String.equal "--markovscale-smoke") Sys.argv then begin
+    markovscale_smoke ();
+    exit 0
+  end;
   regen_fig1 ();
   regen_fig2 ();
   regen_tab1 ();
@@ -1160,6 +1343,7 @@ let () =
   regen_abl ();
   regen_mcscale ();
   regen_execscale ();
+  regen_markovscale ();
   run_bechamel ();
   print_newline ();
   print_endline

@@ -14,6 +14,18 @@ type zone =
           known attack — the open region of the paper's conclusion *)
   | Broken  (** at or below the PSS attack line: provably attackable *)
 
+type suffix_diagnostics = {
+  suffix_states : int;  (** [2 delta + 1] *)
+  suffix_sparse : bool;
+      (** whether the solve ran above {!Nakamoto_markov.Chain.sparse_crossover} *)
+  suffix_deep_mass : float;  (** solved stationary mass of [HN^{>=Δ}] *)
+  suffix_max_abs_error : float;  (** max abs deviation from Eq. 37 *)
+}
+(** Solver health probe on the suffix chain [C_F] at this point's Δ:
+    the stationary distribution via {!Nakamoto_markov.Chain.stationary_auto}
+    (dense LU below the crossover, the sparse substrate above) checked
+    against the closed form. *)
+
 type t = {
   params : Params.t;
   zone : zone;
@@ -31,6 +43,10 @@ type t = {
           [nu = 0] or the point is outside the consistency region *)
   growth_bounds : float * float;  (** (pessimistic, optimistic) per round *)
   quality_bound : float;  (** delta-adjusted chain-quality floor *)
+  suffix_diagnostics : suffix_diagnostics option;
+      (** [None] when Δ is not a small integer ([1 <= Δ <= 4096]) — the
+          chain is only enumerable for integer Δ, and Internet-scale
+          points (Δ ≈ 10^13) must not pay a per-assessment solve *)
 }
 
 val assess : Params.t -> t

@@ -63,42 +63,52 @@ let state_of ~delta index =
 
 let is_h_detailed = function N -> false | H1 | Hm -> true
 
-let build_explicit ~delta (p : Params.t) =
-  if delta < 1 || delta > 6 then
-    invalid_arg "Conv_chain.build_explicit: delta must lie in [1, 6]";
+(* Renormalized detailed probabilities: the closed forms sum to 1 only up
+   to rounding, and Chain.create insists on exact rows. *)
+let normalized_probs caller (p : Params.t) =
   let probs = [ (N, detailed_probability p N); (H1, detailed_probability p H1);
                 (Hm, detailed_probability p Hm) ] in
   List.iter
     (fun (_, q) ->
       if not (q > 0.) then
         invalid_arg
-          "Conv_chain.build_explicit: every detailed probability must be positive")
+          (caller ^ ": every detailed probability must be positive"))
     probs;
-  (* Row probabilities must sum to exactly 1 for Chain.create; renormalize
-     the closed forms (they already sum to 1 up to rounding). *)
   let total = List.fold_left (fun acc (_, q) -> acc +. q) 0. probs in
-  let probs = List.map (fun (d, q) -> (d, q /. total)) probs in
+  List.map (fun (d, q) -> (d, q /. total)) probs
+
+(* The band-aware row: shift the oldest window symbol into the suffix
+   class, append each of the three possible new symbols. *)
+let transition_row ~delta probs i =
+  let suffix, window = state_of ~delta i in
+  match window with
+  | [] -> assert false
+  | oldest :: rest ->
+    let suffix' = Suffix_chain.step ~delta suffix ~h:(is_h_detailed oldest) in
+    List.map (fun (d, q) -> (index_of ~delta suffix' (rest @ [ d ]), q)) probs
+
+let convergence_index ~delta =
+  index_of ~delta Suffix_chain.Deep (H1 :: List.init delta (fun _ -> N))
+
+let build_explicit ~delta (p : Params.t) =
+  if delta < 1 || delta > 6 then
+    invalid_arg "Conv_chain.build_explicit: delta must lie in [1, 6]";
+  let probs = normalized_probs "Conv_chain.build_explicit" p in
   let size = Suffix_chain.state_count ~delta * pow3 (window_size ~delta) in
-  let rows =
-    Array.init size (fun i ->
-        let suffix, window = state_of ~delta i in
-        match window with
-        | [] -> assert false
-        | oldest :: rest ->
-          let suffix' =
-            Suffix_chain.step ~delta suffix ~h:(is_h_detailed oldest)
-          in
-          List.map
-            (fun (d, q) -> (index_of ~delta suffix' (rest @ [ d ]), q))
-            probs)
-  in
+  let rows = Array.init size (fun i -> transition_row ~delta probs i) in
   let chain = Chain.create ~size ~rows () in
-  let convergence_window = H1 :: List.init delta (fun _ -> N) in
-  {
-    chain;
-    delta;
-    convergence_state = index_of ~delta Suffix_chain.Deep convergence_window;
-  }
+  { chain; delta; convergence_state = convergence_index ~delta }
+
+let build_sparse ~delta (p : Params.t) =
+  (* The CSR build never materializes the row array, so the cap can sit
+     above the dense builder's: (2*8+1) * 3^9 = 334_611 states, 3 entries
+     each. *)
+  if delta < 1 || delta > 8 then
+    invalid_arg "Conv_chain.build_sparse: delta must lie in [1, 8]";
+  let probs = normalized_probs "Conv_chain.build_sparse" p in
+  let size = Suffix_chain.state_count ~delta * pow3 (window_size ~delta) in
+  Nakamoto_markov.Sparse.of_fn ~rows:size ~cols:size
+    (transition_row ~delta probs)
 
 let product_stationary ~delta (p : Params.t) ~index =
   let suffix, window = state_of ~delta index in
@@ -125,4 +135,33 @@ let stationary_cross_check ~delta p =
     product_form = product_stationary ~delta p ~index:e.convergence_state;
     linear_solve = pi_solve.(e.convergence_state);
     power_iteration = pi_power.(e.convergence_state);
+  }
+
+module Sparse = Nakamoto_markov.Sparse
+
+type sparse_cross_check = {
+  eq44 : float;
+  eq40 : float;
+  sparse_stationary : float;
+  sparse_power : float;
+}
+
+let stationary_cross_check_sparse ?(jobs = 1) ~delta p =
+  let sp = build_sparse ~delta p in
+  let target = convergence_index ~delta in
+  let pi_stationary =
+    match Sparse.stationary_censor sp with
+    | Some pi -> pi
+    | None -> Sparse.stationary_power sp
+  in
+  let pi_power =
+    if jobs > 1 then
+      Sparse.Pool.with_pool ~jobs (fun pool -> Sparse.stationary_power ~pool sp)
+    else Sparse.stationary_power sp
+  in
+  {
+    eq44 = convergence_rate p;
+    eq40 = product_stationary ~delta p ~index:target;
+    sparse_stationary = pi_stationary.(target);
+    sparse_power = pi_power.(target);
   }

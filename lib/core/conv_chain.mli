@@ -62,6 +62,31 @@ val stationary_cross_check : delta:int -> Params.t -> cross_check
     agreement check.  All four must coincide up to solver tolerance.
     @raise Invalid_argument as in {!build_explicit}. *)
 
+val build_sparse : delta:int -> Params.t -> Nakamoto_markov.Sparse.t
+(** [build_sparse ~delta p] is {!build_explicit}'s transition matrix
+    emitted row by row into CSR form.  Never materializes a dense or
+    row-array representation, so the cap rises to [delta <= 8]
+    ([(2*8+1) * 3^9 = 334_611] states at 3 entries each).
+    @raise Invalid_argument if [delta] outside [1, 8] or any detailed
+    probability vanishes. *)
+
+type sparse_cross_check = {
+  eq44 : float;  (** Eq. (44): [abar^(2 delta) * alpha1] *)
+  eq40 : float;  (** Eq. (40) evaluated at the target state *)
+  sparse_stationary : float;
+      (** GTH censoring on the CSR chain, power fallback past the fill
+          budget *)
+  sparse_power : float;
+      (** sparse power iteration, on a domain pool when [jobs > 1] *)
+}
+
+val stationary_cross_check_sparse :
+  ?jobs:int -> delta:int -> Params.t -> sparse_cross_check
+(** {!stationary_cross_check} with the two solver legs routed through the
+    sparse substrate — Eqs. 44 and 40 against {!Nakamoto_markov.Sparse}'s
+    censoring and power solvers on the {!build_sparse} matrix.
+    @raise Invalid_argument as in {!build_sparse}. *)
+
 val index_of : delta:int -> Suffix_chain.state -> detailed list -> int
 (** State encoding: suffix class and window (oldest first; must have
     length [delta + 1]).

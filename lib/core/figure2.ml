@@ -31,7 +31,9 @@ let census ~delta ~alpha =
     !n
   in
   let closed = Suffix_chain.stationary_closed_form ~delta ~alpha in
-  let solved = Chain.stationary_linear_solve chain in
+  (* Dense LU below the crossover (bit-pinned historical results), the
+     sparse substrate above it — Δ in the thousands stays affordable. *)
+  let solved = Chain.stationary_auto chain in
   let err = ref 0. in
   Array.iteri
     (fun i x ->

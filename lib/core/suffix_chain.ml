@@ -49,22 +49,31 @@ let check_alpha alpha =
   if not (alpha > 0. && alpha < 1.) then
     invalid_arg "Suffix_chain: alpha must lie in (0, 1)"
 
+let transitions ~delta ~alpha i =
+  check_delta delta;
+  check_alpha alpha;
+  let s = state_of_index ~delta i in
+  let idx s = index_of_state ~delta s in
+  [
+    (idx (step ~delta s ~h:true), alpha);
+    (idx (step ~delta s ~h:false), 1. -. alpha);
+  ]
+
 let build ~delta ~alpha =
   check_delta delta;
   check_alpha alpha;
-  let abar = 1. -. alpha in
-  let idx s = index_of_state ~delta s in
   let rows =
-    Array.init (state_count ~delta) (fun i ->
-        let s = state_of_index ~delta i in
-        [
-          (idx (step ~delta s ~h:true), alpha);
-          (idx (step ~delta s ~h:false), abar);
-        ])
+    Array.init (state_count ~delta) (fun i -> transitions ~delta ~alpha i)
   in
   Chain.create
     ~labels:(fun i -> state_label (state_of_index ~delta i))
     ~size:(state_count ~delta) ~rows ()
+
+let build_sparse ~delta ~alpha =
+  check_delta delta;
+  check_alpha alpha;
+  let n = state_count ~delta in
+  Nakamoto_markov.Sparse.of_fn ~rows:n ~cols:n (transitions ~delta ~alpha)
 
 let stationary_closed_form ~delta ~alpha =
   check_delta delta;

@@ -90,6 +90,22 @@ let stationary_power_iteration ?(tol = 1e-14) ?(max_iter = 1_000_000) t =
   iterate 0 ~last_change:infinity;
   Linalg.normalize_l1 !d
 
+let to_sparse t =
+  Sparse.of_fn ~rows:t.size ~cols:t.size (fun i -> Array.to_list t.rows.(i))
+
+let sparse_crossover = 512
+
+let stationary_sparse ?tol ?max_iter ?jobs ?telemetry t =
+  let sp = to_sparse t in
+  match Sparse.stationary_censor ?telemetry sp with
+  | Some pi -> pi
+  | None -> (
+      match jobs with
+      | Some j when j > 1 ->
+          Sparse.Pool.with_pool ~jobs:j (fun pool ->
+              Sparse.stationary_power ?tol ?max_iter ~pool ?telemetry sp)
+      | _ -> Sparse.stationary_power ?tol ?max_iter ?telemetry sp)
+
 let stationary_linear_solve t =
   (* Solve pi P = pi with sum(pi) = 1: build A = P^T - I, replace the last
      equation with the all-ones normalization row. *)
@@ -108,6 +124,10 @@ let stationary_linear_solve t =
   b.(n - 1) <- 1.;
   let pi = Linalg.solve a b in
   Linalg.normalize_l1 pi
+
+let stationary_auto ?jobs ?telemetry t =
+  if t.size <= sparse_crossover then stationary_linear_solve t
+  else stationary_sparse ?jobs ?telemetry t
 
 let total_variation a b =
   if Array.length a <> Array.length b then

@@ -55,6 +55,38 @@ val stationary_linear_solve : t -> float array
     exact up to LU rounding and independent of mixing speed.
     @raise Failure on singular systems (reducible chains). *)
 
+val to_sparse : t -> Sparse.t
+(** [to_sparse t] is the transition matrix as a {!Sparse.t} CSR — the
+    rows are already sparse, so this is a flat repack. *)
+
+val sparse_crossover : int
+(** State count above which {!stationary_auto} (and the call sites
+    routed through it) switch from the dense LU solve to the sparse
+    path.  Below or at this size the dense result is bit-pinned. *)
+
+val stationary_sparse :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?jobs:int ->
+  ?telemetry:Nakamoto_telemetry.Registry.t ->
+  t ->
+  float array
+(** [stationary_sparse t] computes the stationary distribution through
+    the sparse substrate: {!Sparse.stationary_censor} (GTH state
+    reduction — exact up to rounding, O(nnz) on the paper's ladder
+    chains) first, falling back to {!Sparse.stationary_power} when
+    censoring exceeds its fill budget.  [jobs > 1] runs the fallback's
+    mat-vecs on a domain pool (bit-identical at every [jobs]); [tol] and
+    [max_iter] reach the fallback only.
+    @raise Invalid_argument on a reducible chain (from the censor) and
+    @raise Failure when the power fallback exhausts [max_iter]. *)
+
+val stationary_auto :
+  ?jobs:int -> ?telemetry:Nakamoto_telemetry.Registry.t -> t -> float array
+(** [stationary_auto t] is {!stationary_linear_solve} when
+    [size t <= sparse_crossover] (bit-identical to the historical dense
+    results) and {!stationary_sparse} above it. *)
+
 val total_variation : float array -> float array -> float
 (** [total_variation a b] is [0.5 * sum_i |a_i - b_i|].
     @raise Invalid_argument on length mismatch. *)

@@ -18,12 +18,30 @@ let normalize x =
   let nn = norm x in
   if nn = 0. then x else Array.map (fun v -> v /. nn) x
 
-let slem ?(tol = 1e-8) ?(max_iter = 2_000_000) chain =
+let slem ?(tol = 1e-8) ?max_iter chain =
   if not (Chain.is_ergodic chain) then
     invalid_arg "Spectral.slem: chain must be ergodic";
   let n = Chain.size chain in
+  (* A near-tie between the top eigenvalues stalls the estimator however
+     long it runs, and each step costs O(states), so the default budget
+     is a flat work budget, not a flat step count: small chains keep the
+     historical 2M-step ceiling, large ones scale the cap down as
+     2e9/states (floor 100k) so a stalled large-chain run fails in
+     bounded time instead of burning 2M expensive steps. *)
+  let max_iter =
+    match max_iter with
+    | Some m -> m
+    | None -> min 2_000_000 (max 100_000 (2_000_000_000 / n))
+  in
   if n = 1 then 0.
   else begin
+    let step =
+      if n <= Chain.sparse_crossover then Chain.step_distribution chain
+      else begin
+        let pt = Sparse.transpose (Chain.to_sparse chain) in
+        Sparse.mul_vec pt
+      end
+    in
     let x =
       ref
         (normalize
@@ -41,7 +59,7 @@ let slem ?(tol = 1e-8) ?(max_iter = 2_000_000) chain =
       let dead = ref false in
       for _ = 1 to block do
         if not !dead then begin
-          let next = project_zero_sum (Chain.step_distribution chain !x) in
+          let next = project_zero_sum (step !x) in
           let nn = norm next in
           if nn < 1e-300 then dead := true
           else begin
@@ -72,8 +90,10 @@ let slem ?(tol = 1e-8) ?(max_iter = 2_000_000) chain =
       failwith
         (Printf.sprintf
            "Spectral.slem: power iteration did not stabilize after %d steps \
-            (tol %.3g, last estimate %.12g, last residual %.3g)"
-           !steps tol !estimate !residual);
+            (tol %.3g, last estimate %.12g, last residual %.3g, current gap \
+            estimate %.3g)"
+           !steps tol !estimate !residual
+           (1. -. !estimate));
     Float.min 1. (Float.max 0. !estimate)
   end
 
@@ -83,6 +103,6 @@ let mixing_time_estimate ?(epsilon = 0.125) chain =
   let lambda = slem chain in
   if 1. -. lambda < 1e-12 then
     failwith "Spectral.mixing_time_estimate: no spectral gap detected";
-  let pi = Chain.stationary_linear_solve chain in
+  let pi = Chain.stationary_auto chain in
   let min_pi = Array.fold_left Float.min 1. pi in
   log (1. /. (epsilon *. sqrt min_pi)) /. (1. -. lambda)

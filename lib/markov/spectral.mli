@@ -16,11 +16,19 @@ val slem : ?tol:float -> ?max_iter:int -> Chain.t -> float
     [[0, 1]].
     @raise Invalid_argument if the chain is not ergodic (the principal
     eigenvalue would not be simple).
+    Above {!Chain.sparse_crossover} states the per-step pushforward runs
+    on the transposed CSR from {!Chain.to_sparse}; at or below it the
+    dense path is kept, bit-pinned.
     @raise Failure if the iteration does not stabilize within [max_iter]
-    (default 2_000_000) steps to tolerance [tol] (default 1e-8); the
-    message reports the step count, [tol], the last estimate and the
-    last residual, enough to decide between loosening [tol] and raising
-    [max_iter].  The
+    steps (default [min 2_000_000 (max 100_000 (2_000_000_000 / size))]
+    — a flat {e work} budget: each step costs O(size), so the step cap
+    scales down with chain size and a near-tie between the top
+    eigenvalues on a large chain fails in bounded time instead of
+    burning the historical 2M-step ceiling)
+    to tolerance [tol] (default 1e-8); the message reports the step
+    count, [tol], the last estimate, the last residual and the current
+    spectral-gap estimate [1 - estimate], enough to decide between
+    loosening [tol], raising [max_iter] and recognising a near-tie.  The
     estimator is a cumulative geometric mean, so the returned value
     carries error of order [tol]; treat low-order digits accordingly. *)
 

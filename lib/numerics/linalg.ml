@@ -118,6 +118,24 @@ let vec_sub a b =
 
 let vec_scale k v = Array.map (fun x -> k *. x) v
 
+let l1_diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.l1_diff: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Float.abs (a.(i) -. b.(i))
+  done;
+  !acc
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.max_abs_diff: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := Float.max !acc (Float.abs (a.(i) -. b.(i)))
+  done;
+  !acc
+
 let normalize_l1 v =
   let total = Array.fold_left ( +. ) 0. v in
   if not (Float.is_finite total) || total = 0. then

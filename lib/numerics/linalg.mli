@@ -54,6 +54,16 @@ val vec_sub : float array -> float array -> float array
 val vec_scale : float -> float array -> float array
 (** [vec_scale k v] is [k] times [v], componentwise. *)
 
+val l1_diff : float array -> float array -> float
+(** [l1_diff a b] is [norm_l1 (vec_sub a b)] without the intermediate
+    array — the residual the sparse iterative solvers track per step.
+    @raise Invalid_argument on length mismatch. *)
+
+val max_abs_diff : float array -> float array -> float
+(** [max_abs_diff a b] is [norm_inf (vec_sub a b)] without the
+    intermediate array, the differential-oracle agreement metric.
+    @raise Invalid_argument on length mismatch. *)
+
 val normalize_l1 : float array -> float array
 (** [normalize_l1 v] rescales [v] so its entries sum to [1.].
     @raise Invalid_argument if the entry sum is zero or not finite. *)

@@ -7,6 +7,7 @@ let () =
       ("engine", Test_engine.suite);
       ("props", Test_props.suite);
       ("telemetry", Test_telemetry.suite);
+      ("markov", Test_markov_props.suite);
       ("oracle", Test_oracle.suite);
       ("wire", Test_wire_props.suite);
     ]

@@ -32,6 +32,27 @@ let test_suffix_stationary_sweep () =
 let prop_conv_stationary (delta, params) =
   P.Oracle.conv_stationary ~delta params
 
+(* The large-Δ four-way through the sparse substrate: Eq. 37's closed
+   form vs GTH censoring vs sequential vs domain-pooled sparse power
+   iteration, at Δ two orders of magnitude past what the dense solvers
+   reach.  Alphas shrink with Δ so abar^Δ stays ~e^-4 — large enough
+   that no leg needs subnormal arithmetic to agree.  The soak tier adds
+   the Δ ∈ {500, 2000} legs of the acceptance bar; Δ = 64 guards the
+   fast tier. *)
+let test_suffix_stationary_sparse () =
+  let legs =
+    sized
+      ~fast:[ (64, 0.05) ]
+      ~soak:[ (64, 0.05); (500, 0.008); (2000, 0.002) ]
+  in
+  List.iter
+    (fun (delta, alpha) ->
+      P.Oracle.suffix_stationary_sparse ~jobs:3 ~delta ~alpha ())
+    legs
+
+let prop_conv_stationary_sparse (delta, params) =
+  P.Oracle.conv_stationary_sparse ~jobs:2 ~delta params
+
 (* --- Δ-ring vs queue-lane network equivalence --- *)
 
 type event =
@@ -348,6 +369,12 @@ let suite =
     prop "concatenated chain stationary: four derivations agree" ~count:15
       (P.Domain_gen.explicit_chain_point ~delta_max:3)
       prop_conv_stationary;
+    case "suffix chain stationary at large delta: sparse four-way"
+      test_suffix_stationary_sparse;
+    prop "concatenated chain stationary: sparse path agrees with Eqs. 40/44"
+      ~count:10
+      (P.Domain_gen.explicit_chain_point ~delta_max:3)
+      prop_conv_stationary_sparse;
     prop "Δ-ring lane delivers the same multisets as per-recipient queues"
       ~count:200 schedule_arb prop_ring_matches_queues;
     case "selfish mining: Exact, Aggregate and Skip lanes agree"

@@ -78,7 +78,38 @@ let test_nonconvergence_message_is_actionable () =
         check_true
           (Printf.sprintf "message mentions %s" affix)
           (contains_substring ~affix msg))
-      [ "128 steps"; "tol 1e-15"; "last estimate"; "last residual" ]
+      [
+        "128 steps"; "tol 1e-15"; "last estimate"; "last residual";
+        "current gap estimate";
+      ]
+
+let test_default_budget_scales () =
+  (* tol < 0 can never be met, so the default budget itself shows up in
+     the failure: a 2-state chain must still get the historical 2M-step
+     ceiling (the work-budget scaling only bites past ~1000 states). *)
+  match Spectral.slem ~tol:(-1.) weather with
+  | _ -> Alcotest.fail "tol < 0 cannot converge"
+  | exception Failure msg ->
+    check_true "small chains keep the 2M-step default"
+      (contains_substring ~affix:"2000000 steps" msg);
+    check_true "gap estimate is reported"
+      (contains_substring ~affix:"current gap estimate 0.8" msg)
+
+let test_sparse_routing_matches_dense () =
+  (* Just above the crossover the pushforward runs on the CSR transpose;
+     the estimate must agree with the dense path to estimator tolerance. *)
+  let chain = Nakamoto_core.Suffix_chain.build ~delta:280 ~alpha:0.3 in
+  check_true "above crossover"
+    (Chain.size chain > Chain.sparse_crossover);
+  let small = Nakamoto_core.Suffix_chain.build ~delta:200 ~alpha:0.3 in
+  let s_small = Spectral.slem ~tol:1e-6 small in
+  let s_large = Spectral.slem ~tol:1e-6 chain in
+  (* Both SLEMs are ~abar-driven and within a few percent of each other;
+     the point is that the sparse route returns a sane value, not NaN or
+     a kernel mismatch. *)
+  check_true "sparse-routed slem in (0, 1)" (s_large > 0. && s_large < 1.);
+  check_true "comparable to the dense-routed neighbour"
+    (Float.abs (s_large -. s_small) < 0.05)
 
 let test_estimate_exact_for_reversible () =
   (* weather is reversible (2 states always are): the formula upper-bounds
@@ -100,4 +131,7 @@ let suite =
     case "upper bound for reversible chains" test_estimate_exact_for_reversible;
     case "non-convergence message is actionable"
       test_nonconvergence_message_is_actionable;
+    case "default iteration budget keeps the 2M ceiling on small chains"
+      test_default_budget_scales;
+    case "sparse routing above the crossover" test_sparse_routing_matches_dense;
   ]
