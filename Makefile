@@ -87,26 +87,39 @@ telemetry-smoke:
 	cmp _telemetry_smoke/scrubbed.jsonl test/golden/telemetry_smoke.jsonl
 	rm -rf _telemetry_smoke.jsonl _telemetry_smoke
 
-# Three-process serve smoke: a daemon (--max-campaigns 1, so it exits
-# when the campaign completes), one socket worker, and a client
-# submission of the campaign-smoke grid over the wire.  The daemon-side
-# journal must be byte-identical to the same committed golden the CLI
-# smoke uses: the socket topology is invisible in the artifact.  The
-# binaries are run directly from _build so the three processes don't
-# contend for the dune lock.
+# Three-process serve smoke, once per transport: a daemon
+# (--max-campaigns 1, so it exits when the campaign completes), one
+# worker leasing in batches, and a client submission of the
+# campaign-smoke grid over the wire.  Both the Unix-socket leg and the
+# TCP-loopback leg must produce journals byte-identical to the same
+# committed golden the CLI smoke uses: the transport and topology are
+# invisible in the artifact.  The SERVESCALE smoke then drives a
+# Domain-hosted fleet with a mid-lease kill over both transports from
+# inside the bench binary.  The binaries are run directly from _build so
+# the processes don't contend for the dune lock.
 serve-smoke:
-	dune build bin/main.exe
-	rm -f _serve_smoke.sock _serve_smoke.jsonl
+	dune build bin/main.exe bench/main.exe
+	rm -f _serve_smoke.sock _serve_smoke.jsonl _serve_smoke_tcp.jsonl
 	_build/default/bin/main.exe serve --socket _serve_smoke.sock \
 	  --max-campaigns 1 >/dev/null & \
 	_build/default/bin/main.exe worker --connect _serve_smoke.sock \
-	  >/dev/null & \
+	  --lease-batch 2 >/dev/null & \
 	_build/default/bin/main.exe campaign -p 0.01 -n 40 --delta 3 \
 	  --nu 0.15,0.4 --trials 4 --rounds 400 --seed 7 \
 	  --connect _serve_smoke.sock --out _serve_smoke.jsonl \
 	  --progress-interval 0 >/dev/null && wait
 	cmp _serve_smoke.jsonl test/golden/campaign_smoke.jsonl
-	rm -f _serve_smoke.sock _serve_smoke.jsonl
+	_build/default/bin/main.exe serve --listen 127.0.0.1:17811 \
+	  --max-campaigns 1 >/dev/null & \
+	_build/default/bin/main.exe worker --connect-tcp 127.0.0.1:17811 \
+	  >/dev/null & \
+	_build/default/bin/main.exe campaign -p 0.01 -n 40 --delta 3 \
+	  --nu 0.15,0.4 --trials 4 --rounds 400 --seed 7 \
+	  --connect-tcp 127.0.0.1:17811 --out _serve_smoke_tcp.jsonl \
+	  --progress-interval 0 >/dev/null && wait
+	cmp _serve_smoke_tcp.jsonl test/golden/campaign_smoke.jsonl
+	_build/default/bench/main.exe --servescale-smoke
+	rm -f _serve_smoke.sock _serve_smoke.jsonl _serve_smoke_tcp.jsonl
 
 # The property tier's oracle-focused run: the differential oracle (50
 # generated scenarios through Exact / Aggregate / state-process lanes),

@@ -1213,6 +1213,247 @@ let markovscale_smoke () =
   print_endline "markovscale smoke OK"
 
 (* ------------------------------------------------------------------ *)
+(* SERVESCALE: campaign daemon throughput vs worker count              *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Nakamoto_serve
+
+type ss_cell = {
+  ss_label : string;
+  ss_workers : int;
+  ss_kill : bool;
+  ss_shards : int;
+  ss_elapsed : float;
+  ss_rate : float;
+  ss_granted : int;
+  ss_journal : string;
+}
+
+(* Daemon-side counters come back through the telemetry.prom export;
+   unlabelled counters render as "name value". *)
+let prom_counter prom name =
+  List.fold_left
+    (fun acc line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        match String.index_opt line ' ' with
+        | Some i when String.sub line 0 i = name -> (
+          match
+            int_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          with
+          | Some v -> v
+          | None -> acc)
+        | _ -> acc
+      else acc)
+    0
+    (String.split_on_char '\n' prom)
+
+let servescale_spec =
+  {
+    Campaign.Spec.default with
+    Campaign.Spec.ps = [ 0.02 ];
+    ns = [ 8 ];
+    deltas = [ 2 ];
+    nus = [ 0.1; 0.3 ];
+    trials_per_cell = 16;
+    rounds = 200;
+    seed = 77L;
+    shard_size = 1;
+  }
+
+let servescale_read path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* One campaign through a real daemon + worker fleet, all in Domains.
+   [kill] arms a Raising_worker that leases shard 0 first and dies
+   computing it, so the run also pays one lease reassignment. *)
+let servescale_run ~transport ~workers ~kill () =
+  let quiet _ = () in
+  let tmp tag suffix =
+    let p = Filename.temp_file ("nakamoto_servescale_" ^ tag) suffix in
+    Sys.remove p;
+    p
+  in
+  let socket = tmp "sock" ".sock" in
+  let teldir = tmp "tel" "" in
+  let journal = tmp "journal" ".jsonl" in
+  let port = Atomic.make 0 in
+  let daemon =
+    Domain.spawn (fun () ->
+        try
+          ignore
+            (match transport with
+            | `Unix ->
+              Serve.Coordinator.serve ~socket ~max_campaigns:1
+                ~lease_timeout:10. ~telemetry:teldir ~log:quiet ()
+            | `Tcp ->
+              Serve.Coordinator.serve ~tcp:("127.0.0.1", 0) ~max_campaigns:1
+                ~lease_timeout:10. ~telemetry:teldir ~log:quiet
+                ~on_tcp_port:(fun p -> Atomic.set port p)
+                ());
+          0
+        with _ -> 1)
+  in
+  let addr =
+    match transport with
+    | `Unix -> Serve.Conn.Unix_path socket
+    | `Tcp ->
+      let rec wait n =
+        if Atomic.get port = 0 then
+          if n > 200 then failwith "servescale: daemon never reported a port"
+          else begin
+            Unix.sleepf 0.05;
+            wait (n + 1)
+          end
+      in
+      wait 0;
+      Serve.Conn.Tcp ("127.0.0.1", Atomic.get port)
+  in
+  let spawn_worker ?fault () =
+    Domain.spawn (fun () ->
+        try
+          ignore (Serve.Worker.run ~addr ~lease_batch:2 ?fault ~log:quiet ());
+          0
+        with _ -> 70)
+  in
+  let faulty =
+    if kill then
+      Some
+        (spawn_worker
+           ~fault:
+             (Campaign.Faultplan.Raising_worker { task = 0; failures = 1 })
+           ())
+    else None
+  in
+  let t0 = Unix.gettimeofday () in
+  let client =
+    Domain.spawn (fun () ->
+        match Serve.Client.submit ~addr ~journal servescale_spec with
+        | Ok _ -> 0
+        | Error _ | (exception _) -> 1)
+  in
+  (* The faulty worker joins the queue alone, so it necessarily holds
+     shard 0 when it dies; the fleet then absorbs the requeued lease. *)
+  (match faulty with
+  | Some d ->
+    if Domain.join d <> 70 then failwith "servescale: fault did not fire"
+  | None -> ());
+  let fleet = List.init workers (fun _ -> spawn_worker ()) in
+  if Domain.join client <> 0 then failwith "servescale: campaign failed";
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if Domain.join daemon <> 0 then failwith "servescale: daemon failed";
+  List.iter (fun d -> ignore (Domain.join d)) fleet;
+  let prom = servescale_read (Filename.concat teldir "telemetry.prom") in
+  let cells = Array.length (Campaign.Spec.cells servescale_spec) in
+  let shards = cells * servescale_spec.Campaign.Spec.trials_per_cell in
+  let journal_bytes = servescale_read journal in
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [
+      socket; journal;
+      Filename.concat teldir "telemetry.prom";
+      Filename.concat teldir "telemetry.jsonl";
+    ];
+  (try Unix.rmdir teldir with Unix.Unix_error _ | Sys_error _ -> ());
+  {
+    ss_label =
+      (match transport with `Unix -> "unix" | `Tcp -> "tcp")
+      ^ if kill then "+kill" else "";
+    ss_workers = workers;
+    ss_kill = kill;
+    ss_shards = shards;
+    ss_elapsed = elapsed;
+    ss_rate = float_of_int shards /. Float.max 1e-9 elapsed;
+    ss_granted = prom_counter prom "serve_leases_granted_total";
+    ss_journal = journal_bytes;
+  }
+
+let servescale_table ~title cells =
+  let t =
+    Table.create ~title
+      ~columns:
+        [
+          "transport"; "workers"; "shards"; "elapsed s"; "shards/s";
+          "leases granted";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          Table.Text c.ss_label;
+          Table.Int c.ss_workers;
+          Table.Int c.ss_shards;
+          Table.Float c.ss_elapsed;
+          Table.Float c.ss_rate;
+          Table.Int c.ss_granted;
+        ])
+    cells;
+  print_table t
+
+let regen_servescale () =
+  section
+    "SERVESCALE: daemon shards/s vs worker count (32 shards, 200 rounds); \
+     +kill rows pay one mid-lease death and reassignment";
+  let cells =
+    [
+      servescale_run ~transport:`Unix ~workers:1 ~kill:false ();
+      servescale_run ~transport:`Unix ~workers:2 ~kill:false ();
+      servescale_run ~transport:`Unix ~workers:4 ~kill:false ();
+      servescale_run ~transport:`Unix ~workers:2 ~kill:true ();
+      servescale_run ~transport:`Tcp ~workers:2 ~kill:false ();
+      servescale_run ~transport:`Tcp ~workers:2 ~kill:true ();
+    ]
+  in
+  servescale_table
+    ~title:"one campaign per row, lease batch 2, Unix socket and TCP loopback"
+    cells;
+  match cells with
+  | [] -> ()
+  | first :: rest ->
+    if List.for_all (fun c -> c.ss_journal = first.ss_journal) rest then
+      print_endline
+        "journal bytes identical across every transport / fleet / kill row"
+    else begin
+      print_endline "FAIL: journals diverged across topologies";
+      exit 1
+    end
+
+(* Smoke mode (`--servescale-smoke`, wired into `make check` via
+   `make serve-smoke`): one Unix row and one TCP row with a mid-lease
+   kill, asserting completion, lease churn from the reassignment, and
+   byte-identical journals across the two transports. *)
+let servescale_smoke () =
+  section
+    "SERVESCALE (smoke): kill-mid-lease campaigns over both transports \
+     must complete with byte-identical journals";
+  let unix_cell = servescale_run ~transport:`Unix ~workers:2 ~kill:false () in
+  let tcp_cell = servescale_run ~transport:`Tcp ~workers:2 ~kill:true () in
+  servescale_table ~title:"32 shards, 200 rounds, lease batch 2"
+    [ unix_cell; tcp_cell ];
+  if unix_cell.ss_journal <> tcp_cell.ss_journal then begin
+    print_endline "FAIL: unix and tcp journals diverged";
+    exit 1
+  end;
+  if String.length unix_cell.ss_journal = 0 then begin
+    print_endline "FAIL: empty journal";
+    exit 1
+  end;
+  if unix_cell.ss_granted < unix_cell.ss_shards then begin
+    print_endline "FAIL: fewer leases granted than shards";
+    exit 1
+  end;
+  (* The killed worker's shard 0 lease must have been granted twice. *)
+  if tcp_cell.ss_granted < tcp_cell.ss_shards + 1 then begin
+    print_endline "FAIL: no lease churn recorded for the mid-lease kill";
+    exit 1
+  end;
+  print_endline "servescale smoke OK"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing benches                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1322,6 +1563,10 @@ let () =
     markovscale_smoke ();
     exit 0
   end;
+  if Array.exists (String.equal "--servescale-smoke") Sys.argv then begin
+    servescale_smoke ();
+    exit 0
+  end;
   regen_fig1 ();
   regen_fig2 ();
   regen_tab1 ();
@@ -1344,6 +1589,7 @@ let () =
   regen_mcscale ();
   regen_execscale ();
   regen_markovscale ();
+  regen_servescale ();
   run_bechamel ();
   print_newline ();
   print_endline

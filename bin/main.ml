@@ -404,9 +404,36 @@ let confirm_cmd =
 
 (* campaign *)
 
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    if host = "" then Error (Printf.sprintf "%S: empty host" s)
+    else
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+      | _ -> Error (Printf.sprintf "%S: bad port %S" s port))
+
+(* The same pair of flags on campaign and worker: dial a Unix socket or
+   a TCP endpoint, exactly one of the two (or neither, where in-process
+   compute is an option). *)
+let resolve_addr ~what ~sock ~tcp =
+  match (sock, tcp) with
+  | None, None ->
+    Error
+      (Printf.sprintf "%s needs --connect SOCK or --connect-tcp HOST:PORT"
+         what)
+  | Some _, Some _ -> Error "--connect and --connect-tcp are mutually exclusive"
+  | Some s, None -> Ok (Serve.Conn.Unix_path s)
+  | None, Some hp ->
+    Result.map (fun (h, p) -> Serve.Conn.Tcp (h, p)) (parse_hostport hp)
+
 let campaign_cmd =
   let run ps ns deltas nus trials rounds mode strategy mining jobs seed resume
-      out shard_size progress_interval retries fault telemetry connect =
+      out shard_size progress_interval retries fault telemetry connect
+      connect_tcp =
     let strategy =
       match strategy with
       | "idle" -> Ok Sim.Adversary.Idle
@@ -457,42 +484,46 @@ let campaign_cmd =
           shard_size;
         }
       in
-      match connect with
-      | Some sock -> (
+      match (connect, connect_tcp) with
+      | (Some _, _ | _, Some _) -> (
         (* Daemon mode: the coordinator and its workers do the computing
            and the journaling; this process submits and watches. *)
-        if fault <> None then
-          `Error
-            (false, "--fault applies to compute processes; arm it on the \
-                     worker subcommand instead")
-        else if telemetry <> None then
-          `Error
-            (false, "--telemetry is configured on the serve daemon, not \
-                     per submission")
-        else
-          let on_progress (p : Nakamoto_wire.Message.progress) =
-            if progress_interval > 0. then
-              Printf.eprintf "campaign: %d/%d trials, %d/%d cells (daemon)\n%!"
-                p.Nakamoto_wire.Message.p_trials_done p.p_trials_total
-                p.p_cells_done p.p_cells_total
-          in
-          match
-            Serve.Client.submit ~socket:sock ?journal:out ~resume ~on_progress
-              spec
-          with
-          | Ok (table, journal) ->
-            print_string table;
-            (match journal with
-            | Some path -> Printf.printf "(journal: %s, daemon-side)\n" path
-            | None -> ());
-            `Ok ()
-          | Error e -> `Error (false, e)
-          | exception Unix.Unix_error (err, _, _) ->
+        match resolve_addr ~what:"campaign" ~sock:connect ~tcp:connect_tcp with
+        | Error e -> `Error (false, e)
+        | Ok addr -> (
+          if fault <> None then
             `Error
-              ( false,
-                Printf.sprintf "cannot reach the daemon at %s: %s" sock
-                  (Unix.error_message err) ))
-      | None -> (
+              (false, "--fault applies to compute processes; arm it on the \
+                       worker subcommand instead")
+          else if telemetry <> None then
+            `Error
+              (false, "--telemetry is configured on the serve daemon, not \
+                       per submission")
+          else
+            let on_progress (p : Nakamoto_wire.Message.progress) =
+              if progress_interval > 0. then
+                Printf.eprintf
+                  "campaign: %d/%d trials, %d/%d cells (daemon)\n%!"
+                  p.Nakamoto_wire.Message.p_trials_done p.p_trials_total
+                  p.p_cells_done p.p_cells_total
+            in
+            match
+              Serve.Client.submit ~addr ?journal:out ~resume ~on_progress spec
+            with
+            | Ok (table, journal) ->
+              print_string table;
+              (match journal with
+              | Some path -> Printf.printf "(journal: %s, daemon-side)\n" path
+              | None -> ());
+              `Ok ()
+            | Error e -> `Error (false, e)
+            | exception Unix.Unix_error (err, _, _) ->
+              `Error
+                ( false,
+                  Printf.sprintf "cannot reach the daemon at %s: %s"
+                    (Serve.Conn.addr_to_string addr)
+                    (Unix.error_message err) )))
+      | None, None -> (
       let jobs = if jobs = 0 then None else Some jobs in
       let telemetry_clock = telemetry_clock_env () in
       match
@@ -616,13 +647,20 @@ let campaign_cmd =
                    instead of computing in-process.  --out then names a \
                    daemon-side journal path.")
   in
+  let connect_tcp_arg =
+    Arg.(value & opt (some string) None
+         & info [ "connect-tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Submit to a serve daemon over TCP instead of a Unix \
+                   socket.")
+  in
   let term =
     Term.(
       ret
         (const run $ ps_arg $ ns_arg $ deltas_arg $ nus_arg $ trials_arg
         $ rounds_arg $ mode_arg $ strategy_arg $ mining_arg $ jobs_arg
         $ seed_arg $ resume_arg $ out_arg $ shard_arg $ progress_arg
-        $ retries_arg $ fault_arg $ telemetry_arg $ connect_arg))
+        $ retries_arg $ fault_arg $ telemetry_arg $ connect_arg
+        $ connect_tcp_arg))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -634,29 +672,48 @@ let campaign_cmd =
 (* serve *)
 
 let serve_cmd =
-  let run socket max_campaigns lease_timeout telemetry verbose =
+  let run socket listen max_campaigns max_conns lease_timeout telemetry
+      verbose =
     setup_logging verbose;
     let max_campaigns = if max_campaigns = 0 then None else Some max_campaigns in
     let telemetry_clock = telemetry_clock_env () in
-    match
-      Serve.Coordinator.serve ~socket ?max_campaigns ~lease_timeout ?telemetry
-        ?telemetry_clock ()
-    with
-    | served ->
-      Printf.printf "served %d campaign%s\n" served
-        (if served = 1 then "" else "s");
-      `Ok ()
-    | exception Invalid_argument m -> `Error (false, m)
-    | exception Unix.Unix_error (err, fn, arg) ->
-      `Error
-        ( false,
-          Printf.sprintf "%s %s: %s" fn arg (Unix.error_message err) )
+    let tcp =
+      match listen with
+      | None -> Ok None
+      | Some hp -> Result.map Option.some (parse_hostport hp)
+    in
+    match tcp with
+    | Error e -> `Error (false, e)
+    | Ok _ when socket = None && listen = None ->
+      `Error (false, "serve needs --socket SOCK, --listen HOST:PORT, or both")
+    | Ok tcp -> (
+      let on_tcp_port p = Printf.eprintf "serve: tcp port %d\n%!" p in
+      match
+        Serve.Coordinator.serve ?socket ?tcp ?max_campaigns ~max_conns
+          ~lease_timeout ?telemetry ?telemetry_clock ~on_tcp_port ()
+      with
+      | served ->
+        Printf.printf "served %d campaign%s\n" served
+          (if served = 1 then "" else "s");
+        `Ok ()
+      | exception Invalid_argument m -> `Error (false, m)
+      | exception Failure m -> `Error (false, m)
+      | exception Unix.Unix_error (err, fn, arg) ->
+        `Error
+          ( false,
+            Printf.sprintf "%s %s: %s" fn arg (Unix.error_message err) ))
   in
   let socket_arg =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"SOCK"
              ~doc:"Unix-domain socket path to listen on (stale files are \
                    unlinked).")
+  in
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Also (or instead) listen on TCP.  PORT 0 lets the \
+                   kernel pick; the bound port is printed on stderr.")
   in
   let max_campaigns_arg =
     Arg.(value & opt int 0
@@ -664,36 +721,44 @@ let serve_cmd =
              ~doc:"Exit cleanly after N campaigns complete; 0 = serve \
                    forever.")
   in
+  let max_conns_arg =
+    Arg.(value & opt int 240
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Shed new connections past N simultaneous peers.")
+  in
   let lease_timeout_arg =
     Arg.(value & opt float 30.
          & info [ "lease-timeout" ] ~docv:"SEC"
              ~doc:"Reassign a granted shard whose worker has not answered \
-                   within SEC seconds.")
+                   within SEC seconds.  Heartbeat probes run at SEC/6 and \
+                   drop a silent lease holder after SEC/2.")
   in
   let telemetry_arg =
     Arg.(value & opt (some string) None
          & info [ "telemetry" ] ~docv:"DIR"
              ~doc:"Write telemetry.prom and telemetry.jsonl (lease and \
-                   frame counters, fold spans, the workers' shard \
-                   instruments) into DIR at each campaign completion.")
+                   frame counters, fold spans, shed / heartbeat-drop / \
+                   late-result counters, the workers' shard instruments) \
+                   into DIR at each campaign completion.")
   in
   let term =
     Term.(
       ret
-        (const run $ socket_arg $ max_campaigns_arg $ lease_timeout_arg
-        $ telemetry_arg $ verbose_arg))
+        (const run $ socket_arg $ listen_arg $ max_campaigns_arg
+        $ max_conns_arg $ lease_timeout_arg $ telemetry_arg $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the campaign daemon: accept specs over a Unix-domain socket, \
-          lease cells to worker processes, fold results and journal them.")
+         "Run the campaign daemon: accept specs over a Unix-domain socket \
+          and/or TCP, lease cells to worker processes, fold results and \
+          journal them.")
     term
 
 (* worker *)
 
 let worker_cmd =
-  let run socket fault connect_timeout verbose =
+  let run sock tcp lease_batch fault connect_timeout verbose =
     setup_logging verbose;
     let fault =
       match fault with
@@ -703,12 +768,13 @@ let worker_cmd =
         | Ok plan -> Ok (Some plan)
         | Error e -> Error e)
     in
-    match fault with
-    | Error e -> `Error (false, e)
-    | Ok fault -> (
+    match (resolve_addr ~what:"worker" ~sock ~tcp, fault) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok addr, Ok fault -> (
       let telemetry_clock = telemetry_clock_env () in
       match
-        Serve.Worker.run ~socket ~connect_timeout ?fault ?telemetry_clock ()
+        Serve.Worker.run ~addr ~connect_timeout ~lease_batch ?fault
+          ?telemetry_clock ()
       with
       | shards ->
         Printf.printf "worker done: %d shard%s computed\n" shards
@@ -717,17 +783,30 @@ let worker_cmd =
       | exception Campaign.Faultplan.Injected_crash msg ->
         Printf.eprintf "worker: injected crash: %s\n%!" msg;
         exit 70
+      | exception Invalid_argument msg -> `Error (false, msg)
       | exception Failure msg -> `Error (false, msg)
       | exception Unix.Unix_error (err, _, _) ->
         `Error
           ( false,
-            Printf.sprintf "cannot reach the daemon at %s: %s" socket
+            Printf.sprintf "cannot reach the daemon at %s: %s"
+              (Serve.Conn.addr_to_string addr)
               (Unix.error_message err) ))
   in
   let socket_arg =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "connect" ] ~docv:"SOCK"
              ~doc:"The serve daemon's Unix-domain socket.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some string) None
+         & info [ "connect-tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Dial the daemon over TCP instead of a Unix socket.")
+  in
+  let lease_batch_arg =
+    Arg.(value & opt int 1
+         & info [ "lease-batch" ] ~docv:"K"
+             ~doc:"Ask for up to K leases per request (amortizes round \
+                   trips at high shard counts).")
   in
   let fault_arg =
     Arg.(value & opt (some string) None
@@ -745,8 +824,8 @@ let worker_cmd =
   in
   let term =
     Term.(
-      ret (const run $ socket_arg $ fault_arg $ connect_timeout_arg
-           $ verbose_arg))
+      ret (const run $ socket_arg $ tcp_arg $ lease_batch_arg $ fault_arg
+           $ connect_timeout_arg $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "worker"

@@ -1,19 +1,18 @@
 module Frame = Nakamoto_wire.Frame
 module Msg = Nakamoto_wire.Message
 
-let with_conn ~socket ~connect_timeout ~role f =
-  let fd = Conn.connect ~socket ~timeout:connect_timeout in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let ch = Frame.Channel.of_fd fd in
-      match Conn.handshake ~role ch with
-      | Error e -> Error ("handshake failed: " ^ e)
-      | Ok () -> f ch)
+let with_conn ~addr ~connect_timeout ~role f =
+  match Conn.establish ~addr ~timeout:connect_timeout ~role with
+  | Error e -> Error ("handshake failed: " ^ e)
+  | Ok ch ->
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close (Frame.Channel.fd ch) with Unix.Unix_error _ -> ())
+      (fun () -> f ch)
 
-let submit ~socket ?(connect_timeout = 10.) ?journal ?(resume = false)
+let submit ~addr ?(connect_timeout = 10.) ?journal ?(resume = false)
     ?(on_progress = fun _ -> ()) spec =
-  with_conn ~socket ~connect_timeout ~role:Msg.Client (fun ch ->
+  with_conn ~addr ~connect_timeout ~role:Msg.Client (fun ch ->
       Msg.send ch
         (Msg.Submit_campaign
            { Msg.sub_spec = spec; sub_journal = journal; sub_resume = resume });
@@ -21,6 +20,9 @@ let submit ~socket ?(connect_timeout = 10.) ?journal ?(resume = false)
         match Msg.recv ch with
         | `Msg (Msg.Progress p) ->
           on_progress p;
+          wait ()
+        | `Msg (Msg.Ping { nonce }) ->
+          Msg.send ch (Msg.Pong { nonce });
           wait ()
         | `Msg (Msg.Done { table; journal }) -> Ok (table, journal)
         | `Msg (Msg.Error e) -> Error e
@@ -31,14 +33,20 @@ let submit ~socket ?(connect_timeout = 10.) ?journal ?(resume = false)
       in
       wait ())
 
-let assess ~socket ?(connect_timeout = 10.) ~nu ~c ~n ~delta () =
-  with_conn ~socket ~connect_timeout ~role:Msg.Client (fun ch ->
+let assess ~addr ?(connect_timeout = 10.) ~nu ~c ~n ~delta () =
+  with_conn ~addr ~connect_timeout ~role:Msg.Client (fun ch ->
       Msg.send ch
         (Msg.Query_assess { Msg.q_nu = nu; q_c = c; q_n = n; q_delta = delta });
-      match Msg.recv ~timeout:30. ch with
-      | `Msg (Msg.Assess_reply a) -> Ok a
-      | `Msg (Msg.Error e) -> Error e
-      | `Msg _ -> Error "unexpected message from the coordinator"
-      | `Eof -> Error "coordinator closed the connection"
-      | `Timeout -> Error "assessment query timed out"
-      | `Bad m -> Error ("protocol error: " ^ m))
+      let rec wait () =
+        match Msg.recv ~timeout:30. ch with
+        | `Msg (Msg.Assess_reply a) -> Ok a
+        | `Msg (Msg.Ping { nonce }) ->
+          Msg.send ch (Msg.Pong { nonce });
+          wait ()
+        | `Msg (Msg.Error e) -> Error e
+        | `Msg _ -> Error "unexpected message from the coordinator"
+        | `Eof -> Error "coordinator closed the connection"
+        | `Timeout -> Error "assessment query timed out"
+        | `Bad m -> Error ("protocol error: " ^ m)
+      in
+      wait ())

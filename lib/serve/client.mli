@@ -1,20 +1,21 @@
 (** The submitting side of the serve protocol.
 
-    [submit] drives one campaign end to end: connect, handshake, send
-    the spec, relay streamed [Progress] frames to a callback, and return
-    the rendered summary table from the terminal [Done] frame.  The
-    heavy lifting — simulation, journaling, telemetry — happens in the
-    daemon and its workers; this process only watches. *)
+    [submit] drives one campaign end to end: connect (Unix socket or
+    TCP), handshake, send the spec, relay streamed [Progress] frames to
+    a callback, and return the rendered summary table from the terminal
+    [Done] frame.  The heavy lifting — simulation, journaling,
+    telemetry — happens in the daemon and its workers; this process
+    only watches. *)
 
 val submit :
-  socket:string ->
+  addr:Conn.addr ->
   ?connect_timeout:float ->
   ?journal:string ->
   ?resume:bool ->
   ?on_progress:(Nakamoto_wire.Message.progress -> unit) ->
   Nakamoto_campaign.Spec.t ->
   (string * string option, string) result
-(** [submit ~socket spec] returns [(rendered_table, journal_path)] on
+(** [submit ~addr spec] returns [(rendered_table, journal_path)] on
     completion.  [journal] names a {e daemon-side} path for the
     fsync-on-append journal; with [resume] the daemon folds that journal
     first and recomputes only the missing cells.  [Error] carries the
@@ -22,7 +23,7 @@ val submit :
     a transport failure. *)
 
 val assess :
-  socket:string ->
+  addr:Conn.addr ->
   ?connect_timeout:float ->
   nu:float ->
   c:float ->

@@ -1,21 +1,47 @@
 (** Client-side connection establishment for the serve protocol.
 
     Both the worker and the submitting client start the same way: dial
-    the coordinator's Unix-domain socket (with a bounded retry loop, so
-    a process launched moments before the daemon still connects) and
-    run the version handshake.  SIGPIPE is switched to ignore here —
-    every peer of a socket protocol must survive the other end dying
-    mid-write. *)
+    the coordinator — a Unix-domain socket or a TCP endpoint, the wire
+    protocol is transport-agnostic — with a bounded retry loop (so a
+    process launched moments before the daemon still connects) and run
+    the version handshake.  SIGPIPE is switched to ignore exactly once
+    per process — every peer of a socket protocol must survive the
+    other end dying mid-write. *)
 
-val connect : socket:string -> timeout:float -> Unix.file_descr
-(** Dial [socket], retrying on [ENOENT]/[ECONNREFUSED] every 50 ms
-    until [timeout] seconds have passed.
-    @raise Unix.Unix_error when the deadline expires. *)
+type addr =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val addr_to_string : addr -> string
+
+val ignore_sigpipe : unit -> unit
+(** Idempotent: the first call installs [Signal_ignore] for SIGPIPE,
+    later calls are free.  [connect] forces it; servers call it
+    directly. *)
+
+val connect : addr:addr -> timeout:float -> Unix.file_descr
+(** Dial [addr], retrying on [ENOENT]/[ECONNREFUSED] (and the TCP
+    equivalents) every 50 ms until [timeout] seconds have passed.  TCP
+    connections get [TCP_NODELAY].
+    @raise Unix.Unix_error when the deadline expires.
+    @raise Failure when a TCP host does not resolve. *)
 
 val handshake :
+  ?timeout:float ->
   role:Nakamoto_wire.Message.role ->
   Nakamoto_wire.Frame.Channel.t ->
   (unit, string) result
 (** Send [Hello] at {!Nakamoto_wire.Frame.protocol_version} and await
-    [Hello_ack].  [Error] carries the server's typed refusal (version
-    mismatch) or a transport failure. *)
+    [Hello_ack], accepting any acked version in
+    [[min_protocol_version, protocol_version]].  [timeout] (default
+    10 s) bounds the recv.  [Error] carries the server's typed refusal
+    (version mismatch) or a transport failure. *)
+
+val establish :
+  addr:addr ->
+  timeout:float ->
+  role:Nakamoto_wire.Message.role ->
+  (Nakamoto_wire.Frame.Channel.t, string) result
+(** [connect] then [handshake] under a single deadline: the handshake
+    recv gets whatever the connect retries left of [timeout] (floored
+    at one second).  On [Error] the descriptor is already closed. *)

@@ -9,15 +9,15 @@ module Tel = Nakamoto_telemetry
 
 let default_log msg = Printf.eprintf "worker[%d]: %s\n%!" (Unix.getpid ()) msg
 
-let run ~socket ?(connect_timeout = 10.) ?fault
+let run ~addr ?(connect_timeout = 10.) ?(lease_batch = 1) ?fault
     ?(telemetry_clock = Unix.gettimeofday) ?(log = default_log) () =
-  let fd = Conn.connect ~socket ~timeout:connect_timeout in
-  let ch = Frame.Channel.of_fd fd in
-  (match Conn.handshake ~role:Msg.Worker ch with
-  | Ok () -> ()
-  | Error e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    failwith ("handshake failed: " ^ e));
+  if lease_batch < 1 then invalid_arg "Worker.run: lease_batch must be >= 1";
+  let ch =
+    match Conn.establish ~addr ~timeout:connect_timeout ~role:Msg.Worker with
+    | Ok ch -> ch
+    | Error e -> failwith ("handshake failed: " ^ e)
+  in
+  let fd = Frame.Channel.fd ch in
   let fault = Option.map Faultplan.arm fault in
   (* Cache the decoded grid: every lease of one campaign carries the
      same spec, and [cells] must be recomputed only when it changes. *)
@@ -32,33 +32,47 @@ let run ~socket ?(connect_timeout = 10.) ?fault
       (spec, c)
   in
   let computed = ref 0 in
-  let rec loop () =
-    Msg.send ch Msg.Lease_request;
+  (* Heartbeats arrive on their own schedule — between a request and
+     its grant, or queued up behind a long compute — and are answered
+     wherever the worker happens to be reading. *)
+  let rec recv () =
     match Msg.recv ch with
-    | `Msg (Msg.Lease_grant { grant = { Msg.lease_id; shard }; spec }) ->
+    | `Msg (Msg.Ping { nonce }) ->
+      Msg.send ch (Msg.Pong { nonce });
+      recv ()
+    | `Timeout -> recv ()
+    | other -> other
+  in
+  let compute spec cells { Msg.lease_id; shard } =
+    let sreg = Tel.Registry.create ~clock:telemetry_clock () in
+    let sp =
+      Tel.Registry.span sreg
+        ~labels:[ ("domain", string_of_int (Unix.getpid ())) ]
+        "campaign_shard_seconds"
+    in
+    let began = Tel.Span.start sp in
+    let agg =
+      Faultplan.wrap_task fault ~task:shard.Shard.id (fun () ->
+          Campaign.run_shard ~telemetry:sreg spec cells shard)
+    in
+    Tel.Span.stop sp began;
+    incr computed;
+    Msg.send ch
+      (Msg.Cell_result
+         {
+           Msg.res_lease = lease_id;
+           res_shard = shard.Shard.id;
+           res_aggregate = Aggregate.snapshot agg;
+           res_telemetry =
+             Tel.Registry.Snapshot.entries (Tel.Registry.snapshot sreg);
+         })
+  in
+  let rec loop () =
+    Msg.send ch (Msg.Lease_request { max = lease_batch });
+    match recv () with
+    | `Msg (Msg.Lease_grant { grants; spec }) ->
       let spec, cells = cells_of spec in
-      let sreg = Tel.Registry.create ~clock:telemetry_clock () in
-      let sp =
-        Tel.Registry.span sreg
-          ~labels:[ ("domain", string_of_int (Unix.getpid ())) ]
-          "campaign_shard_seconds"
-      in
-      let began = Tel.Span.start sp in
-      let agg =
-        Faultplan.wrap_task fault ~task:shard.Shard.id (fun () ->
-            Campaign.run_shard ~telemetry:sreg spec cells shard)
-      in
-      Tel.Span.stop sp began;
-      incr computed;
-      Msg.send ch
-        (Msg.Cell_result
-           {
-             Msg.res_lease = lease_id;
-             res_shard = shard.Shard.id;
-             res_aggregate = Aggregate.snapshot agg;
-             res_telemetry =
-               Tel.Registry.Snapshot.entries (Tel.Registry.snapshot sreg);
-           });
+      List.iter (compute spec cells) grants;
       loop ()
     | `Msg (Msg.No_work { retry_after }) ->
       Unix.sleepf (Float.max 0.01 retry_after);

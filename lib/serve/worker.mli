@@ -6,25 +6,32 @@
     deliberately fragile: any exception (including an armed
     {!Nakamoto_campaign.Faultplan.Raising_worker}) escapes and kills the
     process mid-lease, which is precisely the failure the coordinator's
-    lease expiry / EOF reassignment exists to absorb.  Retry policy
-    lives server-side, not here. *)
+    heartbeat / lease-expiry / EOF reassignment exists to absorb.  Retry
+    policy lives server-side, not here. *)
 
 val run :
-  socket:string ->
+  addr:Conn.addr ->
   ?connect_timeout:float ->
+  ?lease_batch:int ->
   ?fault:Nakamoto_campaign.Faultplan.t ->
   ?telemetry_clock:(unit -> float) ->
   ?log:(string -> unit) ->
   unit ->
   int
-(** [run ~socket ()] connects (retrying until [connect_timeout],
-    default 10 s), performs the hello handshake, then loops:
-    [Lease_request] → compute → [Cell_result], sleeping through
-    [No_work] backoffs.  Returns the number of shards computed when the
-    coordinator closes the connection (daemon shutdown) — the worker's
-    natural exit.  Each shard records into a private telemetry registry
+(** [run ~addr ()] connects — Unix socket or TCP — (retrying until
+    [connect_timeout], default 10 s, a budget the handshake shares),
+    performs the hello handshake, then loops: [Lease_request] →
+    compute → [Cell_result], sleeping through [No_work] backoffs and
+    answering coordinator [Ping]s with [Pong]s wherever it happens to
+    be reading.  [lease_batch] (default 1) asks for up to that many
+    leases per request, amortizing round trips at high shard counts;
+    the granted shards are computed and returned in grant order.
+    Returns the number of shards computed when the coordinator closes
+    the connection (daemon shutdown) — the worker's natural exit.  Each
+    shard records into a private telemetry registry
     ([campaign_shard_seconds{domain=<pid>}] plus the executor's [sim_*]
     instruments) whose entries ride back on the result frame.
+    @raise Invalid_argument on [lease_batch < 1].
     @raise Failure on a handshake refusal or a server [Error] frame.
     @raise Nakamoto_campaign.Faultplan.Injected_crash / [Failure] when
     an armed fault fires mid-shard. *)

@@ -1,4 +1,5 @@
-let protocol_version = 1
+let protocol_version = 2
+let min_protocol_version = 2
 let default_max_payload = 8 * 1024 * 1024
 
 type result =
@@ -67,20 +68,14 @@ module Decoder = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Blocking write / read                                               *)
+(* Encoding, blocking write / read                                     *)
 (* ------------------------------------------------------------------ *)
 
-let write_all fd s =
-  let len = String.length s in
-  let pos = ref 0 in
-  while !pos < len do
-    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
-  done
-
-let write fd ~tag ~payload =
-  if tag < 0 || tag > 255 then invalid_arg "Frame.write: tag outside [0, 255]";
-  if String.length payload > default_max_payload then
-    invalid_arg "Frame.write: payload exceeds the max-frame cap";
+let encode ?(max_payload = default_max_payload) ~tag ~payload () =
+  if tag < 0 || tag > 255 then
+    invalid_arg "Frame.encode: tag outside [0, 255]";
+  if String.length payload > max_payload then
+    invalid_arg "Frame.encode: payload exceeds the max-frame cap";
   let len = String.length payload + 1 in
   let b = Bytes.create (4 + len) in
   Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
@@ -89,7 +84,17 @@ let write fd ~tag ~payload =
   Bytes.set b 3 (Char.chr (len land 0xff));
   Bytes.set b 4 (Char.chr tag);
   Bytes.blit_string payload 0 b 5 (String.length payload);
-  write_all fd (Bytes.to_string b)
+  Bytes.to_string b
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+let write ?max_payload fd ~tag ~payload =
+  write_all fd (encode ?max_payload ~tag ~payload ())
 
 (* Wait for readability until [deadline] (absolute, None = forever).
    Returns false on timeout. *)
@@ -111,14 +116,27 @@ let wait_readable fd deadline =
   go ()
 
 module Channel = struct
-  type t = { ch_fd : Unix.file_descr; dec : Decoder.t; chunk : Bytes.t }
+  type t = {
+    ch_fd : Unix.file_descr;
+    ch_max_payload : int;
+    dec : Decoder.t;
+    chunk : Bytes.t;
+  }
 
-  let of_fd ?max_payload fd =
-    { ch_fd = fd; dec = Decoder.create ?max_payload (); chunk = Bytes.create 65536 }
+  let of_fd ?(max_payload = default_max_payload) fd =
+    {
+      ch_fd = fd;
+      ch_max_payload = max_payload;
+      dec = Decoder.create ~max_payload ();
+      chunk = Bytes.create 65536;
+    }
 
   let fd t = t.ch_fd
 
-  let write t ~tag ~payload = write t.ch_fd ~tag ~payload
+  (* The channel's own cap governs both directions: a channel created to
+     read oversized frames must be able to write them too. *)
+  let write t ~tag ~payload =
+    write ~max_payload:t.ch_max_payload t.ch_fd ~tag ~payload
 
   let read ?timeout t : result =
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in

@@ -20,7 +20,14 @@
 
 val protocol_version : int
 (** Version negotiated by the [Hello] exchange; bumped on any breaking
-    change to the framing or message payloads. *)
+    change to the framing or message payloads.  Version 2 added
+    heartbeats ([Ping]/[Pong]) and batched lease grants. *)
+
+val min_protocol_version : int
+(** Oldest peer version a server still accepts: the handshake admits
+    any [Hello] version in [[min_protocol_version, protocol_version]]
+    and acks with the server's own version.  Both ends apply the same
+    rule, so a mixed fleet drains cleanly across a compatible bump. *)
 
 val default_max_payload : int
 (** 8 MiB — generous for campaign specs and telemetry snapshots, small
@@ -33,10 +40,16 @@ type result =
   | `Bad of string  (** truncated frame, oversized length, zero length *)
   ]
 
-val write : Unix.file_descr -> tag:int -> payload:string -> unit
-(** Write one frame (single buffered write, looped to completion).
+val encode : ?max_payload:int -> tag:int -> payload:string -> unit -> string
+(** The frame bytes, without touching a descriptor — for callers (the
+    serve coordinator) that queue writes and drain them on
+    write-readiness instead of blocking.
     @raise Invalid_argument if [tag] is outside [0, 255] or the payload
-    exceeds {!default_max_payload}. *)
+    exceeds [max_payload] (default {!default_max_payload}). *)
+
+val write : ?max_payload:int -> Unix.file_descr -> tag:int -> payload:string -> unit
+(** Write one frame (single buffered write, looped to completion).
+    @raise Invalid_argument under {!encode}'s conditions. *)
 
 (** {2 Blocking channel}
 
@@ -49,9 +62,15 @@ module Channel : sig
   type t
 
   val of_fd : ?max_payload:int -> Unix.file_descr -> t
+  (** [max_payload] (default {!default_max_payload}) caps {e both}
+      directions: frames read through and written over this channel. *)
+
   val fd : t -> Unix.file_descr
 
   val write : t -> tag:int -> payload:string -> unit
+  (** Write one frame under the channel's own cap — a channel created
+      with a larger [max_payload] can write the large frames it was
+      configured to read. *)
 
   val read : ?timeout:float -> t -> result
   (** Read exactly one frame.  [timeout] bounds the {e total} wall-clock

@@ -43,8 +43,8 @@ type t =
   | Hello of { version : int; role : role }
   | Hello_ack of { version : int }
   | Submit_campaign of submit
-  | Lease_request
-  | Lease_grant of { grant : lease; spec : Spec.t }
+  | Lease_request of { max : int }
+  | Lease_grant of { grants : lease list; spec : Spec.t }
   | No_work of { retry_after : float }
   | Cell_result of cell_result
   | Query_assess of assess_params
@@ -52,12 +52,14 @@ type t =
   | Progress of progress
   | Done of { table : string; journal : string option }
   | Error of string
+  | Ping of { nonce : int }
+  | Pong of { nonce : int }
 
 let tag = function
   | Hello _ -> 1
   | Hello_ack _ -> 2
   | Submit_campaign _ -> 3
-  | Lease_request -> 4
+  | Lease_request _ -> 4
   | Lease_grant _ -> 5
   | No_work _ -> 6
   | Cell_result _ -> 7
@@ -66,6 +68,8 @@ let tag = function
   | Progress _ -> 10
   | Done _ -> 11
   | Error _ -> 12
+  | Ping _ -> 13
+  | Pong _ -> 14
 
 (* --- Component codecs ---------------------------------------------- *)
 
@@ -238,10 +242,13 @@ let encode m =
     add_spec w sub_spec;
     Codec.add_opt w Codec.add_string sub_journal;
     Codec.add_bool w sub_resume
-  | Lease_request -> ()
-  | Lease_grant { grant = { lease_id; shard }; spec } ->
-    Codec.add_int w lease_id;
-    add_shard w shard;
+  | Lease_request { max } -> Codec.add_int w max
+  | Lease_grant { grants; spec } ->
+    Codec.add_list w
+      (fun w { lease_id; shard } ->
+        Codec.add_int w lease_id;
+        add_shard w shard)
+      grants;
     add_spec w spec
   | No_work { retry_after } -> Codec.add_f64 w retry_after
   | Cell_result { res_lease; res_shard; res_aggregate; res_telemetry } ->
@@ -269,7 +276,9 @@ let encode m =
   | Done { table; journal } ->
     Codec.add_string w table;
     Codec.add_opt w Codec.add_string journal
-  | Error msg -> Codec.add_string w msg);
+  | Error msg -> Codec.add_string w msg
+  | Ping { nonce } -> Codec.add_int w nonce
+  | Pong { nonce } -> Codec.add_int w nonce);
   (tag m, Codec.contents w)
 
 let decode ~tag ~payload =
@@ -287,12 +296,19 @@ let decode ~tag ~payload =
         let sub_journal = Codec.get_opt r Codec.get_string in
         let sub_resume = Codec.get_bool r in
         Submit_campaign { sub_spec; sub_journal; sub_resume }
-      | 4 -> Lease_request
+      | 4 ->
+        (* A protocol-1 peer sent an empty payload; that meant "one". *)
+        if String.length payload = 0 then Lease_request { max = 1 }
+        else Lease_request { max = Codec.get_int r }
       | 5 ->
-        let lease_id = Codec.get_int r in
-        let shard = get_shard r in
+        let grants =
+          Codec.get_list r (fun r ->
+              let lease_id = Codec.get_int r in
+              let shard = get_shard r in
+              { lease_id; shard })
+        in
         let spec = get_spec r in
-        Lease_grant { grant = { lease_id; shard }; spec }
+        Lease_grant { grants; spec }
       | 6 -> No_work { retry_after = Codec.get_f64 r }
       | 7 ->
         let res_lease = Codec.get_int r in
@@ -333,6 +349,8 @@ let decode ~tag ~payload =
         let journal = Codec.get_opt r Codec.get_string in
         Done { table; journal }
       | 12 -> Error (Codec.get_string r)
+      | 13 -> Ping { nonce = Codec.get_int r }
+      | 14 -> Pong { nonce = Codec.get_int r }
       | t -> raise (Codec.Error (Printf.sprintf "unknown message tag %d" t))
     in
     if not (Codec.finished r) then

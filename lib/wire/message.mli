@@ -62,8 +62,13 @@ type t =
   | Hello of { version : int; role : role }
   | Hello_ack of { version : int }
   | Submit_campaign of submit
-  | Lease_request
-  | Lease_grant of { grant : lease; spec : Spec.t }
+  | Lease_request of { max : int }
+      (** grant me up to [max] leases in one reply — batching amortizes
+          round trips at high shard counts; an empty protocol-1 payload
+          decodes as [max = 1] *)
+  | Lease_grant of { grants : lease list; spec : Spec.t }
+      (** 1 to [max] leases of one campaign; never empty (an empty
+          queue answers [No_work]) *)
   | No_work of { retry_after : float }
       (** nothing leasable right now; poll again after [retry_after] s *)
   | Cell_result of cell_result
@@ -72,6 +77,11 @@ type t =
   | Progress of progress
   | Done of { table : string; journal : string option }
   | Error of string
+  | Ping of { nonce : int }
+      (** heartbeat probe: the coordinator pings lease holders so a
+          wedged-but-connected worker is detected before the full lease
+          timeout; every peer must answer [Pong] with the same nonce *)
+  | Pong of { nonce : int }
 
 val tag : t -> int
 (** The frame tag byte; stable across releases within a protocol

@@ -141,7 +141,7 @@ let gen_shard rng =
   }
 
 let gen_message rng =
-  match Gen.int_range ~lo:0 ~hi:11 rng with
+  match Gen.int_range ~lo:0 ~hi:13 rng with
   | 0 ->
     Msg.Hello
       {
@@ -157,15 +157,19 @@ let gen_message rng =
           (if Gen.bool rng then Some (gen_small_string rng) else None);
         sub_resume = Gen.bool rng;
       }
-  | 3 -> Msg.Lease_request
+  | 3 -> Msg.Lease_request { max = Gen.int_range ~lo:1 ~hi:256 rng }
   | 4 ->
     Msg.Lease_grant
       {
-        grant =
-          {
-            Msg.lease_id = Gen.int_range ~lo:0 ~hi:100000 rng;
-            shard = gen_shard rng;
-          };
+        grants =
+          Gen.list
+            ~len:(Gen.int_range ~lo:1 ~hi:5)
+            (fun rng ->
+              {
+                Msg.lease_id = Gen.int_range ~lo:0 ~hi:100000 rng;
+                shard = gen_shard rng;
+              })
+            rng;
         spec = gen_spec rng;
       }
   | 5 -> Msg.No_work { retry_after = Gen.float_range ~lo:0. ~hi:5. rng }
@@ -211,6 +215,8 @@ let gen_message rng =
         table = gen_small_string rng;
         journal = (if Gen.bool rng then Some (gen_small_string rng) else None);
       }
+  | 11 -> Msg.Ping { nonce = Gen.int_range ~lo:0 ~hi:1000000 rng }
+  | 12 -> Msg.Pong { nonce = Gen.int_range ~lo:0 ~hi:1000000 rng }
   | _ -> Msg.Error (gen_small_string rng)
 
 let arb_message =

@@ -1,12 +1,13 @@
 (* End-to-end serve subsystem tests: daemon, workers and client run in
-   separate domains talking over a real Unix-domain socket.  (Domains,
-   not forks: OCaml forbids [Unix.fork] once any domain has ever been
-   spawned, and the campaign engine spawns domains for [~jobs].)
+   separate domains talking over real sockets — Unix-domain and TCP
+   loopback.  (Domains, not forks: OCaml forbids [Unix.fork] once any
+   domain has ever been spawned, and the campaign engine spawns domains
+   for [~jobs].)
 
    The headline is topology independence: the same spec + seed must
    produce a byte-identical journal whether the campaign runs in
-   process, through a daemon with one socket worker, or through a daemon
-   with several workers one of which dies mid-lease. *)
+   process, through a daemon with one socket worker, through TCP, or
+   through a fleet where workers die or wedge mid-lease. *)
 
 open Helpers
 module Campaign = Nakamoto_campaign
@@ -14,6 +15,7 @@ module Spec = Campaign.Spec
 module Serve = Nakamoto_serve
 module Frame = Nakamoto_wire.Frame
 module Msg = Nakamoto_wire.Message
+module Aggregate = Campaign.Aggregate
 
 let tiny_spec =
   {
@@ -42,48 +44,99 @@ let temp_path tag suffix =
 let cleanup path = if Sys.file_exists path then Sys.remove path
 let silent _ = ()
 
+(* The in-process journal every daemon topology must reproduce
+   byte-for-byte.  Computed once. *)
+let oracle =
+  lazy
+    (let j = temp_path "inproc" ".jsonl" in
+     ignore
+       (Campaign.Campaign.run ~jobs:2 ~journal_path:j ~log:silent tiny_spec);
+     let s = read_file j in
+     cleanup j;
+     s)
+
 (* Domain bodies report an exit-code-like int so the assertions read the
    same as they would for processes. *)
-let spawn_daemon ~socket ?telemetry () =
+let spawn_daemon ?socket ?tcp ?on_tcp_port ?telemetry ?(lease_timeout = 5.)
+    ?heartbeat_interval ?heartbeat_timeout () =
   Domain.spawn (fun () ->
       try
         ignore
-          (Serve.Coordinator.serve ~socket ~max_campaigns:1 ~lease_timeout:5.
-             ?telemetry ~log:silent ());
+          (Serve.Coordinator.serve ?socket ?tcp ?on_tcp_port ~max_campaigns:1
+             ~lease_timeout ?heartbeat_interval ?heartbeat_timeout ?telemetry
+             ~log:silent ());
         0
       with _ -> 3)
 
-let spawn_worker ~socket ?fault () =
+let spawn_worker ~addr ?lease_batch ?fault () =
   Domain.spawn (fun () ->
       try
-        ignore (Serve.Worker.run ~socket ?fault ~log:silent ());
+        ignore (Serve.Worker.run ~addr ?lease_batch ?fault ~log:silent ());
         0
       with _ -> 70)
 
-let submit ?(resume = false) ?on_progress ~socket ~journal () =
-  match Serve.Client.submit ~socket ~journal ~resume ?on_progress tiny_spec with
+let submit ?(resume = false) ?on_progress ~addr ~journal () =
+  match Serve.Client.submit ~addr ~journal ~resume ?on_progress tiny_spec with
   | Ok (table, jpath) ->
     check_true "table is rendered" (String.length table > 0);
     check_true "journal path echoed" (jpath = Some journal)
   | Error e -> Alcotest.failf "submit failed: %s" e
 
-let test_topology_independence () =
-  (* (a) in process *)
-  let j_inproc = temp_path "inproc" ".jsonl" in
-  ignore
-    (Campaign.Campaign.run ~jobs:2 ~journal_path:j_inproc ~log:silent
-       tiny_spec);
-  let oracle = read_file j_inproc in
+(* A hand-driven worker connection, for the tests that need a peer the
+   real [Worker.run] would never be: one that wedges, or one that
+   answers after its lease expired. *)
+let worker_conn ~addr =
+  let fd = Serve.Conn.connect ~addr ~timeout:10. in
+  let ch = Frame.Channel.of_fd fd in
+  (match Serve.Conn.handshake ~role:Msg.Worker ch with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "worker handshake: %s" e);
+  (fd, ch)
 
-  (* (b) daemon + one socket worker, daemon-side telemetry on *)
+let rec await_grant ch =
+  match Msg.recv ~timeout:10. ch with
+  | `Msg (Msg.Lease_grant { grants = [ g ]; spec }) -> (g, spec)
+  | `Msg (Msg.Lease_grant _) -> Alcotest.fail "asked for one lease, got more"
+  | `Msg (Msg.Ping { nonce }) ->
+    Msg.send ch (Msg.Pong { nonce });
+    await_grant ch
+  | `Msg (Msg.No_work _) ->
+    Unix.sleepf 0.05;
+    Msg.send ch (Msg.Lease_request { max = 1 });
+    await_grant ch
+  | `Timeout -> await_grant ch
+  | _ -> Alcotest.fail "unexpected reply to a lease request"
+
+let obtain_grant ch =
+  Msg.send ch (Msg.Lease_request { max = 1 });
+  await_grant ch
+
+(* Stay connected and responsive (pongs flow) without returning the
+   shard — exactly what a slow-but-alive worker looks like. *)
+let idle_answering_pings ch ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  while Unix.gettimeofday () < deadline do
+    match Msg.recv ~timeout:0.2 ch with
+    | `Msg (Msg.Ping { nonce }) -> Msg.send ch (Msg.Pong { nonce })
+    | `Timeout | `Msg _ -> ()
+    | `Eof -> Alcotest.fail "daemon hung up on a live worker"
+    | `Bad m -> Alcotest.failf "protocol error: %s" m
+  done
+
+let test_topology_independence () =
+  let oracle = Lazy.force oracle in
+
+  (* (a) daemon + one socket worker leasing in batches, daemon-side
+     telemetry on *)
   let socket = temp_path "b" ".sock" in
   let j_one = temp_path "one" ".jsonl" in
   let teldir = Filename.temp_file "nakamoto_serve_tel" "" in
   Sys.remove teldir;
   let daemon = spawn_daemon ~socket ~telemetry:teldir () in
-  let worker = spawn_worker ~socket () in
+  let addr = Serve.Conn.Unix_path socket in
+  let worker = spawn_worker ~addr ~lease_batch:3 () in
   let progress_frames = ref 0 in
-  submit ~socket ~journal:j_one ~on_progress:(fun _ -> incr progress_frames) ();
+  submit ~addr ~journal:j_one ~on_progress:(fun _ -> incr progress_frames) ();
   check_int "daemon exits cleanly" 0 (Domain.join daemon);
   check_int "worker exits cleanly on daemon close" 0 (Domain.join worker);
   check_true "progress was streamed" (!progress_frames > 0);
@@ -97,15 +150,16 @@ let test_topology_independence () =
   check_true "worker shard spans exported"
     (contains_substring ~affix:"campaign_shard_seconds" prom);
 
-  (* (c) daemon + a worker that dies mid-lease + a healthy worker.  The
+  (* (b) daemon + a worker that dies mid-lease + a healthy worker.  The
      faulty worker joins alone first, so it necessarily leases shard 0
      and dies computing it; the healthy worker then absorbs the
      requeued lease. *)
   let socket = temp_path "c" ".sock" in
   let j_kill = temp_path "kill" ".jsonl" in
   let daemon = spawn_daemon ~socket () in
+  let addr = Serve.Conn.Unix_path socket in
   let faulty =
-    spawn_worker ~socket
+    spawn_worker ~addr
       ~fault:(Campaign.Faultplan.Raising_worker { task = 0; failures = 1 })
       ()
   in
@@ -113,30 +167,192 @@ let test_topology_independence () =
      around the faulty worker's death. *)
   let client =
     Domain.spawn (fun () ->
-        match Serve.Client.submit ~socket ~journal:j_kill tiny_spec with
+        match Serve.Client.submit ~addr ~journal:j_kill tiny_spec with
         | Ok _ -> 0
         | Error _ | (exception _) -> 4)
   in
   check_int "faulty worker died mid-lease" 70 (Domain.join faulty);
-  let healthy = spawn_worker ~socket () in
+  let healthy = spawn_worker ~addr () in
   check_int "client saw Done" 0 (Domain.join client);
   check_int "daemon exits cleanly" 0 (Domain.join daemon);
   check_int "healthy worker exits cleanly" 0 (Domain.join healthy);
   Alcotest.(check string) "kill-mid-lease journal = in-process journal"
     oracle (read_file j_kill);
 
-  (* (d) server-side resume: a fresh daemon over the finished journal
+  (* (c) server-side resume: a fresh daemon over the finished journal
      recomputes nothing and the bytes stay identical. *)
   let socket = temp_path "d" ".sock" in
   let daemon = spawn_daemon ~socket () in
-  submit ~resume:true ~socket ~journal:j_kill ();
+  submit ~resume:true ~addr:(Serve.Conn.Unix_path socket) ~journal:j_kill ();
   check_int "resume daemon exits cleanly" 0 (Domain.join daemon);
   Alcotest.(check string) "resumed journal untouched" oracle
     (read_file j_kill);
 
   List.iter cleanup
     [
-      j_inproc; j_one; j_kill;
+      j_one; j_kill;
+      Filename.concat teldir "telemetry.prom";
+      Filename.concat teldir "telemetry.jsonl";
+    ];
+  (try Unix.rmdir teldir with Unix.Unix_error _ -> ())
+
+let await_tcp_addr port =
+  let rec go n =
+    if Atomic.get port = 0 then
+      if n > 200 then Alcotest.fail "daemon never reported its TCP port"
+      else begin
+        Unix.sleepf 0.05;
+        go (n + 1)
+      end
+  in
+  go 0;
+  Serve.Conn.Tcp ("127.0.0.1", Atomic.get port)
+
+let test_tcp_topology () =
+  let oracle = Lazy.force oracle in
+
+  (* (a) TCP loopback, one worker: same bytes as the Unix-socket and
+     in-process runs.  Port 0 — the kernel picks, the daemon reports. *)
+  let j_tcp = temp_path "tcp" ".jsonl" in
+  let port = Atomic.make 0 in
+  let daemon =
+    spawn_daemon ~tcp:("127.0.0.1", 0)
+      ~on_tcp_port:(fun p -> Atomic.set port p)
+      ()
+  in
+  let addr = await_tcp_addr port in
+  let worker = spawn_worker ~addr () in
+  submit ~addr ~journal:j_tcp ();
+  check_int "tcp daemon exits cleanly" 0 (Domain.join daemon);
+  check_int "tcp worker exits cleanly" 0 (Domain.join worker);
+  Alcotest.(check string) "tcp journal = in-process journal" oracle
+    (read_file j_tcp);
+
+  (* (b) TCP with a kill mid-lease, same sequencing as the Unix-socket
+     leg. *)
+  let j_tcp_kill = temp_path "tcpkill" ".jsonl" in
+  let port = Atomic.make 0 in
+  let daemon =
+    spawn_daemon ~tcp:("127.0.0.1", 0)
+      ~on_tcp_port:(fun p -> Atomic.set port p)
+      ()
+  in
+  let addr = await_tcp_addr port in
+  let faulty =
+    spawn_worker ~addr
+      ~fault:(Campaign.Faultplan.Raising_worker { task = 0; failures = 1 })
+      ()
+  in
+  let client =
+    Domain.spawn (fun () ->
+        match Serve.Client.submit ~addr ~journal:j_tcp_kill tiny_spec with
+        | Ok _ -> 0
+        | Error _ | (exception _) -> 4)
+  in
+  check_int "faulty tcp worker died mid-lease" 70 (Domain.join faulty);
+  let healthy = spawn_worker ~addr () in
+  check_int "tcp client saw Done" 0 (Domain.join client);
+  check_int "tcp daemon exits cleanly" 0 (Domain.join daemon);
+  check_int "healthy tcp worker exits cleanly" 0 (Domain.join healthy);
+  Alcotest.(check string) "tcp kill-mid-lease journal = in-process journal"
+    oracle (read_file j_tcp_kill);
+  List.iter cleanup [ j_tcp; j_tcp_kill ]
+
+let test_wedged_peer () =
+  (* A worker that takes a lease and then stops reading entirely.  The
+     lease timeout is a deliberately absurd 120 s: if the campaign still
+     completes promptly, the recovery was the heartbeat (probe at 0.5 s,
+     drop after 1.5 s of silence), not lease expiry — and the wedged
+     peer never blocked the select loop for the healthy worker or the
+     client. *)
+  let oracle = Lazy.force oracle in
+  let socket = temp_path "wedge" ".sock" in
+  let j = temp_path "wedge" ".jsonl" in
+  let teldir = Filename.temp_file "nakamoto_wedge_tel" "" in
+  Sys.remove teldir;
+  let daemon =
+    spawn_daemon ~socket ~telemetry:teldir ~lease_timeout:120.
+      ~heartbeat_interval:0.5 ~heartbeat_timeout:1.5 ()
+  in
+  let addr = Serve.Conn.Unix_path socket in
+  let started = Unix.gettimeofday () in
+  let client =
+    Domain.spawn (fun () ->
+        match Serve.Client.submit ~addr ~journal:j tiny_spec with
+        | Ok _ -> 0
+        | Error _ | (exception _) -> 4)
+  in
+  let wedged_fd, wedged_ch = worker_conn ~addr in
+  let _grant = obtain_grant wedged_ch in
+  (* From here the wedged peer neither reads nor writes. *)
+  let healthy = spawn_worker ~addr () in
+  check_int "client saw Done despite the wedged peer" 0 (Domain.join client);
+  let elapsed = Unix.gettimeofday () -. started in
+  check_true "recovery came from the heartbeat, not the 120 s lease timeout"
+    (elapsed < 60.);
+  check_int "daemon exits cleanly" 0 (Domain.join daemon);
+  check_int "healthy worker exits cleanly" 0 (Domain.join healthy);
+  (try Unix.close wedged_fd with Unix.Unix_error _ -> ());
+  Alcotest.(check string) "wedged-peer journal = in-process journal" oracle
+    (read_file j);
+  let prom = read_file (Filename.concat teldir "telemetry.prom") in
+  check_true "the drop is accounted as a heartbeat drop"
+    (contains_substring ~affix:"serve_heartbeat_drops_total 1" prom);
+  List.iter cleanup
+    [
+      j;
+      Filename.concat teldir "telemetry.prom";
+      Filename.concat teldir "telemetry.jsonl";
+    ];
+  (try Unix.rmdir teldir with Unix.Unix_error _ -> ())
+
+let test_late_result () =
+  (* A worker holds its lease past expiry (answering heartbeats, so it
+     is alive — just slow), then returns the shard.  Nobody else has
+     re-leased it, so the late copy must be accepted, not discarded:
+     shards are pure functions of (seed, cell, trial). *)
+  let oracle = Lazy.force oracle in
+  let socket = temp_path "late" ".sock" in
+  let j = temp_path "late" ".jsonl" in
+  let teldir = Filename.temp_file "nakamoto_late_tel" "" in
+  Sys.remove teldir;
+  let daemon = spawn_daemon ~socket ~telemetry:teldir ~lease_timeout:1. () in
+  let addr = Serve.Conn.Unix_path socket in
+  let client =
+    Domain.spawn (fun () ->
+        match Serve.Client.submit ~addr ~journal:j tiny_spec with
+        | Ok _ -> 0
+        | Error _ | (exception _) -> 4)
+  in
+  let fd, ch = worker_conn ~addr in
+  let { Msg.lease_id; shard }, spec = obtain_grant ch in
+  idle_answering_pings ch ~seconds:2.5;
+  (* The lease is long expired; compute and answer anyway. *)
+  let cells = Spec.cells spec in
+  let agg = Campaign.Campaign.run_shard spec cells shard in
+  Msg.send ch
+    (Msg.Cell_result
+       {
+         Msg.res_lease = lease_id;
+         res_shard = shard.Campaign.Shard.id;
+         res_aggregate = Aggregate.snapshot agg;
+         res_telemetry = [];
+       });
+  let healthy = spawn_worker ~addr () in
+  check_int "client saw Done" 0 (Domain.join client);
+  check_int "daemon exits cleanly" 0 (Domain.join daemon);
+  check_int "healthy worker exits cleanly" 0 (Domain.join healthy);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Alcotest.(check string) "late-result journal = in-process journal" oracle
+    (read_file j);
+  let prom = read_file (Filename.concat teldir "telemetry.prom") in
+  check_true "the late result was accepted, not dropped as stale"
+    (contains_substring ~affix:"serve_late_results_total 1" prom);
+  check_true "at least one lease expired on the way"
+    (contains_substring ~affix:"serve_leases_expired_total" prom);
+  List.iter cleanup
+    [
+      j;
       Filename.concat teldir "telemetry.prom";
       Filename.concat teldir "telemetry.jsonl";
     ];
@@ -145,9 +361,10 @@ let test_topology_independence () =
 let test_protocol_edges () =
   let socket = temp_path "edges" ".sock" in
   let daemon = spawn_daemon ~socket () in
+  let addr = Serve.Conn.Unix_path socket in
 
   (* Version mismatch: typed Error frame, then the server hangs up. *)
-  let fd = Serve.Conn.connect ~socket ~timeout:10. in
+  let fd = Serve.Conn.connect ~addr ~timeout:10. in
   let ch = Frame.Channel.of_fd fd in
   Msg.send ch (Msg.Hello { version = 99; role = Msg.Client });
   (match Msg.recv ~timeout:10. ch with
@@ -163,7 +380,7 @@ let test_protocol_edges () =
 
   (* Unknown tag after a clean handshake: typed Error, connection
      survives and still answers queries. *)
-  let fd = Serve.Conn.connect ~socket ~timeout:10. in
+  let fd = Serve.Conn.connect ~addr ~timeout:10. in
   let ch = Frame.Channel.of_fd fd in
   (match Serve.Conn.handshake ~role:Msg.Client ch with
   | Ok () -> ()
@@ -184,7 +401,7 @@ let test_protocol_edges () =
   Unix.close fd;
 
   (* The public assess client. *)
-  (match Serve.Client.assess ~socket ~nu:0.4 ~c:0.2 ~n:1e5 ~delta:1e13 () with
+  (match Serve.Client.assess ~addr ~nu:0.4 ~c:0.2 ~n:1e5 ~delta:1e13 () with
   | Ok a ->
     Alcotest.(check string) "deep in attack territory" "BROKEN" a.Msg.a_zone;
     check_true "rendered verdict included" (String.length a.Msg.a_rendered > 0)
@@ -193,8 +410,8 @@ let test_protocol_edges () =
   (* Drain the daemon with a real campaign (it serves exactly one, then
      returns) — the bad frames above must not have poisoned it. *)
   let journal = temp_path "edges" ".jsonl" in
-  let worker = spawn_worker ~socket () in
-  submit ~socket ~journal ();
+  let worker = spawn_worker ~addr () in
+  submit ~addr ~journal ();
   check_int "daemon exits cleanly after the abuse" 0 (Domain.join daemon);
   check_int "worker exits cleanly" 0 (Domain.join worker);
   cleanup journal;
@@ -204,6 +421,12 @@ let suite =
   [
     case "journal is byte-identical across topologies (incl. worker kill)"
       test_topology_independence;
+    case "tcp loopback reproduces the journal byte-for-byte"
+      test_tcp_topology;
+    case "a wedged peer neither blocks the loop nor keeps its lease"
+      test_wedged_peer;
+    case "a late result for a still-pending shard is accepted"
+      test_late_result;
     case "version mismatch and unknown tags get typed Error frames"
       test_protocol_edges;
   ]

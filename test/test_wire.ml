@@ -99,23 +99,40 @@ let sample_messages () =
       };
     Msg.Submit_campaign
       { Msg.sub_spec = Spec.default; sub_journal = None; sub_resume = false };
-    Msg.Lease_request;
+    Msg.Lease_request { max = 1 };
+    Msg.Lease_request { max = 64 };
     Msg.Lease_grant
       {
-        grant =
-          {
-            Msg.lease_id = 42;
-            shard =
-              {
-                Nakamoto_campaign.Shard.id = 3;
-                cell_index = 1;
-                trial_start = 2;
-                trial_stop = 4;
-                slot = 1;
-              };
-          };
+        grants =
+          [
+            {
+              Msg.lease_id = 42;
+              shard =
+                {
+                  Nakamoto_campaign.Shard.id = 3;
+                  cell_index = 1;
+                  trial_start = 2;
+                  trial_stop = 4;
+                  slot = 1;
+                };
+            };
+            {
+              Msg.lease_id = 43;
+              shard =
+                {
+                  Nakamoto_campaign.Shard.id = 4;
+                  cell_index = 1;
+                  trial_start = 4;
+                  trial_stop = 6;
+                  slot = 2;
+                };
+            };
+          ];
         spec = Spec.default;
       };
+    Msg.Ping { nonce = 0 };
+    Msg.Ping { nonce = max_int };
+    Msg.Pong { nonce = 7 };
     Msg.No_work { retry_after = 0.05 };
     Msg.Cell_result
       {
@@ -180,6 +197,15 @@ let test_spec_survives_the_wire () =
     Alcotest.(check string) "canonical json preserved" (Spec.to_json spec)
       (Spec.to_json sub_spec)
   | Ok _ -> Alcotest.fail "decoded to a different constructor"
+  | Error e -> Alcotest.fail e
+
+let test_empty_lease_request_decodes_as_one () =
+  (* Protocol-1 peers sent Lease_request with an empty payload; the
+     decoder keeps reading that as a batch of one. *)
+  let tag, _ = Msg.encode (Msg.Lease_request { max = 1 }) in
+  match Msg.decode ~tag ~payload:"" with
+  | Ok (Msg.Lease_request { max = 1 }) -> ()
+  | Ok _ -> Alcotest.fail "empty lease request must decode as { max = 1 }"
   | Error e -> Alcotest.fail e
 
 let test_unknown_tag_is_typed_error () =
@@ -286,12 +312,37 @@ let test_channel_write_read_round_trip () =
   Unix.close a;
   Unix.close b
 
+let test_channel_cap_governs_both_directions () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cha = Frame.Channel.of_fd ~max_payload:32 a in
+  let chb = Frame.Channel.of_fd ~max_payload:32 b in
+  (* In-cap traffic flows. *)
+  Frame.Channel.write cha ~tag:1 ~payload:(String.make 32 'x');
+  (match Frame.Channel.read ~timeout:5. chb with
+  | `Frame (1, p) -> check_int "in-cap payload arrives" 32 (String.length p)
+  | _ -> Alcotest.fail "in-cap frame must arrive");
+  (* The write side enforces the channel's own cap, not the default:
+     a frame this channel's peer must reject is refused at the source. *)
+  (match Frame.Channel.write cha ~tag:2 ~payload:(String.make 33 'y') with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "oversized write must be refused at the channel cap");
+  (* The read side rejects an oversized frame a raw fd smuggles past the
+     channel (the raw write is governed only by the default cap). *)
+  Frame.write b ~tag:3 ~payload:(String.make 64 'z');
+  (match Frame.Channel.read ~timeout:5. cha with
+  | `Bad e -> check_true "names the cap" (contains_substring ~affix:"cap" e)
+  | _ -> Alcotest.fail "oversized frame must be `Bad at the reader's cap");
+  Unix.close a;
+  Unix.close b
+
 let suite =
   [
     case "codec primitives round-trip bit-exactly" test_codec_primitives;
     case "codec truncation raises typed errors" test_codec_truncation_raises;
     case "every message round-trips through its frame" test_message_round_trips;
     case "a spec crosses the wire fingerprint-intact" test_spec_survives_the_wire;
+    case "an empty lease request still decodes as a batch of one"
+      test_empty_lease_request_decodes_as_one;
     case "unknown tag and trailing garbage are typed errors"
       test_unknown_tag_is_typed_error;
     case "two frames in one chunk both arrive" test_decoder_two_frames_one_feed;
@@ -302,4 +353,6 @@ let suite =
     case "clean EOF and timeout are distinct"
       test_channel_clean_eof_and_timeout;
     case "channel write/read round-trips" test_channel_write_read_round_trip;
+    case "the channel cap governs both directions"
+      test_channel_cap_governs_both_directions;
   ]
