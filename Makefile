@@ -121,6 +121,38 @@ serve-smoke:
 	_build/default/bench/main.exe --servescale-smoke
 	rm -f _serve_smoke.sock _serve_smoke.jsonl _serve_smoke_tcp.jsonl
 
+# Surface regeneration determinism: the same box built twice on one
+# domain and once on two must be byte-identical, and must match the
+# committed golden (bin + canonical-JSON header) byte-for-byte — the
+# file is a pure function of the build inputs, so a drifting fingerprint
+# means the certifier or the format changed.  Regenerate after a
+# deliberate change by rerunning the first dune exec line with
+# --out test/golden/surface_smoke.bin and piping `surface info --header`
+# over test/golden/surface_smoke_header.json.
+SURFACE_SMOKE_BOX = -p 1.1e-4:1.4e-4:3:log -n 100:140:3:log \
+  --delta 28:36:3:log --nu 0.012:0.016:3:lin
+surface-smoke:
+	dune exec bin/main.exe -- surface build $(SURFACE_SMOKE_BOX) \
+	  --out _surface_smoke.bin >/dev/null
+	dune exec bin/main.exe -- surface build $(SURFACE_SMOKE_BOX) \
+	  --out _surface_smoke_b.bin >/dev/null
+	cmp _surface_smoke.bin _surface_smoke_b.bin
+	dune exec bin/main.exe -- surface build $(SURFACE_SMOKE_BOX) --jobs 2 \
+	  --out _surface_smoke_b.bin >/dev/null
+	cmp _surface_smoke.bin _surface_smoke_b.bin
+	cmp _surface_smoke.bin test/golden/surface_smoke.bin
+	dune exec bin/main.exe -- surface info _surface_smoke.bin --header \
+	  > _surface_smoke_header.json
+	cmp _surface_smoke_header.json test/golden/surface_smoke_header.json
+	rm -f _surface_smoke.bin _surface_smoke_b.bin _surface_smoke_header.json
+
+# ASSESSSCALE smoke: cached surface queries must run at least 20x the
+# exact solver on the certified depth-3 plateau at enumerable Delta
+# (where each exact call pays a Delta-state stationary solve).  Emits
+# BENCH_ASSESSSCALE.json with the measured cell.
+assessscale-smoke:
+	dune exec bench/main.exe -- --assessscale-smoke
+
 # The property tier's oracle-focused run: the differential oracle (50
 # generated scenarios through Exact / Aggregate / state-process lanes),
 # the stationary cross-checks, and the Δ-ring vs queue-lane equivalence.
@@ -143,7 +175,8 @@ soak:
 	dune build @soak
 
 check: all test campaign-smoke faultinject-smoke telemetry-smoke \
-  serve-smoke bench-exec-smoke markov-smoke proptest-smoke
+  serve-smoke bench-exec-smoke markov-smoke surface-smoke \
+  assessscale-smoke proptest-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -156,5 +189,5 @@ artifacts:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 .PHONY: all test bench examples artifacts campaign-smoke faultinject-smoke \
-  telemetry-smoke serve-smoke bench-exec-smoke markov-smoke proptest-smoke \
-  soak check
+  telemetry-smoke serve-smoke bench-exec-smoke markov-smoke surface-smoke \
+  assessscale-smoke proptest-smoke soak check

@@ -1454,6 +1454,199 @@ let servescale_smoke () =
   print_endline "servescale smoke OK"
 
 (* ------------------------------------------------------------------ *)
+(* ASSESSSCALE: certified surface queries/sec vs the exact solver      *)
+(* ------------------------------------------------------------------ *)
+
+module Surface = Nakamoto_surface
+
+(* The box sits on the confirmation-depth plateau (rate ratio 0.02-0.04,
+   depth 3 everywhere) at enumerable Delta, where the exact assessment
+   pays a Delta-state stationary solve per point (the suffix-chain
+   health probe) — the regime a precomputed surface exists to amortize.
+   Queries draw integer Delta so every exact call pays that full cost. *)
+let assessscale_box ~count =
+  Surface.Grid.create
+    ~p:(Surface.Grid.axis ~lo:1.6e-6 ~hi:1.9e-6 ~count ~scale:Surface.Grid.Log)
+    ~n:(Surface.Grid.axis ~lo:100. ~hi:140. ~count ~scale:Surface.Grid.Log)
+    ~delta:
+      (Surface.Grid.axis ~lo:1800. ~hi:2048. ~count ~scale:Surface.Grid.Log)
+    ~nu:
+      (Surface.Grid.axis ~lo:0.012 ~hi:0.016 ~count
+         ~scale:Surface.Grid.Linear)
+
+let assessscale_queries ~count:n =
+  let rng = Prob.Rng.create ~seed:41L in
+  let log_range lo hi = lo *. exp (Prob.Rng.float rng *. log (hi /. lo)) in
+  Array.init n (fun _ ->
+      Core.Params.create
+        ~p:(log_range 1.6e-6 1.9e-6)
+        ~n:(log_range 100. 140.)
+        ~delta:(float_of_int (1800 + Prob.Rng.int rng ~bound:249))
+        ~nu:(0.012 +. (Prob.Rng.float rng *. 0.004)))
+
+type as_cell = {
+  as_count : int;
+  as_cells : int;
+  as_full : int;
+  as_build : float;
+  as_queries : int;
+  as_hits : int;
+  as_exact_rate : float;
+  as_cached_rate : float;
+}
+
+(* One density row: build the surface, keep only queries the table can
+   serve cached (interiors of fully-conclusive cells — the fair
+   comparison; fallbacks would just time the exact solver twice), then
+   race the two paths over the same points. *)
+let assessscale_cell ~count ~queries ~exact_rate =
+  let t0 = Unix.gettimeofday () in
+  let table = Surface.Table.build (assessscale_box ~count) in
+  let build = Unix.gettimeofday () -. t0 in
+  let _, _, full = Surface.Table.conclusive_counts table in
+  let cached_pts =
+    Array.of_list
+      (List.filter
+         (fun p -> (Surface.Table.assess_cached table p).Core.Assessment.v_cached)
+         (Array.to_list queries))
+  in
+  let reps = max 1 (50_000 / max 1 (Array.length cached_pts)) in
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for _ = 1 to reps do
+    Array.iter
+      (fun p ->
+        let v = Surface.Table.assess_cached table p in
+        if v.Core.Assessment.v_cached then incr acc)
+      cached_pts
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let served = reps * Array.length cached_pts in
+  assert (!acc = served);
+  {
+    as_count = count;
+    as_cells = Surface.Grid.cell_count (Surface.Table.grid table);
+    as_full = full;
+    as_build = build;
+    as_queries = Array.length queries;
+    as_hits = Array.length cached_pts;
+    as_exact_rate = exact_rate;
+    as_cached_rate = float_of_int served /. dt;
+  }
+
+(* The exact rate is a property of the solver, not of any table: measure
+   it once over the query set and share it across density rows. *)
+let assessscale_exact_rate queries =
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  Array.iter
+    (fun p ->
+      match (Core.Assessment.assess p).Core.Assessment.confirmations with
+      | Some c -> acc := !acc + c.Core.Confirmation.confirmations
+      | None -> ())
+    queries;
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore !acc;
+  float_of_int (Array.length queries) /. dt
+
+let assessscale_json cells ~path =
+  let oc = open_out path in
+  let row c =
+    Printf.sprintf
+      "  {\"count\": %d, \"cells\": %d, \"fully_conclusive\": %d, \
+       \"build_seconds\": %.6f, \"queries\": %d, \"cached_hits\": %d, \
+       \"exact_qps\": %.1f, \"cached_qps\": %.1f, \"speedup\": %.1f}"
+      c.as_count c.as_cells c.as_full c.as_build c.as_queries c.as_hits
+      c.as_exact_rate c.as_cached_rate
+      (c.as_cached_rate /. c.as_exact_rate)
+  in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row cells));
+  close_out oc;
+  Printf.printf "(json: %s)\n" path
+
+let assessscale_table ~title cells =
+  let t =
+    Table.create ~title
+      ~columns:
+        [
+          "grid";
+          "cells";
+          "conclusive";
+          "build s";
+          "hit rate";
+          "exact q/s";
+          "cached q/s";
+          "speedup";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          Table.Text (Printf.sprintf "%d^4" c.as_count);
+          Table.Int c.as_cells;
+          Table.Int c.as_full;
+          Table.Float c.as_build;
+          Table.Float
+            (float_of_int c.as_hits /. float_of_int c.as_queries);
+          Table.Float c.as_exact_rate;
+          Table.Float c.as_cached_rate;
+          Table.Float (c.as_cached_rate /. c.as_exact_rate);
+        ])
+    cells;
+  print_table t
+
+let regen_assessscale () =
+  section
+    "ASSESSSCALE: certified surface lookups vs exact per-point solves \
+     (enumerable Delta 1800-2048, depth-3 plateau)";
+  let queries = assessscale_queries ~count:120 in
+  let exact_rate = assessscale_exact_rate queries in
+  let cells =
+    List.map
+      (fun count -> assessscale_cell ~count ~queries ~exact_rate)
+      [ 3; 4; 6 ]
+  in
+  assessscale_table
+    ~title:
+      "integer-Delta queries; exact pays the Delta-state suffix solve, \
+       cached interpolates the certified table"
+    cells;
+  assessscale_json cells ~path:"BENCH_ASSESSSCALE.json"
+
+(* Smoke mode (`--assessscale-smoke`, wired into `make check` via
+   `make assessscale-smoke`): one density with hard assertions — exits
+   nonzero if cached queries stop being at least 20x the exact solver,
+   or if the box stops certifying. *)
+let assessscale_smoke () =
+  section
+    "ASSESSSCALE (smoke): cached surface queries must run 20x the exact \
+     solver on the certified plateau";
+  let queries = assessscale_queries ~count:40 in
+  let exact_rate = assessscale_exact_rate queries in
+  let cell = assessscale_cell ~count:4 ~queries ~exact_rate in
+  assessscale_json [ cell ] ~path:"BENCH_ASSESSSCALE.json";
+  Printf.printf
+    "exact: %.1f q/s, cached: %.1f q/s (%.0fx), %d/%d queries served \
+     cached, %d/%d cells fully conclusive\n"
+    cell.as_exact_rate cell.as_cached_rate
+    (cell.as_cached_rate /. cell.as_exact_rate)
+    cell.as_hits cell.as_queries cell.as_full cell.as_cells;
+  if cell.as_full * 2 < cell.as_cells then begin
+    print_endline "FAIL: under half the box certified — grid drifted off the plateau";
+    exit 1
+  end;
+  if cell.as_hits * 2 < cell.as_queries then begin
+    print_endline "FAIL: under half the queries served cached";
+    exit 1
+  end;
+  if not (cell.as_cached_rate >= 20. *. cell.as_exact_rate) then begin
+    print_endline "FAIL: cached queries below 20x the exact solver";
+    exit 1
+  end;
+  print_endline "assessscale smoke OK"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing benches                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1567,6 +1760,10 @@ let () =
     servescale_smoke ();
     exit 0
   end;
+  if Array.exists (String.equal "--assessscale-smoke") Sys.argv then begin
+    assessscale_smoke ();
+    exit 0
+  end;
   regen_fig1 ();
   regen_fig2 ();
   regen_tab1 ();
@@ -1590,6 +1787,7 @@ let () =
   regen_execscale ();
   regen_markovscale ();
   regen_servescale ();
+  regen_assessscale ();
   run_bechamel ();
   print_newline ();
   print_endline

@@ -10,6 +10,7 @@ module Core = Nakamoto_core
 module Sim = Nakamoto_sim
 module Campaign = Nakamoto_campaign
 module Serve = Nakamoto_serve
+module Surface = Nakamoto_surface
 
 (* NAKAMOTO_TELEMETRY_CLOCK=zero freezes every span at 0s — the hook
    behind the byte-stable golden smoke checks. *)
@@ -281,16 +282,268 @@ let montecarlo_cmd =
 
 (* assess *)
 
-let assess_cmd =
-  let run nu c n delta =
-    let p = Core.Params.of_c ~n ~delta ~nu ~c in
-    Format.printf "%a@." Core.Assessment.pp (Core.Assessment.assess p)
+(* One JSONL batch line: {"nu":..., "c":...} or {"nu":..., "p":...},
+   with optional "n" and "delta" falling back to the point-mode
+   defaults.  Bad lines become {"ok":false,...} records — the batch
+   never aborts; in particular a depth-limited confirmation search
+   (Confirmation.Depth_limited) comes back as an ok record with no
+   "confirmations" key and "conf_reason":"depth_limited". *)
+let batch_params_of_json j =
+  let open Campaign.Json in
+  let fopt k = Option.map to_float (member_opt j k) in
+  let n = Option.value (fopt "n") ~default:1e5 in
+  let delta = Option.value (fopt "delta") ~default:1e13 in
+  let nu =
+    match fopt "nu" with
+    | Some v -> v
+    | None -> raise (Malformed "missing key nu")
   in
-  let term = Term.(const run $ nu_arg $ c_arg ~default:3. $ n_arg $ delta_arg) in
+  match (fopt "p", fopt "c") with
+  | Some _, Some _ -> raise (Malformed "give p or c, not both")
+  | Some p, None -> Core.Params.create ~p ~n ~delta ~nu
+  | None, Some c -> Core.Params.of_c ~n ~delta ~nu ~c
+  | None, None -> raise (Malformed "missing key p or c")
+
+let batch_record_of_verdict ~line (v : Core.Assessment.verdict) =
+  let open Campaign.Json in
+  let p = v.Core.Assessment.v_params in
+  let opt k = function None -> [] | Some x -> [ (k, x) ] in
+  render
+    (Obj
+       ([
+          ("ok", Bool true);
+          ("line", Num (string_of_int line));
+          ("p", Num (float_str p.Core.Params.p));
+          ("n", Num (float_str p.Core.Params.n));
+          ("delta", Num (float_str p.Core.Params.delta));
+          ("nu", Num (float_str p.Core.Params.nu));
+          ("c", Num (float_str (Core.Params.c p)));
+          ("zone", Str (Core.Assessment.zone_to_string v.v_zone));
+          ("margin", Num (float_str v.v_margin));
+          ("margin_lo", Num (float_str v.v_margin_lo));
+          ("margin_hi", Num (float_str v.v_margin_hi));
+          ("cached", Bool v.v_cached);
+        ]
+       @ opt "confirmations"
+           (Option.map (fun z -> Num (string_of_int z)) v.v_confirmations)
+       @ opt "conf_reason" (Option.map (fun r -> Str r) v.v_conf_reason)
+       @ opt "fallback" (Option.map (fun r -> Str r) v.v_fallback)))
+
+let batch_error ~line msg =
+  let open Campaign.Json in
+  render
+    (Obj
+       [
+         ("ok", Bool false);
+         ("line", Num (string_of_int line));
+         ("error", Str msg);
+       ])
+
+let assess_cmd =
+  let run nu c n delta surface_path stdin_jsonl =
+    let surface =
+      match surface_path with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (Surface.Table.load path)
+    in
+    match surface with
+    | Error e -> `Error (false, e)
+    | Ok surface ->
+      let assess_one params =
+        match surface with
+        | Some t -> Surface.Table.assess_cached t params
+        | None -> Core.Assessment.verdict_of (Core.Assessment.assess params)
+      in
+      if stdin_jsonl then begin
+        let hits = ref 0 and fallbacks = ref 0 and errors = ref 0 in
+        let line = ref 0 in
+        (try
+           while true do
+             let raw = input_line stdin in
+             incr line;
+             if String.trim raw <> "" then
+               let record =
+                 match
+                   assess_one (batch_params_of_json (Campaign.Json.parse raw))
+                 with
+                 | v ->
+                   if v.Core.Assessment.v_cached then incr hits
+                   else incr fallbacks;
+                   batch_record_of_verdict ~line:!line v
+                 | exception Campaign.Json.Malformed m ->
+                   incr errors;
+                   batch_error ~line:!line m
+                 | exception Invalid_argument m ->
+                   incr errors;
+                   batch_error ~line:!line m
+               in
+               print_endline record
+           done
+         with End_of_file -> ());
+        if surface <> None then
+          Printf.eprintf "assess: %d cached, %d exact, %d bad lines\n%!" !hits
+            !fallbacks !errors;
+        `Ok ()
+      end
+      else begin
+        let p = Core.Params.of_c ~n ~delta ~nu ~c in
+        (match surface with
+        | Some _ ->
+          Format.printf "%a@." Core.Assessment.pp_verdict (assess_one p)
+        | None -> Format.printf "%a@." Core.Assessment.pp (Core.Assessment.assess p));
+        `Ok ()
+      end
+  in
+  let surface_arg =
+    Arg.(value & opt (some string) None
+         & info [ "surface" ] ~docv:"FILE"
+             ~doc:"Answer from a precomputed certified surface (see \
+                   $(b,surface build)); queries outside the table or in \
+                   inconclusive cells fall back to the exact solver.")
+  in
+  let stdin_jsonl_arg =
+    Arg.(value & flag
+         & info [ "stdin-jsonl" ]
+             ~doc:"Batch mode: read one JSON object per stdin line \
+                   ({\"nu\":..,\"c\":..} or {\"nu\":..,\"p\":..}, optional \
+                   \"n\"/\"delta\") and write one JSON verdict per line.  \
+                   Bad lines yield {\"ok\":false} records; the batch \
+                   continues.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ nu_arg $ c_arg ~default:3. $ n_arg $ delta_arg
+        $ surface_arg $ stdin_jsonl_arg))
+  in
   Cmd.v
     (Cmd.info "assess"
        ~doc:"Full security assessment of one parameter point (the flagship query).")
     term
+
+(* surface *)
+
+let parse_axis s =
+  match String.split_on_char ':' s with
+  | [ lo; hi; count; scale ] -> (
+    match
+      (float_of_string_opt lo, float_of_string_opt hi, int_of_string_opt count)
+    with
+    | Some lo, Some hi, Some count -> (
+      let mk scale =
+        match Surface.Grid.axis ~lo ~hi ~count ~scale with
+        | axis -> Ok axis
+        | exception Invalid_argument m -> Error m
+      in
+      match scale with
+      | "lin" -> mk Surface.Grid.Linear
+      | "log" -> mk Surface.Grid.Log
+      | other -> Error (Printf.sprintf "%S: scale must be lin or log" other))
+    | _ -> Error (Printf.sprintf "%S: expected LO:HI:COUNT:SCALE" s))
+  | _ -> Error (Printf.sprintf "%S: expected LO:HI:COUNT:SCALE" s)
+
+let axis_arg ~name ~default ~doc =
+  Arg.(value & opt string default & info [ name ] ~docv:"LO:HI:COUNT:SCALE" ~doc)
+
+let surface_build_cmd =
+  let run p n delta nu out jobs epsilon conf_limit refine =
+    match (parse_axis p, parse_axis n, parse_axis delta, parse_axis nu) with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+      ->
+      `Error (false, e)
+    | Ok p, Ok n, Ok delta, Ok nu -> (
+      match
+        let grid = Surface.Grid.create ~p ~n ~delta ~nu in
+        Surface.Table.build ~jobs ~epsilon ~conf_limit ~refine grid
+      with
+      | exception Invalid_argument m -> `Error (false, m)
+      | table ->
+        Surface.Table.save table ~path:out;
+        Printf.printf "%s\n" (Surface.Table.describe table);
+        Printf.printf "(surface written to %s)\n" out;
+        `Ok ())
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"PATH" ~doc:"Output surface file.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"J"
+             ~doc:"Certify cells on J domains (the bytes are identical \
+                   for every J).")
+  in
+  let epsilon_arg =
+    Arg.(value & opt float Surface.Table.default_epsilon
+         & info [ "epsilon" ] ~docv:"EPS"
+             ~doc:"Double-spend risk target for the certified depths.")
+  in
+  let conf_limit_arg =
+    Arg.(value & opt int Surface.Table.default_conf_limit
+         & info [ "conf-limit" ] ~docv:"Z"
+             ~doc:"Give up certifying a cell's depth past Z confirmations.")
+  in
+  let refine_arg =
+    Arg.(value & opt int Surface.Table.default_refine
+         & info [ "refine" ] ~docv:"R"
+             ~doc:"Split each cell into R^4 sub-boxes for the depth \
+                   certification (fights interval dependency blow-up).")
+  in
+  let term =
+    Term.(
+      ret
+        (const run
+        $ axis_arg ~name:"p" ~default:"1.1e-4:1.4e-4:4:log"
+            ~doc:"Proof-of-work hardness axis."
+        $ axis_arg ~name:"n" ~default:"100:140:4:log" ~doc:"Miner-count axis."
+        $ axis_arg ~name:"delta" ~default:"28:36:4:log"
+            ~doc:"Delay-bound axis."
+        $ axis_arg ~name:"nu" ~default:"0.012:0.016:4:lin"
+            ~doc:"Adversarial-fraction axis."
+        $ out_arg $ jobs_arg $ epsilon_arg $ conf_limit_arg $ refine_arg))
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Precompute an interval-certified assessment surface over a \
+          (p, n, Delta, nu) box.")
+    term
+
+let surface_info_cmd =
+  let run path header =
+    match Surface.Table.load path with
+    | Error e -> `Error (false, e)
+    | Ok t ->
+      if header then print_endline (Surface.Table.header_json t)
+      else begin
+        print_endline (Surface.Table.describe t);
+        let zones, confs, full = Surface.Table.conclusive_counts t in
+        Printf.printf
+          "zones certified %d, depths certified %d, fully conclusive %d\n"
+          zones confs full
+      end;
+      `Ok ()
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Surface file to inspect.")
+  in
+  let header_arg =
+    Arg.(value & flag
+         & info [ "header" ] ~doc:"Print the canonical JSON header only.")
+  in
+  let term = Term.(ret (const run $ path_arg $ header_arg)) in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a surface file (or dump its header).")
+    term
+
+let surface_cmd =
+  Cmd.group
+    (Cmd.info "surface"
+       ~doc:
+         "Build and inspect precomputed interval-certified assessment \
+          surfaces.")
+    [ surface_build_cmd; surface_info_cmd ]
 
 (* sweep *)
 
@@ -673,7 +926,7 @@ let campaign_cmd =
 
 let serve_cmd =
   let run socket listen max_campaigns max_conns lease_timeout telemetry
-      verbose =
+      surface_path verbose =
     setup_logging verbose;
     let max_campaigns = if max_campaigns = 0 then None else Some max_campaigns in
     let telemetry_clock = telemetry_clock_env () in
@@ -682,15 +935,20 @@ let serve_cmd =
       | None -> Ok None
       | Some hp -> Result.map Option.some (parse_hostport hp)
     in
-    match tcp with
-    | Error e -> `Error (false, e)
-    | Ok _ when socket = None && listen = None ->
+    let surface =
+      match surface_path with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (Surface.Table.load path)
+    in
+    match (tcp, surface) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok _, _ when socket = None && listen = None ->
       `Error (false, "serve needs --socket SOCK, --listen HOST:PORT, or both")
-    | Ok tcp -> (
+    | Ok tcp, Ok surface -> (
       let on_tcp_port p = Printf.eprintf "serve: tcp port %d\n%!" p in
       match
         Serve.Coordinator.serve ?socket ?tcp ?max_campaigns ~max_conns
-          ~lease_timeout ?telemetry ?telemetry_clock ~on_tcp_port ()
+          ~lease_timeout ?telemetry ?telemetry_clock ?surface ~on_tcp_port ()
       with
       | served ->
         Printf.printf "served %d campaign%s\n" served
@@ -741,11 +999,19 @@ let serve_cmd =
                    late-result counters, the workers' shard instruments) \
                    into DIR at each campaign completion.")
   in
+  let surface_arg =
+    Arg.(value & opt (some string) None
+         & info [ "surface" ] ~docv:"FILE"
+             ~doc:"Answer assess queries from this precomputed certified \
+                   surface, falling back to the exact solver outside its \
+                   conclusive cells.")
+  in
   let term =
     Term.(
       ret
         (const run $ socket_arg $ listen_arg $ max_campaigns_arg
-        $ max_conns_arg $ lease_timeout_arg $ telemetry_arg $ verbose_arg))
+        $ max_conns_arg $ lease_timeout_arg $ telemetry_arg $ surface_arg
+        $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -876,7 +1142,7 @@ let () =
       [
         bound_cmd; numax_cmd; figure1_cmd; figure2_cmd; table1_cmd; remark1_cmd;
         simulate_cmd; montecarlo_cmd; campaign_cmd; verify_cmd; confirm_cmd;
-        trace_cmd; sweep_cmd; assess_cmd; serve_cmd; worker_cmd;
+        trace_cmd; sweep_cmd; assess_cmd; surface_cmd; serve_cmd; worker_cmd;
       ]
   in
   exit (Cmd.eval group)

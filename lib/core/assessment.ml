@@ -21,6 +21,7 @@ type t = {
   pss_threshold : float;
   attack_threshold : float;
   confirmations : Confirmation.assessment option;
+  confirmation_failure : Confirmation.unavailable option;
   growth_bounds : float * float;
   quality_bound : float;
   suffix_diagnostics : suffix_diagnostics option;
@@ -46,15 +47,14 @@ let assess (params : Params.t) =
     else if c < attack_threshold then Broken
     else Gap
   in
-  let confirmations =
+  let confirmations, confirmation_failure =
     (* Degrades to None outside the consistency region, and when the
        ratio is so close to 1 that no depth within the search limit
-       suffices — both reported by [Confirmation.assess] as
-       Invalid_argument. *)
-    if nu = 0. then None
-    else match Confirmation.assess params with
-      | a -> Some a
-      | exception Invalid_argument _ -> None
+       suffices — the typed reason is kept alongside so batch callers
+       can report why. *)
+    match Confirmation.assess_checked params with
+    | Ok a -> (Some a, None)
+    | Error reason -> (None, Some reason)
   in
   let suffix_diagnostics =
     (* Only for enumerable integer Δ: solves C_F through the dense/sparse
@@ -100,6 +100,7 @@ let assess (params : Params.t) =
        else 2. *. Params.mu params *. Params.mu params /. (1. -. (2. *. nu)));
     attack_threshold;
     confirmations;
+    confirmation_failure;
     growth_bounds =
       ( Growth_quality.growth_rate_lower_bound params,
         Growth_quality.growth_rate_upper_bound params );
@@ -122,7 +123,13 @@ let pp fmt t =
   | Some a ->
     Format.fprintf fmt "  confirmations (1e-3)   %d (residual %.2e)@,"
       a.Confirmation.confirmations a.Confirmation.residual_risk
-  | None -> Format.fprintf fmt "  confirmations          n/a@,");
+  | None ->
+    let reason =
+      match t.confirmation_failure with
+      | Some r -> Printf.sprintf " (%s)" (Confirmation.unavailable_label r)
+      | None -> ""
+    in
+    Format.fprintf fmt "  confirmations          n/a%s@," reason);
   (match t.suffix_diagnostics with
   | Some d ->
     Format.fprintf fmt
@@ -134,6 +141,54 @@ let pp fmt t =
   let lo, hi = t.growth_bounds in
   Format.fprintf fmt "  growth per round       [%.4g, %.4g]@," lo hi;
   Format.fprintf fmt "  quality floor          %.4f@]" t.quality_bound
+
+type verdict = {
+  v_params : Params.t;
+  v_zone : zone;
+  v_margin : float;
+  v_margin_lo : float;
+  v_margin_hi : float;
+  v_confirmations : int option;
+  v_conf_reason : string option;
+  v_cached : bool;
+  v_fallback : string option;
+}
+
+let verdict_of (t : t) =
+  {
+    v_params = t.params;
+    v_zone = t.zone;
+    v_margin = t.neat_margin;
+    v_margin_lo = t.neat_margin;
+    v_margin_hi = t.neat_margin;
+    v_confirmations =
+      Option.map (fun a -> a.Confirmation.confirmations) t.confirmations;
+    v_conf_reason =
+      Option.map Confirmation.unavailable_label t.confirmation_failure;
+    v_cached = false;
+    v_fallback = None;
+  }
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "@[<v>verdict for %a@," Params.pp v.v_params;
+  Format.fprintf fmt "  zone                   %s%s@,"
+    (zone_to_string v.v_zone)
+    (if v.v_cached then "  (cached)"
+     else
+       match v.v_fallback with
+       | Some reason -> Printf.sprintf "  (exact fallback: %s)" reason
+       | None -> "");
+  if v.v_margin_lo = v.v_margin_hi then
+    Format.fprintf fmt "  neat margin            %+.4f@," v.v_margin
+  else
+    Format.fprintf fmt
+      "  neat margin            %+.4f  certified in [%+.6f, %+.6f]@,"
+      v.v_margin v.v_margin_lo v.v_margin_hi;
+  match (v.v_confirmations, v.v_conf_reason) with
+  | Some z, _ -> Format.fprintf fmt "  confirmations (1e-3)   %d@]" z
+  | None, Some reason ->
+    Format.fprintf fmt "  confirmations          n/a (%s)@]" reason
+  | None, None -> Format.fprintf fmt "  confirmations          n/a@]"
 
 let to_table assessments =
   let t =

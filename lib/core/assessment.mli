@@ -41,6 +41,8 @@ type t = {
   confirmations : Confirmation.assessment option;
       (** settlement depth at the default risk target; [None] when
           [nu = 0] or the point is outside the consistency region *)
+  confirmation_failure : Confirmation.unavailable option;
+      (** why [confirmations] is [None], when it is *)
   growth_bounds : float * float;  (** (pessimistic, optimistic) per round *)
   quality_bound : float;  (** delta-adjusted chain-quality floor *)
   suffix_diagnostics : suffix_diagnostics option;
@@ -58,6 +60,32 @@ val zone_to_string : zone -> string
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human rendering. *)
+
+type verdict = {
+  v_params : Params.t;
+  v_zone : zone;
+  v_margin : float;  (** neat margin, point estimate *)
+  v_margin_lo : float;
+  v_margin_hi : float;
+      (** certified enclosure of the margin; degenerate (equal to
+          [v_margin]) when the answer came from the exact solver *)
+  v_confirmations : int option;
+  v_conf_reason : string option;
+      (** {!Confirmation.unavailable_label} tag when confirmations are
+          [None] *)
+  v_cached : bool;  (** answered from a precomputed surface *)
+  v_fallback : string option;
+      (** when a surface query fell back to the exact solver, why:
+          ["outside_box"] | ["zone_boundary"] | ["conf_boundary"] *)
+}
+(** The compact query-serving answer: what a cached surface can return
+    in common with the exact solver.  [Nakamoto_surface.Table] answers
+    these from its cells; {!verdict_of} projects a full exact
+    {!t} onto one (with [v_cached = false]). *)
+
+val verdict_of : t -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit
 
 val to_table : t list -> Nakamoto_numerics.Table.t
 (** One row per assessed point. *)

@@ -85,36 +85,56 @@ type assessment = {
   residual_risk : float;
 }
 
-let assess ?(epsilon = 1e-3) (params : Params.t) =
-  if params.nu = 0. then
-    invalid_arg "Confirmation.assess: nu = 0 has nothing to defend against";
-  let honest_rate = Conv_chain.convergence_rate params in
-  let adversary_rate = Params.adversary_rate params in
-  let rate_ratio = adversary_rate /. honest_rate in
-  if not (rate_ratio < 1.) then
+type unavailable =
+  | No_adversary
+  | Outside_consistency of { rate_ratio : float }
+  | Depth_limited of { rate_ratio : float; limit : int }
+
+let unavailable_label = function
+  | No_adversary -> "no_adversary"
+  | Outside_consistency _ -> "outside_consistency"
+  | Depth_limited _ -> "depth_limited"
+
+let assess_checked ?(epsilon = 1e-3) (params : Params.t) =
+  if params.nu = 0. then Error No_adversary
+  else begin
+    let honest_rate = Conv_chain.convergence_rate params in
+    let adversary_rate = Params.adversary_rate params in
+    let rate_ratio = adversary_rate /. honest_rate in
+    if not (rate_ratio < 1.) then Error (Outside_consistency { rate_ratio })
+    else
+      match confirmations_for ~ratio:rate_ratio ~epsilon () with
+      | None ->
+        (* A ratio this close to 1 would want >10_000 confirmations: for
+           any practical purpose the parameters are not settleable. *)
+        Error (Depth_limited { rate_ratio; limit = 10_000 })
+      | Some confirmations ->
+        Ok
+          {
+            params;
+            honest_rate;
+            adversary_rate;
+            rate_ratio;
+            confirmations;
+            residual_risk = nakamoto_double_spend ~ratio:rate_ratio ~confirmations;
+          }
+  end
+
+let assess ?epsilon (params : Params.t) =
+  match assess_checked ?epsilon params with
+  | Ok a -> a
+  | Error No_adversary ->
+    invalid_arg "Confirmation.assess: nu = 0 has nothing to defend against"
+  | Error (Outside_consistency _) ->
     invalid_arg
-      "Confirmation.assess: parameters outside the consistency region (ratio >= 1)";
-  let confirmations =
-    match confirmations_for ~ratio:rate_ratio ~epsilon () with
-    | Some z -> z
-    | None ->
-      (* A ratio this close to 1 would want >10_000 confirmations: for
-         any practical purpose the parameters are not settleable. *)
-      invalid_arg
-        (Printf.sprintf
-           "Confirmation.assess: no depth within the search limit reaches \
-            epsilon = %g at rate ratio %.6f (settlement impractical this \
-            close to the consistency boundary)"
-           epsilon rate_ratio)
-  in
-  {
-    params;
-    honest_rate;
-    adversary_rate;
-    rate_ratio;
-    confirmations;
-    residual_risk = nakamoto_double_spend ~ratio:rate_ratio ~confirmations;
-  }
+      "Confirmation.assess: parameters outside the consistency region (ratio >= 1)"
+  | Error (Depth_limited { rate_ratio; _ }) ->
+    invalid_arg
+      (Printf.sprintf
+         "Confirmation.assess: no depth within the search limit reaches \
+          epsilon = %g at rate ratio %.6f (settlement impractical this \
+          close to the consistency boundary)"
+         (Option.value epsilon ~default:1e-3) rate_ratio)
 
 let to_table assessments =
   let t =

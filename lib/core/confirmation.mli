@@ -64,6 +64,28 @@ type assessment = {
   residual_risk : float;  (** double-spend probability at that depth *)
 }
 
+type unavailable =
+  | No_adversary  (** [nu = 0.]: nothing to defend against *)
+  | Outside_consistency of { rate_ratio : float }
+      (** the rate ratio is not < 1: no finite depth is safe *)
+  | Depth_limited of { rate_ratio : float; limit : int }
+      (** no depth within {!confirmations_for}'s search limit reaches
+          [epsilon] — settlement impractical this close to the
+          consistency boundary *)
+(** Why a confirmation depth could not be produced — the typed version
+    of the three [Invalid_argument] cases {!assess} raises, so batch
+    consumers (e.g. [assess --stdin-jsonl]) can report the reason per
+    line instead of aborting. *)
+
+val unavailable_label : unavailable -> string
+(** Stable snake_case tag ("no_adversary" | "outside_consistency" |
+    "depth_limited") for structured output and telemetry labels. *)
+
+val assess_checked :
+  ?epsilon:float -> Params.t -> (assessment, unavailable) result
+(** Like {!assess} but total over valid {!Params.t}: the three failure
+    modes come back as [Error] instead of [Invalid_argument]. *)
+
 val assess : ?epsilon:float -> Params.t -> assessment
 (** [assess params] computes the conservative confirmation depth in the
     Delta-delay model ([epsilon] defaults to [1e-3]).  Requires the
@@ -71,7 +93,8 @@ val assess : ?epsilon:float -> Params.t -> assessment
     ([rate_ratio < 1], i.e. Theorem 1's condition with slack).
     @raise Invalid_argument when [nu = 0.] (nothing to defend against),
     the rate ratio is not < 1 (no finite depth is safe), or no depth
-    within {!confirmations_for}'s search limit reaches [epsilon]. *)
+    within {!confirmations_for}'s search limit reaches [epsilon] —
+    the same cases {!assess_checked} returns as typed [Error]s. *)
 
 val to_table : assessment list -> Nakamoto_numerics.Table.t
 (** Render a sweep of assessments. *)

@@ -40,11 +40,42 @@ let div a b =
     (List.fold_left Float.max neg_infinity quotients)
 
 let neg a = { lo = -.a.hi; hi = -.a.lo }
-let exp a = widen (Stdlib.exp a.lo) (Stdlib.exp a.hi)
+
+let exp a =
+  (* exp is nonnegative; widening a subnormal-or-zero lower endpoint with
+     Float.pred would produce a negative lo, poisoning any downstream
+     division — clamp at the true mathematical floor. *)
+  let w = widen (Stdlib.exp a.lo) (Stdlib.exp a.hi) in
+  { w with lo = Float.max 0. w.lo }
 
 let log a =
   if a.lo <= 0. then invalid_arg "Interval.log: requires a strictly positive interval";
   widen (Stdlib.log a.lo) (Stdlib.log a.hi)
+
+let log1p a =
+  if a.lo <= -1. then
+    invalid_arg "Interval.log1p: requires an interval strictly above -1";
+  widen (Stdlib.log1p a.lo) (Stdlib.log1p a.hi)
+
+let pow a e =
+  if Float.is_nan e || e < 0. then
+    invalid_arg "Interval.pow: exponent must be a nonnegative float";
+  if a.lo < 0. then
+    invalid_arg "Interval.pow: base interval must be nonnegative";
+  (* x^e is monotone nondecreasing on x >= 0 for e >= 0, so the endpoint
+     images bracket the range.  libm's pow is the one primitive here
+     without a universal correct-rounding guarantee, so widen two ulps
+     instead of one; like [exp], clamp the floor at the true 0. *)
+  let w = widen (down (a.lo ** e)) (up (a.hi ** e)) in
+  { w with lo = Float.max 0. w.lo }
+
+let clamp ~lo:l ~hi:h a =
+  if not (valid l && valid h) then invalid_arg "Interval.clamp: NaN bound";
+  if l > h then invalid_arg "Interval.clamp: lo > hi";
+  (* min/max are exact (no rounding), so no widening: this mirrors
+     Special.clamp applied to any value in [a]. *)
+  let clamp1 x = Float.min h (Float.max l x) in
+  { lo = clamp1 a.lo; hi = clamp1 a.hi }
 
 let one_minus x = sub (point 1.) x
 let strictly_positive t = t.lo > 0.

@@ -34,9 +34,30 @@ val div : t -> t -> t
 (** @raise Invalid_argument when the divisor interval contains [0.]. *)
 
 val neg : t -> t
+
 val exp : t -> t
+(** The lower endpoint is clamped at [0.] after widening (exp is
+    nonnegative, and [Float.pred 0.] would otherwise leak a negative
+    bound into downstream divisions). *)
+
 val log : t -> t
 (** @raise Invalid_argument unless the interval is strictly positive. *)
+
+val log1p : t -> t
+(** @raise Invalid_argument unless the interval lies strictly above
+    [-1.]. *)
+
+val pow : t -> float -> t
+(** [pow a e] encloses [x ** e] for [x] in [a].  Monotone endpoint
+    images, widened {e two} ulps (libm [pow] carries no universal
+    correct-rounding guarantee), lower endpoint clamped at [0.].
+    @raise Invalid_argument unless [a] is nonnegative and [e >= 0.]. *)
+
+val clamp : lo:float -> hi:float -> t -> t
+(** Endpoint-wise [Float.min hi (Float.max lo _)] — exact (min/max do
+    not round), so no widening; mirrors
+    {!Nakamoto_numerics.Special.clamp} applied to any member.
+    @raise Invalid_argument on NaN bounds or [lo > hi]. *)
 
 val one_minus : t -> t
 (** [one_minus x] is [sub (point 1.) x] — common enough to name. *)

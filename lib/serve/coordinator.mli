@@ -46,6 +46,7 @@ val serve :
   ?heartbeat_timeout:float ->
   ?telemetry:string ->
   ?telemetry_clock:(unit -> float) ->
+  ?surface:Nakamoto_surface.Table.t ->
   ?log:(string -> unit) ->
   ?on_tcp_port:(int -> unit) ->
   unit ->
@@ -54,6 +55,13 @@ val serve :
     path (unlinking any stale file first), a TCP [host, port] pair, or
     both; at least one is required — and runs the event loop; returns
     the number of campaigns served.
+
+    [surface] arms a precomputed certified assessment surface: assess
+    queries landing in a conclusive cell are answered from the table
+    ([v_cached] replies), everything else falls back to the exact
+    solver; both paths count into the daemon's telemetry registry
+    ([surface_hits_total] / [surface_fallbacks_total]) when [telemetry]
+    is set.
 
     With [max_campaigns] (>= 1) the daemon exits cleanly — queued output
     flushed (bounded, 5 s), connections closed, socket unlinked — after

@@ -10,4 +10,5 @@ let () =
       ("markov", Test_markov_props.suite);
       ("oracle", Test_oracle.suite);
       ("wire", Test_wire_props.suite);
+      ("surface", Test_surface_props.suite);
     ]

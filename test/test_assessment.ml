@@ -62,6 +62,123 @@ let test_rendering () =
   let table = Assessment.to_table [ a; Assessment.assess (point ~nu:0.3 ~c:0.2) ] in
   check_int "two rows" 2 (Nakamoto_numerics.Table.row_count table)
 
+(* --- surface fallback frontiers -----------------------------------
+   Single-cell surfaces built to straddle a verdict boundary: the
+   certifier must refuse the cell, the query must route to the exact
+   solver, and the fallback must be counted — never a silently wrong
+   cached answer. *)
+
+module Surface = Nakamoto_surface
+module Tel = Nakamoto_telemetry
+module Confirmation = Nakamoto_core.Confirmation
+
+let single_cell ?epsilon ?conf_limit ~p:(plo, phi) ~n:(nlo, nhi)
+    ~delta:(dlo, dhi) ~nu:(vlo, vhi) () =
+  Surface.Table.build ?epsilon ?conf_limit
+    (Surface.Grid.create
+       ~p:(Surface.Grid.axis ~lo:plo ~hi:phi ~count:2 ~scale:Surface.Grid.Log)
+       ~n:(Surface.Grid.axis ~lo:nlo ~hi:nhi ~count:2 ~scale:Surface.Grid.Log)
+       ~delta:
+         (Surface.Grid.axis ~lo:dlo ~hi:dhi ~count:2 ~scale:Surface.Grid.Log)
+       ~nu:
+         (Surface.Grid.axis ~lo:vlo ~hi:vhi ~count:2
+            ~scale:Surface.Grid.Linear))
+
+let expect_fallback ~label ~reason table params =
+  let r = Tel.Registry.create ~clock:(fun () -> 0.) () in
+  let v = Surface.Table.assess_cached ~telemetry:r table params in
+  check_true (label ^ ": not served cached") (not v.Assessment.v_cached);
+  check_true
+    (label ^ ": tagged " ^ reason)
+    (v.Assessment.v_fallback = Some reason);
+  check_int
+    (label ^ ": fallback counted")
+    1
+    (Tel.Counter.value
+       (Tel.Registry.counter r ~labels:[ ("reason", reason) ]
+          "surface_fallbacks_total"));
+  check_int
+    (label ^ ": no hit counted")
+    0
+    (Tel.Counter.value (Tel.Registry.counter r "surface_hits_total"));
+  let exact = Assessment.assess params in
+  check_true
+    (label ^ ": fallback verdict equals exact")
+    (v.Assessment.v_zone = exact.Assessment.zone)
+
+let test_safe_gap_frontier_falls_back () =
+  (* c spans ~0.35 .. 4.2 against a neat threshold near 1.4: the cell
+     straddles SAFE/GAP and its zone cannot certify. *)
+  let t =
+    single_cell ~p:(1e-4, 4e-4) ~n:(80., 120.) ~delta:(30., 60.)
+      ~nu:(0.2, 0.3) ()
+  in
+  (match (Surface.Table.cell t 0).Surface.Cert.zone with
+  | Surface.Cert.Zone_inconclusive -> ()
+  | Surface.Cert.Zone _ -> Alcotest.fail "straddling cell certified a zone");
+  expect_fallback ~label:"safe/gap" ~reason:"zone_boundary" t
+    (Params.create ~p:2e-4 ~n:100. ~delta:45. ~nu:0.25)
+
+let test_gap_attack_frontier_falls_back () =
+  (* c in ~0.49 .. 0.66 against an attack threshold in ~0.53 .. 0.60:
+     below the neat bound everywhere, but GAP vs BROKEN is undecidable
+     over the cell. *)
+  let t =
+    single_cell ~p:(3.8e-4, 4.2e-4) ~n:(100., 110.) ~delta:(40., 44.)
+      ~nu:(0.3, 0.32) ()
+  in
+  expect_fallback ~label:"gap/attack" ~reason:"zone_boundary" t
+    (Params.create ~p:4e-4 ~n:105. ~delta:42. ~nu:0.31)
+
+let test_conf_frontier_falls_back () =
+  (* A comfortably-safe cell whose depth certifies at 3 — strangling the
+     certified search at conf_limit 1 leaves the depth inconclusive, so
+     only the confirmation boundary can trigger the fallback. *)
+  let box () = (single_cell ~p:(1.1e-4, 1.19e-4) ~n:(100., 111.) ~delta:(28., 30.4) ~nu:(0.0134, 0.0146)) in
+  let full = box () () in
+  let zc, cc, fc = Surface.Table.conclusive_counts full in
+  check_int "control cell fully conclusive" 1 fc;
+  check_int "control zone certified" 1 zc;
+  check_int "control depth certified" 1 cc;
+  let strangled = box () ~conf_limit:1 () in
+  let zc, cc, _ = Surface.Table.conclusive_counts strangled in
+  check_int "strangled zone still certified" 1 zc;
+  check_int "strangled depth inconclusive" 0 cc;
+  expect_fallback ~label:"conf" ~reason:"conf_boundary" strangled
+    (Params.create ~p:1.15e-4 ~n:105. ~delta:29. ~nu:0.014)
+
+(* --- depth-limit surfacing (the assess_checked split) -------------- *)
+
+let test_depth_limited_is_structured () =
+  (* A rate ratio just under 1 needs more than the solver's 10_000-depth
+     cap: historically this aborted batch callers with Invalid_argument;
+     assess_checked must surface it as data instead. *)
+  let params = Params.create ~p:1e-6 ~n:100. ~delta:10. ~nu:0.4995 in
+  let a = Assessment.assess params in
+  check_true "no finite depth" (a.Assessment.confirmations = None);
+  (match a.Assessment.confirmation_failure with
+  | Some (Confirmation.Depth_limited { rate_ratio; limit }) ->
+    check_int "limit is the solver cap" 10_000 limit;
+    check_true "ratio just under one" (rate_ratio > 0.99 && rate_ratio < 1.)
+  | _ -> Alcotest.fail "expected Depth_limited");
+  let v = Assessment.verdict_of a in
+  check_true "verdict reason is depth_limited"
+    (v.Assessment.v_conf_reason = Some "depth_limited");
+  check_true "rendering names the reason"
+    (contains_substring ~affix:"depth_limited"
+       (Format.asprintf "%a" Assessment.pp a))
+
+let test_outside_consistency_is_structured () =
+  let params = Params.create ~p:1e-6 ~n:100. ~delta:10. ~nu:0.4998 in
+  let a = Assessment.assess params in
+  (match a.Assessment.confirmation_failure with
+  | Some (Confirmation.Outside_consistency { rate_ratio }) ->
+    check_true "ratio at least one" (rate_ratio >= 1.)
+  | _ -> Alcotest.fail "expected Outside_consistency");
+  check_true "verdict reason is outside_consistency"
+    ((Assessment.verdict_of a).Assessment.v_conf_reason
+    = Some "outside_consistency")
+
 let props =
   [
     prop ~count:100 "zone ordering is monotone in c"
@@ -87,5 +204,11 @@ let suite =
     case "settlement availability" test_safe_zone_has_settlement;
     case "margins and envelopes" test_margins_and_envelopes;
     case "rendering" test_rendering;
+    case "safe/gap frontier falls back" test_safe_gap_frontier_falls_back;
+    case "gap/attack frontier falls back" test_gap_attack_frontier_falls_back;
+    case "confirmation frontier falls back" test_conf_frontier_falls_back;
+    case "depth limit surfaces as data" test_depth_limited_is_structured;
+    case "outside consistency surfaces as data"
+      test_outside_consistency_is_structured;
   ]
   @ props

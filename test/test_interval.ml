@@ -100,16 +100,53 @@ let props =
         && I.contains (I.sub ia ib) (a -. b)
         && I.contains (I.mul ia ib) (a *. b)
         && I.contains (I.div ia ib) (a /. b)
-        && I.contains (I.log ia) (log a));
+        && I.contains (I.log ia) (log a)
+        && I.contains (I.pow ia b) (a ** b)
+        && I.contains (I.log1p (I.point (1. /. (1. +. a)))) (log1p (1. /. (1. +. a))));
     prop ~count:60 "certification succeeds across c"
       QCheck2.Gen.(float_range 0.3 100.)
       (fun c -> Certify.certify_neat_numax ~c () <> None);
   ]
 
+let test_exp_floor_and_log1p () =
+  (* exp's outward rounding must never produce a negative lower endpoint
+     (Float.pred underflows past zero) — a negative floor would poison
+     every division it later feeds. *)
+  let tiny = I.exp (I.make ~lo:(-800.) ~hi:(-700.)) in
+  check_true "exp lower endpoint never negative" (I.lo tiny >= 0.);
+  check_true "exp still contains the true value"
+    (I.contains (I.exp (I.point (-2.))) (exp (-2.)));
+  check_true "log1p contains the true value"
+    (I.contains (I.log1p (I.point (-1e-4))) (log1p (-1e-4)));
+  check_raises_invalid "log1p at the domain edge" (fun () ->
+      ignore (I.log1p (I.point (-1.))))
+
+let test_pow_and_clamp () =
+  let r = I.make ~lo:0.2 ~hi:0.3 in
+  check_true "pow contains an interior power"
+    (I.contains (I.pow r 3.) (0.25 ** 3.));
+  check_true "pow of exponent zero contains one" (I.contains (I.pow r 0.) 1.);
+  check_true "pow lower endpoint never negative"
+    (I.lo (I.pow (I.make ~lo:0. ~hi:1e-160) 2.) >= 0.);
+  check_raises_invalid "pow rejects a negative base" (fun () ->
+      ignore (I.pow (I.make ~lo:(-1.) ~hi:1.) 2.));
+  check_raises_invalid "pow rejects a negative exponent" (fun () ->
+      ignore (I.pow r (-1.)));
+  (* clamp is exact: saturated endpoints land on the bounds themselves,
+     no outward widening. *)
+  let c = I.clamp ~lo:0. ~hi:1. (I.make ~lo:(-0.5) ~hi:2.) in
+  check_true "clamp saturates exactly" (I.lo c = 0. && I.hi c = 1.);
+  let c2 = I.clamp ~lo:0. ~hi:1. (I.make ~lo:0.25 ~hi:0.5) in
+  check_true "clamp keeps interior endpoints" (I.lo c2 = 0.25 && I.hi c2 = 0.5);
+  check_raises_invalid "clamp rejects inverted bounds" (fun () ->
+      ignore (I.clamp ~lo:1. ~hi:0. (I.point 0.5)))
+
 let suite =
   [
     case "make validation" test_make_validation;
     case "containment" test_containment_basics;
+    case "exp floor and log1p" test_exp_floor_and_log1p;
+    case "pow and clamp" test_pow_and_clamp;
     case "arithmetic encloses true results" test_arithmetic_encloses;
     case "mixed-sign multiplication" test_mul_signs;
     case "division by zero-spanning rejected" test_div_zero_rejected;
